@@ -1,0 +1,463 @@
+// Benchmark harness: one testing.B entry per paper table/figure (each
+// regenerates its experiment and reports the headline metrics), plus
+// microbenchmarks of the real dataplane and the ablations DESIGN.md §6
+// calls out. cmd/spright-bench prints the full rows/series.
+package spright_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	spright "github.com/spright-go/spright"
+	"github.com/spright-go/spright/internal/boutique"
+	"github.com/spright-go/spright/internal/core"
+	"github.com/spright-go/spright/internal/ebpf"
+	"github.com/spright-go/spright/internal/experiment"
+	"github.com/spright-go/spright/internal/grpcbase"
+	"github.com/spright-go/spright/internal/proto"
+	"github.com/spright-go/spright/internal/shm"
+)
+
+// ---------------------------------------------------------------------------
+// Paper tables and figures
+// ---------------------------------------------------------------------------
+
+func BenchmarkTable1_KnativeAudit(b *testing.B) {
+	var r *experiment.Report
+	for i := 0; i < b.N; i++ {
+		r = experiment.Table1()
+	}
+	b.ReportMetric(r.V("kn_copies"), "copies/req")
+	b.ReportMetric(r.V("kn_ctx"), "ctxswitch/req")
+	b.ReportMetric(r.V("kn_intr"), "interrupts/req")
+}
+
+func BenchmarkTable2_SprightAudit(b *testing.B) {
+	var r *experiment.Report
+	for i := 0; i < b.N; i++ {
+		r = experiment.Table2()
+	}
+	b.ReportMetric(r.V("sp_copies"), "copies/req")
+	b.ReportMetric(r.V("sp_ctx"), "ctxswitch/req")
+	b.ReportMetric(r.V("sp_intr"), "interrupts/req")
+}
+
+func BenchmarkFig2_SidecarComparison(b *testing.B) {
+	var r *experiment.Report
+	for i := 0; i < b.N; i++ {
+		r = experiment.Fig2()
+	}
+	b.ReportMetric(r.V("null_rps"), "null-rps")
+	b.ReportMetric(r.V("qp_rps"), "qp-rps")
+	b.ReportMetric(r.V("envoy_rps"), "envoy-rps")
+	b.ReportMetric(r.V("ofw_rps"), "ofw-rps")
+}
+
+func BenchmarkFig5_SharedMemoryProcessing(b *testing.B) {
+	var r *experiment.Report
+	for i := 0; i < b.N; i++ {
+		r = experiment.Fig5()
+	}
+	b.ReportMetric(r.V("d_rps_32"), "D-rps@32")
+	b.ReportMetric(r.V("s_rps_32"), "S-rps@32")
+	b.ReportMetric(r.V("kn_rps_32"), "Kn-rps@32")
+	b.ReportMetric(r.V("s_cpu_32"), "S-cpu%@32")
+	b.ReportMetric(r.V("d_cpu_32"), "D-cpu%@32")
+	b.ReportMetric(r.V("kn_cpu_32"), "Kn-cpu%@32")
+}
+
+func BenchmarkChainLengthScaling(b *testing.B) {
+	var r *experiment.Report
+	for i := 0; i < b.N; i++ {
+		r = experiment.ChainScaling()
+	}
+	b.ReportMetric(r.V("kn8_cycles"), "kn-cycles@8fn")
+	b.ReportMetric(r.V("sp8_cycles"), "sp-cycles@8fn")
+}
+
+func BenchmarkFig9_BoutiqueRPS(b *testing.B) {
+	var r *experiment.Report
+	for i := 0; i < b.N; i++ {
+		r = experiment.Fig9()
+	}
+	b.ReportMetric(r.V("kn_rps"), "Kn-rps")
+	b.ReportMetric(r.V("grpc_rps"), "gRPC-rps")
+	b.ReportMetric(r.V("d_rps"), "D-rps")
+	b.ReportMetric(r.V("s_rps"), "S-rps")
+}
+
+func BenchmarkFig10_BoutiqueCDFAndCPU(b *testing.B) {
+	var r *experiment.Report
+	for i := 0; i < b.N; i++ {
+		r = experiment.Fig10()
+	}
+	b.ReportMetric(r.V("kn_p95_ms"), "Kn-p95-ms")
+	b.ReportMetric(r.V("s_p95_ms"), "S-p95-ms")
+	b.ReportMetric(r.V("s_cpu"), "S-cpu-cores")
+	b.ReportMetric(r.V("d_cpu"), "D-cpu-cores")
+}
+
+func BenchmarkTable5_BoutiqueLatency(b *testing.B) {
+	var r *experiment.Report
+	for i := 0; i < b.N; i++ {
+		r = experiment.Table5()
+	}
+	b.ReportMetric(r.V("kn_p95_ms_5000"), "Kn-p95-ms@5K")
+	b.ReportMetric(r.V("s_p95_ms_5000"), "S-p95-ms@5K")
+	b.ReportMetric(r.V("s_p95_ms_25000"), "S-p95-ms@25K")
+}
+
+func BenchmarkFig11_MotionColdStart(b *testing.B) {
+	var r *experiment.Report
+	for i := 0; i < b.N; i++ {
+		r = experiment.Fig11()
+	}
+	b.ReportMetric(r.V("kn_cold_starts"), "Kn-coldstarts")
+	b.ReportMetric(r.V("kn_max_lat_s"), "Kn-max-lat-s")
+	b.ReportMetric(r.V("s_max_lat_s")*1e3, "S-max-lat-ms")
+}
+
+func BenchmarkFig12_ParkingPrewarm(b *testing.B) {
+	var r *experiment.Report
+	for i := 0; i < b.N; i++ {
+		r = experiment.Fig12()
+	}
+	b.ReportMetric(r.V("lat_saving")*100, "lat-saving-%")
+	b.ReportMetric(r.V("cpu_saving")*100, "cpu-saving-%")
+}
+
+func BenchmarkXDP_Ablation(b *testing.B) {
+	var r *experiment.Report
+	for i := 0; i < b.N; i++ {
+		r = experiment.XDPAblation()
+	}
+	b.ReportMetric(r.V("tput_gain"), "tput-gain-x")
+	b.ReportMetric(r.V("lat_cut")*100, "lat-cut-%")
+}
+
+func BenchmarkProtocolAdapter_Ablation(b *testing.B) {
+	var r *experiment.Report
+	for i := 0; i < b.N; i++ {
+		r = experiment.AdapterAblation()
+	}
+	b.ReportMetric(r.V("lat_cut")*100, "lat-cut-%")
+}
+
+// ---------------------------------------------------------------------------
+// Real-dataplane microbenchmarks
+// ---------------------------------------------------------------------------
+
+func benchChain(b *testing.B, mode spright.Mode, fns int) *spright.Deployment {
+	b.Helper()
+	cluster := spright.NewCluster(1)
+	var specs []spright.FunctionSpec
+	var routes []spright.RouteSpec
+	prev := ""
+	for i := 0; i < fns; i++ {
+		name := fmt.Sprintf("f%d", i)
+		specs = append(specs, spright.FunctionSpec{
+			Name:    name,
+			Handler: func(ctx *spright.Ctx) error { return nil },
+		})
+		routes = append(routes, spright.RouteSpec{From: prev, To: []string{name}})
+		prev = name
+	}
+	dep, err := cluster.Controller.DeployChain(spright.ChainSpec{
+		Name:      fmt.Sprintf("bench-%d-%d", fns, b.N),
+		Mode:      mode,
+		Functions: specs,
+		Routes:    routes,
+		BufSize:   128 << 10, // room for the large-payload variants
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(dep.Close)
+	return dep
+}
+
+// e2eSizes exercises the zero-copy advantage: descriptor passing is
+// size-independent while serializing transports pay per byte per hop.
+var e2eSizes = []int{100, 10 << 10, 64 << 10}
+
+func sizeName(n int) string {
+	if n >= 1024 {
+		return fmt.Sprintf("%dKB", n/1024)
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+// BenchmarkE2E_SSpright measures the real dataplane end to end: HTTP-free
+// invoke through a 2-function chain with sockmap descriptor delivery.
+func BenchmarkE2E_SSpright(b *testing.B) {
+	for _, size := range e2eSizes {
+		b.Run(sizeName(size), func(b *testing.B) {
+			dep := benchChain(b, spright.ModeEvent, 2)
+			payload := make([]byte, size)
+			ctx := context.Background()
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dep.Gateway.Invoke(ctx, "", payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2E_DSpright is the polling-transport equivalent.
+func BenchmarkE2E_DSpright(b *testing.B) {
+	for _, size := range e2eSizes {
+		b.Run(sizeName(size), func(b *testing.B) {
+			dep := benchChain(b, spright.ModePolling, 2)
+			payload := make([]byte, size)
+			ctx := context.Background()
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dep.Gateway.Invoke(ctx, "", payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2E_GRPCBaseline runs the same 2-function workload over the
+// real gRPC direct-call baseline (net.Pipe + per-hop serialization) for a
+// like-for-like comparison with BenchmarkE2E_SSpright: the delta is the
+// paper's serialization/copy tax on every hop.
+func BenchmarkE2E_GRPCBaseline(b *testing.B) {
+	for _, size := range e2eSizes {
+		b.Run(sizeName(size), func(b *testing.B) {
+			mesh := grpcbase.NewMesh()
+			defer mesh.Close()
+			pass := func(_ string, req []byte) ([]byte, error) { return req, nil }
+			for _, name := range []string{"f0", "f1"} {
+				if err := mesh.Register(grpcbase.NewServer(name, pass)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			payload := make([]byte, size)
+			chain := []string{"f0", "f1"}
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mesh.CallChain(chain, "/bench", payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDFR_Ablation compares a 4-function chain (DFR: messages flow
+// function-to-function) against 4 chained 1-function invocations (every
+// hop returning to the gateway).
+func BenchmarkDFR_Ablation(b *testing.B) {
+	b.Run("dfr-chain", func(b *testing.B) {
+		dep := benchChain(b, spright.ModeEvent, 4)
+		ctx := context.Background()
+		payload := make([]byte, 100)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := dep.Gateway.Invoke(ctx, "", payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gateway-bounce", func(b *testing.B) {
+		dep := benchChain(b, spright.ModeEvent, 1)
+		ctx := context.Background()
+		payload := make([]byte, 100)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for hop := 0; hop < 4; hop++ {
+				if _, err := dep.Gateway.Invoke(ctx, "", payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkSProxySend measures one sockmap-redirect descriptor delivery
+// through the verified SK_MSG program.
+func BenchmarkSProxySend(b *testing.B) {
+	kernel := ebpf.NewKernel()
+	sp, err := core.NewSProxy(kernel, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sock := core.NewSocket(7, 1024)
+	if err := sp.RegisterSocket(sock); err != nil {
+		b.Fatal(err)
+	}
+	if err := sp.Allow(1, 7); err != nil {
+		b.Fatal(err)
+	}
+	d := shm.Descriptor{NextFn: 7, Buf: 1, Len: 100, Caller: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sp.Send(1, d); err != nil {
+			b.Fatal(err)
+		}
+		<-sock.Recv() // delivery is synchronous; drain in-loop
+	}
+	b.StopTimer()
+	sock.Close()
+}
+
+// BenchmarkFilterMap_Ablation isolates the security-domain lookup cost:
+// SPROXY send with the filter populated vs a direct socket delivery.
+func BenchmarkFilterMap_Ablation(b *testing.B) {
+	b.Run("with-sproxy-filter", BenchmarkSProxySend)
+	b.Run("raw-socket-delivery", func(b *testing.B) {
+		sock := core.NewSocket(7, 1024)
+		d := shm.Descriptor{NextFn: 7}
+		wire := d.Marshal()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sock.DeliverDescriptor(wire[:]); err != nil {
+				b.Fatal(err)
+			}
+			<-sock.Recv()
+		}
+		b.StopTimer()
+		sock.Close()
+	})
+}
+
+// BenchmarkShmPool measures the gateway's per-request pool cycle.
+func BenchmarkShmPool(b *testing.B) {
+	pool, err := shm.NewPool("bench", 1024, 16*1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := pool.Get()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pool.Write(h, payload); err != nil {
+			b.Fatal(err)
+		}
+		if err := pool.Put(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEBPFInterpreter measures the VM on the SPROXY-sized program.
+func BenchmarkEBPFInterpreter(b *testing.B) {
+	kernel := ebpf.NewKernel()
+	m, _ := kernel.CreateMap(ebpf.MapSpec{Name: "m", Type: ebpf.MapTypeArray, KeySize: 4, ValueSize: 8, MaxEntries: 8})
+	bl := ebpf.NewBuilder("bench", ebpf.ProgTypeXDP)
+	bl.Ins(
+		ebpf.StoreImm(ebpf.R10, -4, 0, ebpf.W),
+		ebpf.LoadMapFD(ebpf.R1, m.FD()),
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Add64Imm(ebpf.R2, -4),
+		ebpf.Call(ebpf.HelperMapLookupElem),
+	)
+	bl.Jmp(ebpf.JeqImm(ebpf.R0, 0, 0), "out")
+	bl.Ins(ebpf.Mov64Imm(ebpf.R2, 1), ebpf.AtomicAdd(ebpf.R0, 0, ebpf.R2, ebpf.DW))
+	bl.Label("out")
+	bl.Ins(ebpf.Mov64Imm(ebpf.R0, ebpf.XDPPass), ebpf.Exit())
+	prog, err := kernel.Load(bl.MustProgram())
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kernel.Run(prog, data, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProtoCodecs measures the L7 codecs the gateway executes.
+func BenchmarkProtoCodecs(b *testing.B) {
+	msg := &proto.Message{Method: "POST", Path: "/cart", Headers: map[string]string{"Host": "x"}, Body: make([]byte, 1024)}
+	b.Run("http-marshal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			proto.MarshalHTTPRequest(msg)
+		}
+	})
+	wire := proto.MarshalHTTPRequest(msg)
+	b.Run("http-unmarshal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := proto.UnmarshalHTTPRequest(wire); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	mq := proto.MarshalMQTTPublish("sensors/motion", make([]byte, 128))
+	b.Run("mqtt-unmarshal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := proto.UnmarshalMQTTPublish(mq); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	co := proto.MarshalCoAP(proto.CoAPPost, 1, "parking/snapshot", make([]byte, 3072))
+	b.Run("coap-unmarshal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, _, _, err := proto.UnmarshalCoAP(co); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLoadBalancing_Ablation compares residual-capacity instance
+// selection against the first-instance (no balancing) choice under a
+// multi-instance chain.
+func BenchmarkLoadBalancing_Ablation(b *testing.B) {
+	cluster := spright.NewCluster(1)
+	dep, err := cluster.Controller.DeployChain(spright.ChainSpec{
+		Name: fmt.Sprintf("lb-%d", b.N),
+		Functions: []spright.FunctionSpec{{
+			Name:      "f",
+			Instances: 4,
+			Handler:   func(ctx *spright.Ctx) error { return nil },
+		}},
+		Routes: []spright.RouteSpec{{From: "", To: []string{"f"}}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(dep.Close)
+	ctx := context.Background()
+	payload := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dep.Gateway.Invoke(ctx, "", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBoutiqueCh6 drives the heaviest Table 3 sequence (24 hops) on
+// the real dataplane.
+func BenchmarkBoutiqueCh6(b *testing.B) {
+	cluster := spright.NewCluster(1)
+	spec := boutique.Spec(boutique.SpecOptions{Name: fmt.Sprintf("bq-%d", b.N)})
+	dep, err := cluster.Controller.DeployChain(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(dep.Close)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dep.Gateway.Invoke(ctx, "", boutique.EncodeRequest(5, []byte("u"))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Command spright-audit prints the per-request overhead audits of Tables 1
+// and 2 for a configurable chain length and payload size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/spright-go/spright/internal/cost"
+	"github.com/spright-go/spright/internal/platform"
+)
+
+func main() {
+	pipeline := flag.String("pipeline", "both", "pipeline to audit: knative, spright, or both")
+	nFns := flag.Int("functions", 2, "number of functions in the chain")
+	size := flag.Int("size", 100, "payload size in bytes")
+	flag.Parse()
+
+	print := func(r platform.AuditResult) {
+		fmt.Printf("\n=== %s: 1 broker/front-end + %d functions, %dB payload ===\n",
+			r.Pipeline, *nFns, *size)
+		fmt.Printf("%-28s", "step")
+		for _, s := range r.Steps {
+			fmt.Printf("%5s", s.Label)
+		}
+		fmt.Printf("  %6s %6s %6s\n", "ext", "within", "total")
+		rows := []struct {
+			name string
+			get  func(cost.Audit) int
+		}{
+			{"copies", func(a cost.Audit) int { return a.Copies }},
+			{"context switches", func(a cost.Audit) int { return a.CtxSwitches }},
+			{"interrupts", func(a cost.Audit) int { return a.Interrupts }},
+			{"protocol tasks", func(a cost.Audit) int { return a.ProtoTasks }},
+			{"serializations", func(a cost.Audit) int { return a.Serialize }},
+			{"deserializations", func(a cost.Audit) int { return a.Deserialize }},
+		}
+		for _, row := range rows {
+			fmt.Printf("%-28s", row.name)
+			for _, s := range r.Steps {
+				fmt.Printf("%5d", row.get(s.Audit))
+			}
+			fmt.Printf("  %6d %6d %6d\n", row.get(r.External), row.get(r.Within), row.get(r.Total))
+		}
+		m := cost.DefaultModel()
+		fmt.Printf("%-28s-> %.0f cycles (%.1f us at 2.2 GHz)\n",
+			"modeled per-request cost", m.Cycles(r.Total), m.Seconds(m.Cycles(r.Total))*1e6)
+	}
+
+	switch *pipeline {
+	case "knative":
+		print(platform.KnativeAudit(*nFns, *size))
+	case "spright":
+		print(platform.SprightAudit(*nFns, *size))
+	case "both":
+		print(platform.KnativeAudit(*nFns, *size))
+		print(platform.SprightAudit(*nFns, *size))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown pipeline %q\n", *pipeline)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,48 @@
+// Command spright-bench regenerates the paper's tables and figures from
+// the platform models. Run with no arguments for the full evaluation, or
+// name experiments: spright-bench table1 fig5 fig11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/spright-go/spright/internal/experiment"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiment.All() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	runners := experiment.All()
+	if args := flag.Args(); len(args) > 0 {
+		runners = runners[:0]
+		for _, id := range args {
+			r, ok := experiment.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	for _, r := range runners {
+		fmt.Printf("==================================================================\n")
+		fmt.Printf("%s — %s\n", r.ID, r.Title)
+		fmt.Printf("==================================================================\n")
+		start := time.Now()
+		rep := r.Run()
+		fmt.Print(rep.Text)
+		fmt.Printf("\n[%s completed in %.1fs]\n\n", r.ID, time.Since(start).Seconds())
+	}
+}

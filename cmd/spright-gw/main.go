@@ -1,0 +1,130 @@
+// Command spright-gw runs a real SPRIGHT node: it deploys a demo function
+// chain (an uppercase echo chain or the full online boutique) on the
+// in-process dataplane and serves it over HTTP through the cluster ingress
+// gateway.
+//
+//	spright-gw -listen :8080 -app boutique
+//	curl -d 'hello' http://localhost:8080/boutique/   (chain 0, GET "/")
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+
+	"github.com/spright-go/spright/internal/boutique"
+	"github.com/spright-go/spright/internal/core"
+	"github.com/spright-go/spright/internal/orchestrator"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "HTTP listen address")
+	app := flag.String("app", "echo", "application to deploy: echo or boutique")
+	mode := flag.String("mode", "event", "descriptor transport: event (S-SPRIGHT) or polling (D-SPRIGHT)")
+	flag.Parse()
+
+	m := core.ModeEvent
+	if *mode == "polling" {
+		m = core.ModePolling
+	}
+
+	cluster := orchestrator.NewCluster(1)
+	var spec core.ChainSpec
+	switch *app {
+	case "echo":
+		spec = core.ChainSpec{
+			Name: "echo",
+			Mode: m,
+			Functions: []core.FunctionSpec{
+				{Name: "upper", Handler: func(ctx *core.Ctx) error {
+					b := ctx.Payload()
+					for i := range b {
+						if b[i] >= 'a' && b[i] <= 'z' {
+							b[i] -= 32
+						}
+					}
+					return nil
+				}},
+				{Name: "exclaim", Handler: func(ctx *core.Ctx) error {
+					return ctx.SetPayload(append(ctx.Payload(), '!'))
+				}},
+			},
+			Routes: []core.RouteSpec{
+				{From: "", To: []string{"upper"}},
+				{From: "upper", To: []string{"exclaim"}},
+			},
+		}
+	case "boutique":
+		spec = boutique.Spec(boutique.SpecOptions{Mode: m})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
+		os.Exit(2)
+	}
+
+	dep, err := cluster.Controller.DeployChain(spec)
+	if err != nil {
+		log.Fatalf("deploy: %v", err)
+	}
+	log.Printf("chain %q deployed (%s) with %d function instances",
+		spec.Name, m, len(dep.Chain.Instances()))
+
+	mux := http.NewServeMux()
+	mux.Handle("/", boutiqueAware(cluster.Ingress, *app, spec.Name))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		for _, pr := range dep.Node.Kubelet.Probe(dep) {
+			if !pr.Healthy {
+				http.Error(w, fmt.Sprintf("instance %d unhealthy", pr.Instance), 503)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		s := dep.Gateway.Stats()
+		fmt.Fprintf(w, "admitted=%d completed=%d rejected=%d mean=%.3fms p95=%.3fms\n",
+			s.Admitted, s.Completed, s.Rejected, s.Mean*1e3, s.P95*1e3)
+		ps := dep.Chain.Pool().Stats()
+		fmt.Fprintf(w, "pool: inuse=%d/%d highwater=%d allocs=%d\n",
+			ps.InUse, ps.Capacity, ps.HighWater, ps.Allocs)
+		if ep := dep.Gateway.EProxy(); ep != nil {
+			pkts, bytes := ep.L3Stats()
+			fmt.Fprintf(w, "eproxy L3: packets=%d bytes=%d\n", pkts, bytes)
+		}
+	})
+
+	log.Printf("serving on %s (POST /%s/<path>, GET /healthz, GET /stats)", *listen, spec.Name)
+	log.Fatal(http.ListenAndServe(*listen, mux))
+}
+
+// boutiqueAware wraps the ingress: for the boutique app it translates a
+// ?chain=N query into the in-payload {chain, step} header the functions
+// expect.
+func boutiqueAware(ingress http.Handler, app, chainName string) http.Handler {
+	if app != "boutique" {
+		return ingress
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ci := 0
+		if q := r.URL.Query().Get("chain"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v >= 0 && v < 6 {
+				ci = v
+			}
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		payload := boutique.EncodeRequest(ci, body)
+		r2 := r.Clone(r.Context())
+		r2.URL.Path = "/" + chainName + "/"
+		r2.Body = io.NopCloser(bytes.NewReader(payload))
+		r2.ContentLength = int64(len(payload))
+		ingress.ServeHTTP(w, r2)
+	})
+}

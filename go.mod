@@ -1,0 +1,3 @@
+module github.com/spright-go/spright
+
+go 1.24

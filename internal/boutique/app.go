@@ -1,0 +1,124 @@
+package boutique
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/spright-go/spright/internal/core"
+)
+
+// Payload header: the first two bytes of every in-flight boutique message
+// are {chainIndex, step}. Each handler advances step and forwards to the
+// sequence's next service — the multi-step asynchronous decomposition of
+// the boutique's synchronous gRPC calls (§3.8).
+const headerLen = 2
+
+// EncodeRequest builds the initial payload for chain ci (0-based index
+// into Chains()) wrapping the application body.
+func EncodeRequest(ci int, body []byte) []byte {
+	out := make([]byte, headerLen+len(body))
+	out[0] = byte(ci)
+	out[1] = 0
+	copy(out[headerLen:], body)
+	return out
+}
+
+// DecodeResponse strips the header off a chain response.
+func DecodeResponse(payload []byte) (chain int, step int, body []byte, err error) {
+	if len(payload) < headerLen {
+		return 0, 0, nil, fmt.Errorf("boutique: short payload")
+	}
+	return int(payload[0]), int(payload[1]), payload[headerLen:], nil
+}
+
+// handler returns the Handler for service index svc: it validates that it
+// is the expected service at the current step, does its (simulated) work
+// by stamping the body, then forwards to the next service in the chain
+// sequence or replies when the sequence ends.
+func handler(svc int, chains []ChainDef) core.Handler {
+	return func(ctx *core.Ctx) error {
+		p := ctx.Payload()
+		if len(p) < headerLen {
+			return fmt.Errorf("boutique: %s: short payload", ServiceName(svc))
+		}
+		ci, step := int(p[0]), int(p[1])
+		if ci >= len(chains) {
+			return fmt.Errorf("boutique: bad chain index %d", ci)
+		}
+		seq := chains[ci].Sequence
+		if step >= len(seq) {
+			return fmt.Errorf("boutique: %s: step %d beyond chain %s", ServiceName(svc), step, chains[ci].Index)
+		}
+		if seq[step] != svc {
+			return fmt.Errorf("boutique: %s: expected %s at step %d of %s",
+				ServiceName(svc), ServiceName(seq[step]), step, chains[ci].Index)
+		}
+		// the service's "work": advance the step counter in place
+		p[1] = byte(step + 1)
+		if step+1 >= len(seq) {
+			ctx.Reply()
+			return nil
+		}
+		ctx.ForwardTo(ServiceName(seq[step+1]))
+		return nil
+	}
+}
+
+// SpecOptions tunes the generated chain spec.
+type SpecOptions struct {
+	Name string
+	Mode core.Mode
+	// TimeScale multiplies the per-service simulated service times
+	// (0 disables sleeping entirely — the default for tests).
+	TimeScale float64
+	Instances int
+}
+
+// Spec builds a core.ChainSpec hosting all ten boutique services with the
+// Table 3 sequences. Requests enter at the frontend for every chain.
+func Spec(opt SpecOptions) core.ChainSpec {
+	if opt.Name == "" {
+		opt.Name = "boutique"
+	}
+	if opt.Instances <= 0 {
+		opt.Instances = 1
+	}
+	chains := Chains()
+	fns := make([]core.FunctionSpec, 0, NumServices)
+	for svc := 1; svc <= NumServices; svc++ {
+		var st time.Duration
+		if opt.TimeScale > 0 {
+			st = time.Duration(float64(ServiceTime(svc)) * opt.TimeScale)
+		}
+		fns = append(fns, core.FunctionSpec{
+			Name:        ServiceName(svc),
+			Handler:     handler(svc, chains),
+			Instances:   opt.Instances,
+			Concurrency: 32,
+			ServiceTime: st,
+		})
+	}
+	// Ingress goes to the frontend; all other hops use explicit
+	// ForwardTo, but the routing table must authorize every edge that
+	// occurs in any sequence (the chain's security domain).
+	routes := []core.RouteSpec{{From: "", To: []string{ServiceName(Frontend)}}}
+	edge := map[[2]int]bool{}
+	for _, c := range chains {
+		for i := 0; i+1 < len(c.Sequence); i++ {
+			edge[[2]int{c.Sequence[i], c.Sequence[i+1]}] = true
+		}
+	}
+	for e := range edge {
+		routes = append(routes, core.RouteSpec{
+			Topic: fmt.Sprintf("edge-%d-%d", e[0], e[1]), // distinct keys; ForwardTo drives actual routing
+			From:  ServiceName(e[0]),
+			To:    []string{ServiceName(e[1])},
+		})
+	}
+	return core.ChainSpec{
+		Name:      opt.Name,
+		Mode:      opt.Mode,
+		Functions: fns,
+		Routes:    routes,
+	}
+}

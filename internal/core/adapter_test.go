@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/spright-go/spright/internal/proto"
+)
+
+func TestHTTPAdapterThroughGateway(t *testing.T) {
+	_, g := testChain(t, ModeEvent, echoSpec())
+	raw := proto.MarshalHTTPRequest(&proto.Message{Method: "POST", Path: "/echo", Body: []byte("abc")})
+	out, err := g.IngestRaw(context.Background(), "http", raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body, err := proto.UnmarshalHTTPResponse(out)
+	if err != nil || status != 200 || string(body) != "ABC" {
+		t.Fatalf("got %d %q %v", status, body, err)
+	}
+}
+
+func TestMQTTAdapterConnectHandledByGateway(t *testing.T) {
+	_, g := testChain(t, ModeEvent, echoSpec())
+	g.Adapters().Attach(MQTTAdapter{})
+	// CONNECT must be answered by the gateway without invoking the chain
+	reply, err := g.IngestRaw(context.Background(), "mqtt", proto.MarshalMQTTConnect("c1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply) == 0 || reply[0] != proto.MQTTConnAck {
+		t.Fatalf("want CONNACK, got % x", reply)
+	}
+	if g.Stats().Admitted != 0 {
+		t.Fatal("CONNECT must not invoke the chain")
+	}
+}
+
+func TestMQTTAdapterPublishIsFireAndForget(t *testing.T) {
+	done := make(chan string, 1)
+	spec := ChainSpec{
+		Functions: []FunctionSpec{{
+			Name: "sensor",
+			Handler: func(ctx *Ctx) error {
+				select {
+				case done <- ctx.Topic:
+				default:
+				}
+				ctx.Drop()
+				return nil
+			},
+		}},
+		Routes: []RouteSpec{{From: "", To: []string{"sensor"}}},
+	}
+	_, g := testChain(t, ModeEvent, spec)
+	g.Adapters().Attach(MQTTAdapter{})
+	raw := proto.MarshalMQTTPublish("motion/hall", []byte("ON"))
+	ack, err := g.IngestRaw(context.Background(), "mqtt", raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack != nil {
+		t.Fatalf("QoS-0 PUBLISH must have empty ack, got % x", ack)
+	}
+	select {
+	case topic := <-done:
+		if topic != "motion/hall" {
+			t.Fatalf("topic %q", topic)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("publish never reached the function")
+	}
+}
+
+func TestCoAPAdapterRoundTrip(t *testing.T) {
+	_, g := testChain(t, ModeEvent, echoSpec())
+	g.Adapters().Attach(CoAPAdapter{})
+	raw := proto.MarshalCoAP(proto.CoAPPost, 7, "park/1", []byte("img"))
+	out, err := g.IngestRaw(context.Background(), "coap", raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, payload, err := proto.UnmarshalCoAP(out)
+	if err != nil || !bytes.Equal(payload, []byte("IMG")) {
+		t.Fatalf("got %q, %v", payload, err)
+	}
+}
+
+func TestCloudEventAdapter(t *testing.T) {
+	_, g := testChain(t, ModeEvent, echoSpec())
+	g.Adapters().Attach(CloudEventAdapter{})
+	// Note: echoSpec routes only From "", so the event type must be
+	// routable — it is, because "" route matches any topic.
+	raw, _ := proto.MarshalCloudEvent(&proto.CloudEvent{
+		SpecVersion: "1.0", ID: "1", Source: "test", Type: "x", Data: []byte("ev"),
+	})
+	out, err := g.IngestRaw(context.Background(), "cloudevents", raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := proto.UnmarshalCloudEvent(out)
+	if err != nil || !bytes.Equal(e.Data, []byte("EV")) {
+		t.Fatalf("got %+v, %v", e, err)
+	}
+}
+
+func TestAdapterRegistryDynamics(t *testing.T) {
+	r := NewAdapterRegistry()
+	if _, err := r.Get("http"); err != nil {
+		t.Fatal("http adapter must be preloaded")
+	}
+	if _, err := r.Get("mqtt"); !errors.Is(err, ErrNoAdapter) {
+		t.Fatalf("want ErrNoAdapter, got %v", err)
+	}
+	r.Attach(MQTTAdapter{})
+	if _, err := r.Get("mqtt"); err != nil {
+		t.Fatal("attach failed")
+	}
+	if len(r.Protocols()) != 2 {
+		t.Fatalf("protocols %v", r.Protocols())
+	}
+	r.Detach("mqtt")
+	if _, err := r.Get("mqtt"); err == nil {
+		t.Fatal("detach failed")
+	}
+}
+
+func TestIngestRawUnknownProtocol(t *testing.T) {
+	_, g := testChain(t, ModeEvent, echoSpec())
+	if _, err := g.IngestRaw(context.Background(), "smtp", nil); !errors.Is(err, ErrNoAdapter) {
+		t.Fatalf("want ErrNoAdapter, got %v", err)
+	}
+}
+
+func TestIngestRawMalformed(t *testing.T) {
+	_, g := testChain(t, ModeEvent, echoSpec())
+	if _, err := g.IngestRaw(context.Background(), "http", []byte("junk")); !errors.Is(err, proto.ErrMalformed) {
+		t.Fatalf("want ErrMalformed, got %v", err)
+	}
+}

@@ -1,0 +1,434 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/spright-go/spright/internal/ebpf"
+	"github.com/spright-go/spright/internal/shm"
+)
+
+// FunctionSpec declares one function of a chain.
+type FunctionSpec struct {
+	Name        string
+	Handler     Handler
+	Instances   int           // pods to start (default 1)
+	Concurrency int           // per-pod concurrent invocations (default 32)
+	ServiceTime time.Duration // optional simulated CPU time per invocation
+}
+
+// RouteSpec declares one DFR routing-table entry. From "" routes the
+// gateway's ingress to the chain's head function.
+type RouteSpec struct {
+	Topic string
+	From  string
+	To    []string
+}
+
+// ChainSpec declares a function chain.
+type ChainSpec struct {
+	Name      string
+	Mode      Mode
+	Functions []FunctionSpec
+	Routes    []RouteSpec
+
+	// PoolBuffers and BufSize fix the private shared-memory pool
+	// geometry (defaults: 1024 × 16 KiB).
+	PoolBuffers int
+	BufSize     int
+
+	// SocketDepth overrides per-socket queue depth (defaults to
+	// PoolBuffers: the pool is the real burst buffer).
+	SocketDepth int
+}
+
+// Chain is a deployed function chain: its private pool, its transport, its
+// DFR router, its functions, and its gateway-side bookkeeping.
+type Chain struct {
+	name      string
+	mode      Mode
+	pool      *shm.Pool
+	transport Transport
+	sproxy    *SProxy // nil in polling mode
+	router    *Router
+
+	instMu    sync.Mutex
+	instances []*Instance
+	byName    map[string]*FunctionSpec
+	routes    []RouteSpec
+	sockDepth int
+	nextID    uint32
+
+	topicMu sync.RWMutex
+	topics  map[uint32]string
+
+	errMu  sync.Mutex
+	errs   []error
+	errCnt uint64
+
+	traceMu sync.RWMutex
+	tracer  *Tracer
+
+	closed sync.Once
+}
+
+// EnableTracing turns on per-request hop tracing (a debugging aid and the
+// source of §3.3's chain-level metrics), retaining up to limit traces.
+func (c *Chain) EnableTracing(limit int) *Tracer {
+	c.traceMu.Lock()
+	defer c.traceMu.Unlock()
+	c.tracer = NewTracer(limit)
+	return c.tracer
+}
+
+// DisableTracing stops trace collection.
+func (c *Chain) DisableTracing() {
+	c.traceMu.Lock()
+	defer c.traceMu.Unlock()
+	c.tracer = nil
+}
+
+func (c *Chain) currentTracer() *Tracer {
+	c.traceMu.RLock()
+	defer c.traceMu.RUnlock()
+	return c.tracer
+}
+
+// Chain errors.
+var (
+	ErrBackpressure = errors.New("core: chain at capacity (pool exhausted)")
+	ErrNoHead       = errors.New("core: chain has no ingress route (From \"\")")
+)
+
+// NewChain builds and starts a chain in the given eBPF kernel, creating its
+// private shared-memory pool through manager (the Fig. 6 startup flow is
+// orchestrated one level up; this is the dataplane assembly).
+func NewChain(kernel *ebpf.Kernel, manager *shm.Manager, spec ChainSpec) (*Chain, error) {
+	if spec.Name == "" {
+		return nil, errors.New("core: chain needs a name")
+	}
+	if len(spec.Functions) == 0 {
+		return nil, errors.New("core: chain needs at least one function")
+	}
+	poolBufs := spec.PoolBuffers
+	if poolBufs <= 0 {
+		poolBufs = 1024
+	}
+	bufSize := spec.BufSize
+	if bufSize <= 0 {
+		bufSize = 16 * 1024
+	}
+	pool, err := manager.CreatePool(spec.Name, poolBufs, bufSize)
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			_ = manager.Release(spec.Name)
+		}
+	}()
+
+	c := &Chain{
+		name:   spec.Name,
+		mode:   spec.Mode,
+		pool:   pool,
+		router: NewRouter(),
+		byName: make(map[string]*FunctionSpec),
+		topics: make(map[uint32]string),
+	}
+
+	switch spec.Mode {
+	case ModeEvent:
+		sp, err := NewSProxy(kernel, spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		c.sproxy = sp
+		c.transport = NewEventTransport(sp)
+	case ModePolling:
+		c.transport = NewRingTransport()
+	default:
+		return nil, fmt.Errorf("core: unknown mode %d", spec.Mode)
+	}
+
+	depth := spec.SocketDepth
+	if depth <= 0 {
+		depth = poolBufs
+	}
+	c.sockDepth = depth
+	c.routes = append([]RouteSpec(nil), spec.Routes...)
+
+	// Start function instances: IDs 1..N (0 is the gateway).
+	nextID := uint32(1)
+	for i := range spec.Functions {
+		fs := spec.Functions[i] // copy: the chain owns its specs
+		if fs.Name == "" {
+			return nil, fmt.Errorf("core: function %d has no name", i)
+		}
+		if _, dup := c.byName[fs.Name]; dup {
+			return nil, fmt.Errorf("core: duplicate function %q", fs.Name)
+		}
+		if fs.Instances <= 0 {
+			fs.Instances = 1
+		}
+		if fs.Concurrency <= 0 {
+			fs.Concurrency = 32
+		}
+		c.byName[fs.Name] = &fs
+		for j := 0; j < fs.Instances; j++ {
+			inst := &Instance{
+				chain:       c,
+				fnName:      fs.Name,
+				id:          nextID,
+				sock:        NewSocket(nextID, depth),
+				handler:     fs.Handler,
+				concurrency: fs.Concurrency,
+				serviceTime: fs.ServiceTime,
+				stop:        make(chan struct{}),
+			}
+			nextID++
+			if err := c.transport.Register(inst.sock); err != nil {
+				return nil, err
+			}
+			c.router.AddInstance(fs.Name, inst)
+			c.instances = append(c.instances, inst)
+		}
+	}
+	c.nextID = nextID
+
+	// DFR routes.
+	for _, r := range spec.Routes {
+		for _, to := range r.To {
+			if _, ok := c.byName[to]; !ok {
+				return nil, fmt.Errorf("core: route to unknown function %q", to)
+			}
+		}
+		if r.From != "" {
+			if _, ok := c.byName[r.From]; !ok {
+				return nil, fmt.Errorf("core: route from unknown function %q", r.From)
+			}
+		}
+		c.router.SetRoute(RouteKey{Topic: r.Topic, From: r.From}, r.To...)
+	}
+
+	// Filter rules (§3.4): authorize exactly the edges the routing table
+	// implies, in both data directions, plus replies to the gateway.
+	if err := c.configureFilters(spec.Routes); err != nil {
+		return nil, err
+	}
+
+	for _, in := range c.instances {
+		in.start()
+	}
+	ok = true
+	return c, nil
+}
+
+// configureFilters installs the per-edge allow rules the kubelet would
+// configure at startup.
+func (c *Chain) configureFilters(routes []RouteSpec) error {
+	allow := func(src, dst uint32) error { return c.transport.Allow(src, dst) }
+	for _, r := range routes {
+		var srcIDs []uint32
+		if r.From == "" {
+			srcIDs = []uint32{GatewayID}
+		} else {
+			for _, in := range c.router.Instances(r.From) {
+				srcIDs = append(srcIDs, in.ID())
+			}
+		}
+		for _, to := range r.To {
+			for _, dst := range c.router.Instances(to) {
+				for _, src := range srcIDs {
+					if err := allow(src, dst.ID()); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	// every instance may reply to the gateway
+	for _, in := range c.instances {
+		if err := allow(in.ID(), GatewayID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Name returns the chain name (also its shared-memory prefix).
+func (c *Chain) Name() string { return c.name }
+
+// Mode returns the transport mode.
+func (c *Chain) Mode() Mode { return c.mode }
+
+// Pool exposes the chain's shared-memory pool (metrics, tests).
+func (c *Chain) Pool() *shm.Pool { return c.pool }
+
+// Router exposes the DFR router (controller-driven route updates).
+func (c *Chain) Router() *Router { return c.router }
+
+// SProxy returns the chain's SPROXY (nil in polling mode).
+func (c *Chain) SProxy() *SProxy { return c.sproxy }
+
+// Instances returns all running instances.
+func (c *Chain) Instances() []*Instance {
+	c.instMu.Lock()
+	defer c.instMu.Unlock()
+	return append([]*Instance(nil), c.instances...)
+}
+
+func (c *Chain) setTopic(d shm.Descriptor, topic string) {
+	c.topicMu.Lock()
+	c.topics[d.Buf] = topic
+	c.topicMu.Unlock()
+}
+
+func (c *Chain) topicOf(d shm.Descriptor) string {
+	c.topicMu.RLock()
+	defer c.topicMu.RUnlock()
+	return c.topics[d.Buf]
+}
+
+// releaseBuffer drops one reference and clears topic state when the buffer
+// dies.
+func (c *Chain) releaseBuffer(h uint32) {
+	if err := c.pool.Put(h); err != nil {
+		c.noteError("pool", err)
+		return
+	}
+	if _, err := c.pool.Len(h); err != nil { // fully released
+		c.topicMu.Lock()
+		delete(c.topics, h)
+		c.topicMu.Unlock()
+	}
+}
+
+func (c *Chain) noteError(where string, err error) {
+	if err == nil {
+		return
+	}
+	c.errMu.Lock()
+	c.errCnt++
+	if len(c.errs) < 64 {
+		c.errs = append(c.errs, fmt.Errorf("%s: %w", where, err))
+	}
+	c.errMu.Unlock()
+}
+
+// Errors returns the count and a bounded sample of dataplane errors.
+func (c *Chain) Errors() (uint64, []error) {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.errCnt, append([]error(nil), c.errs...)
+}
+
+// Close stops all instances and the transport.
+func (c *Chain) Close() {
+	c.closed.Do(func() {
+		for _, in := range c.Instances() {
+			in.shutdown()
+		}
+		c.transport.Close()
+		c.pool.Close()
+	})
+}
+
+// ScaleUp starts one additional instance of fn (vertical/horizontal pod
+// scaling, §3.7), wiring its sockmap entry and the filter rules of every
+// routing edge that touches fn, then registering it with the router.
+func (c *Chain) ScaleUp(fn string) (*Instance, error) {
+	c.instMu.Lock()
+	defer c.instMu.Unlock()
+	fs, ok := c.byName[fn]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown function %q", fn)
+	}
+	if int(c.nextID) >= MaxInstances {
+		return nil, fmt.Errorf("core: instance limit %d reached", MaxInstances)
+	}
+	inst := &Instance{
+		chain:       c,
+		fnName:      fn,
+		id:          c.nextID,
+		sock:        NewSocket(c.nextID, c.sockDepth),
+		handler:     fs.Handler,
+		concurrency: fs.Concurrency,
+		serviceTime: fs.ServiceTime,
+		stop:        make(chan struct{}),
+	}
+	c.nextID++
+	if err := c.transport.Register(inst.sock); err != nil {
+		return nil, err
+	}
+	// Authorize edges: sources routing *to* fn, targets fn routes *to*,
+	// and the reply edge to the gateway.
+	for _, r := range c.routes {
+		for _, to := range r.To {
+			if to == fn {
+				srcs := []uint32{GatewayID}
+				if r.From != "" {
+					srcs = srcs[:0]
+					for _, s := range c.router.Instances(r.From) {
+						srcs = append(srcs, s.ID())
+					}
+				}
+				for _, s := range srcs {
+					if err := c.transport.Allow(s, inst.ID()); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		if r.From == fn {
+			for _, to := range r.To {
+				for _, dst := range c.router.Instances(to) {
+					if err := c.transport.Allow(inst.ID(), dst.ID()); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	if err := c.transport.Allow(inst.ID(), GatewayID); err != nil {
+		return nil, err
+	}
+	c.router.AddInstance(fn, inst)
+	c.instances = append(c.instances, inst)
+	inst.start()
+	return inst, nil
+}
+
+// ScaleDown stops one instance of fn (the one with the fewest in-flight
+// requests) and removes it from routing. The last instance of a function
+// cannot be removed — SPRIGHT keeps chains warm rather than scaling to
+// zero (§4.2.2).
+func (c *Chain) ScaleDown(fn string) error {
+	insts := c.router.Instances(fn)
+	if len(insts) <= 1 {
+		return fmt.Errorf("core: refusing to scale %q below one warm instance", fn)
+	}
+	victim := insts[0]
+	for _, in := range insts[1:] {
+		if in.Inflight() < victim.Inflight() {
+			victim = in
+		}
+	}
+	c.router.RemoveInstance(fn, victim.ID())
+	if err := c.transport.Unregister(victim.ID()); err != nil {
+		return err
+	}
+	victim.shutdown()
+	c.instMu.Lock()
+	for i, in := range c.instances {
+		if in == victim {
+			c.instances = append(c.instances[:i], c.instances[i+1:]...)
+			break
+		}
+	}
+	c.instMu.Unlock()
+	return nil
+}

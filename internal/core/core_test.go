@@ -1,0 +1,615 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/spright-go/spright/internal/ebpf"
+	"github.com/spright-go/spright/internal/shm"
+)
+
+func testChain(t *testing.T, mode Mode, spec ChainSpec) (*Chain, *Gateway) {
+	t.Helper()
+	spec.Mode = mode
+	if spec.Name == "" {
+		spec.Name = fmt.Sprintf("chain-%s-%d", t.Name(), time.Now().UnixNano())
+	}
+	kernel := ebpf.NewKernel()
+	mgr := shm.NewManager()
+	c, err := NewChain(kernel, mgr, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGateway(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		g.Close()
+		c.Close()
+	})
+	return c, g
+}
+
+// echoSpec is a single-function chain that upper-cases the payload in
+// place (zero-copy mutation).
+func echoSpec() ChainSpec {
+	return ChainSpec{
+		Functions: []FunctionSpec{{
+			Name: "echo",
+			Handler: func(ctx *Ctx) error {
+				b := ctx.Payload()
+				for i := range b {
+					if b[i] >= 'a' && b[i] <= 'z' {
+						b[i] -= 32
+					}
+				}
+				return nil
+			},
+		}},
+		Routes: []RouteSpec{{From: "", To: []string{"echo"}}},
+	}
+}
+
+func TestChainSingleFunctionBothModes(t *testing.T) {
+	for _, mode := range []Mode{ModeEvent, ModePolling} {
+		t.Run(mode.String(), func(t *testing.T) {
+			_, g := testChain(t, mode, echoSpec())
+			out, err := g.Invoke(context.Background(), "", []byte("hello"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(out) != "HELLO" {
+				t.Fatalf("got %q want HELLO", out)
+			}
+		})
+	}
+}
+
+// seqSpec is a 3-function sequential chain; each appends its tag so the
+// traversal order is observable.
+func seqSpec() ChainSpec {
+	tagger := func(tag string) Handler {
+		return func(ctx *Ctx) error {
+			return ctx.SetPayload(append(ctx.Payload(), []byte(tag)...))
+		}
+	}
+	return ChainSpec{
+		Functions: []FunctionSpec{
+			{Name: "f1", Handler: tagger(">f1")},
+			{Name: "f2", Handler: tagger(">f2")},
+			{Name: "f3", Handler: tagger(">f3")},
+		},
+		Routes: []RouteSpec{
+			{From: "", To: []string{"f1"}},
+			{From: "f1", To: []string{"f2"}},
+			{From: "f2", To: []string{"f3"}},
+		},
+	}
+}
+
+func TestChainSequentialDFR(t *testing.T) {
+	for _, mode := range []Mode{ModeEvent, ModePolling} {
+		t.Run(mode.String(), func(t *testing.T) {
+			_, g := testChain(t, mode, seqSpec())
+			out, err := g.Invoke(context.Background(), "", []byte("in"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(out) != "in>f1>f2>f3" {
+				t.Fatalf("got %q", out)
+			}
+		})
+	}
+}
+
+func TestChainDFRBypassesGateway(t *testing.T) {
+	// After the run, the gateway must have seen exactly one descriptor
+	// back (the final reply), not one per hop — the DFR property (② in
+	// Fig. 4).
+	_, g := testChain(t, ModeEvent, seqSpec())
+	if _, err := g.Invoke(context.Background(), "", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	delivered, _ := g.sock.Stats()
+	if delivered != 1 {
+		t.Fatalf("gateway saw %d descriptors, want 1 (DFR must bypass it)", delivered)
+	}
+}
+
+func TestChainZeroCopyNoBufferGrowth(t *testing.T) {
+	c, g := testChain(t, ModeEvent, seqSpec())
+	for i := 0; i < 10; i++ {
+		if _, err := g.Invoke(context.Background(), "", []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Pool().Stats()
+	if s.InUse != 0 {
+		t.Fatalf("buffers leaked: %d in use", s.InUse)
+	}
+	if s.Allocs != 10 {
+		t.Fatalf("allocs %d, want exactly 1 per request (zero-copy chain)", s.Allocs)
+	}
+}
+
+func TestTopicRouting(t *testing.T) {
+	onSpec := ChainSpec{
+		Functions: []FunctionSpec{
+			{Name: "classifier", Handler: func(ctx *Ctx) error {
+				if string(ctx.Payload()) == "motion" {
+					ctx.SetTopic("lights/on")
+				} else {
+					ctx.SetTopic("lights/off")
+				}
+				return nil
+			}},
+			{Name: "on", Handler: func(ctx *Ctx) error { return ctx.SetPayload([]byte("ON")) }},
+			{Name: "off", Handler: func(ctx *Ctx) error { return ctx.SetPayload([]byte("OFF")) }},
+		},
+		Routes: []RouteSpec{
+			{From: "", To: []string{"classifier"}},
+			{Topic: "lights/on", From: "classifier", To: []string{"on"}},
+			{Topic: "lights/off", From: "classifier", To: []string{"off"}},
+		},
+	}
+	_, g := testChain(t, ModeEvent, onSpec)
+	out, err := g.Invoke(context.Background(), "sensor", []byte("motion"))
+	if err != nil || string(out) != "ON" {
+		t.Fatalf("motion: got %q, %v", out, err)
+	}
+	out, err = g.Invoke(context.Background(), "sensor", []byte("still"))
+	if err != nil || string(out) != "OFF" {
+		t.Fatalf("still: got %q, %v", out, err)
+	}
+}
+
+func TestFanOutWithRefCounts(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]int{}
+	mark := func(name string) Handler {
+		return func(ctx *Ctx) error {
+			mu.Lock()
+			seen[name]++
+			mu.Unlock()
+			ctx.Drop() // terminal branches of the fan-out
+			return nil
+		}
+	}
+	spec := ChainSpec{
+		Functions: []FunctionSpec{
+			{Name: "splitter", Handler: nil}, // pure routing hop
+			{Name: "a", Handler: mark("a")},
+			{Name: "b", Handler: mark("b")},
+			{Name: "c", Handler: mark("c")},
+		},
+		Routes: []RouteSpec{
+			{From: "", To: []string{"splitter"}},
+			{From: "splitter", To: []string{"a", "b", "c"}},
+		},
+	}
+	c, g := testChain(t, ModeEvent, spec)
+	if err := g.InvokeAsync("", []byte("ev")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		done := seen["a"] == 1 && seen["b"] == 1 && seen["c"] == 1
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fan-out incomplete: %v", seen)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// all references must drain
+	deadline = time.Now().Add(time.Second)
+	for c.Pool().Stats().InUse != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("fan-out leaked buffers: %+v", c.Pool().Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n, errs := c.Errors(); n != 0 {
+		t.Fatalf("chain errors: %v", errs)
+	}
+}
+
+func TestSecurityDomainFilterBlocksUnroutedEdge(t *testing.T) {
+	// f1 tries to call f3 directly even though only f1->f2 is routed;
+	// SPROXY's filter must reject the descriptor.
+	var sendErr error
+	var once sync.Once
+	spec := ChainSpec{
+		Functions: []FunctionSpec{
+			{Name: "f1", Handler: func(ctx *Ctx) error {
+				ctx.ForwardTo("f3") // malicious: not in the routing table
+				return nil
+			}},
+			{Name: "f2", Handler: nil},
+			{Name: "f3", Handler: func(ctx *Ctx) error {
+				once.Do(func() { sendErr = errors.New("f3 was reached") })
+				return nil
+			}},
+		},
+		Routes: []RouteSpec{
+			{From: "", To: []string{"f1"}},
+			{From: "f1", To: []string{"f2"}},
+		},
+	}
+	c, g := testChain(t, ModeEvent, spec)
+	_, err := g.Invoke(contextWithTimeout(t, 300*time.Millisecond), "", []byte("x"))
+	if err == nil {
+		t.Fatal("invoke should not complete: the forward was filtered")
+	}
+	cnt, errs := c.Errors()
+	if cnt == 0 {
+		t.Fatal("chain must record the filtered send")
+	}
+	foundFiltered := false
+	for _, e := range errs {
+		if errors.Is(e, ErrFiltered) {
+			foundFiltered = true
+		}
+	}
+	if !foundFiltered {
+		t.Fatalf("want ErrFiltered in %v", errs)
+	}
+	if sendErr != nil {
+		t.Fatal(sendErr)
+	}
+}
+
+func contextWithTimeout(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestRuntimeFilterRevocation(t *testing.T) {
+	c, g := testChain(t, ModeEvent, echoSpec())
+	// revoke gateway -> echo instance authorization at runtime (§3.4)
+	inst := c.Router().Instances("echo")[0]
+	if err := c.SProxy().Revoke(GatewayID, inst.ID()); err != nil {
+		t.Fatal(err)
+	}
+	_, err := g.Invoke(contextWithTimeout(t, 200*time.Millisecond), "", []byte("x"))
+	if !errors.Is(err, ErrFiltered) {
+		t.Fatalf("want ErrFiltered after revocation, got %v", err)
+	}
+	// re-allow restores service
+	if err := c.SProxy().Allow(GatewayID, inst.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Invoke(context.Background(), "", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandlerErrorReleasesBuffer(t *testing.T) {
+	spec := ChainSpec{
+		Functions: []FunctionSpec{{
+			Name:    "bad",
+			Handler: func(ctx *Ctx) error { return errTerminal },
+		}},
+		Routes: []RouteSpec{{From: "", To: []string{"bad"}}},
+	}
+	c, g := testChain(t, ModeEvent, spec)
+	_, err := g.Invoke(contextWithTimeout(t, 200*time.Millisecond), "", []byte("x"))
+	if err == nil {
+		t.Fatal("handler error means no response; invoke must time out")
+	}
+	deadline := time.Now().Add(time.Second)
+	for c.Pool().Stats().InUse != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("failed handler leaked its buffer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if c.Router().Instances("bad")[0].Errors() != 1 {
+		t.Fatal("error counter must increment")
+	}
+}
+
+func TestBackpressureOnPoolExhaustion(t *testing.T) {
+	block := make(chan struct{})
+	spec := ChainSpec{
+		PoolBuffers: 2,
+		Functions: []FunctionSpec{{
+			Name:        "slow",
+			Concurrency: 4,
+			Handler: func(ctx *Ctx) error {
+				<-block
+				return nil
+			},
+		}},
+		Routes: []RouteSpec{{From: "", To: []string{"slow"}}},
+	}
+	_, g := testChain(t, ModeEvent, spec)
+	defer close(block)
+
+	results := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			_, err := g.Invoke(contextWithTimeout(t, 2*time.Second), "", []byte("x"))
+			results <- err
+		}()
+	}
+	// one of the three must fail fast with backpressure (2-buffer pool)
+	deadline := time.After(time.Second)
+	for {
+		select {
+		case err := <-results:
+			if errors.Is(err, ErrBackpressure) {
+				return
+			}
+		case <-deadline:
+			t.Fatal("no backpressure signal within deadline")
+		}
+	}
+}
+
+func TestLoadBalancingPicksResidualCapacity(t *testing.T) {
+	r := NewRouter()
+	mk := func(id uint32, conc int, inflight int64) *Instance {
+		in := &Instance{id: id, fnName: "f", concurrency: conc}
+		in.inflight.Store(inflight)
+		return in
+	}
+	r.AddInstance("f", mk(1, 32, 30)) // residual 2
+	r.AddInstance("f", mk(2, 32, 5))  // residual 27
+	r.AddInstance("f", mk(3, 32, 10)) // residual 22
+	in, err := r.PickInstance("f")
+	if err != nil || in.ID() != 2 {
+		t.Fatalf("picked %v, %v; want instance 2", in, err)
+	}
+	if _, err := r.PickInstance("ghost"); !errors.Is(err, ErrNoInstance) {
+		t.Fatalf("want ErrNoInstance, got %v", err)
+	}
+}
+
+func TestRouterTopicFallback(t *testing.T) {
+	r := NewRouter()
+	r.SetRoute(RouteKey{From: "a"}, "default")
+	r.SetRoute(RouteKey{Topic: "hot", From: "a"}, "special")
+	if n, ok := r.Next("hot", "a"); !ok || n[0] != "special" {
+		t.Fatalf("exact topic match failed: %v %v", n, ok)
+	}
+	if n, ok := r.Next("cold", "a"); !ok || n[0] != "default" {
+		t.Fatalf("fallback failed: %v %v", n, ok)
+	}
+	if _, ok := r.Next("x", "zzz"); ok {
+		t.Fatal("unknown hop must terminate")
+	}
+	r.SetRoute(RouteKey{From: "a"}) // clearing
+	if _, ok := r.Next("cold", "a"); ok {
+		t.Fatal("cleared route must be gone")
+	}
+}
+
+func TestRouterInstanceLifecycle(t *testing.T) {
+	r := NewRouter()
+	a := &Instance{id: 1, fnName: "f", concurrency: 1}
+	b := &Instance{id: 2, fnName: "f", concurrency: 1}
+	r.AddInstance("f", a)
+	r.AddInstance("f", b)
+	if len(r.Instances("f")) != 2 {
+		t.Fatal("expected 2 instances")
+	}
+	r.RemoveInstance("f", 1)
+	list := r.Instances("f")
+	if len(list) != 1 || list[0].ID() != 2 {
+		t.Fatalf("remove failed: %v", list)
+	}
+}
+
+func TestMultiInstanceSpreadsLoad(t *testing.T) {
+	spec := ChainSpec{
+		Functions: []FunctionSpec{{
+			Name:        "w",
+			Instances:   3,
+			Concurrency: 1,
+			Handler: func(ctx *Ctx) error {
+				time.Sleep(5 * time.Millisecond)
+				return nil
+			},
+		}},
+		Routes: []RouteSpec{{From: "", To: []string{"w"}}},
+	}
+	c, g := testChain(t, ModeEvent, spec)
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := g.Invoke(contextWithTimeout(t, 5*time.Second), "", []byte("x")); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	used := 0
+	for _, in := range c.Router().Instances("w") {
+		if in.Handled() > 0 {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Fatalf("residual-capacity balancing used only %d of 3 instances", used)
+	}
+}
+
+func TestSproxyMetricsCountInvocations(t *testing.T) {
+	c, g := testChain(t, ModeEvent, seqSpec())
+	for i := 0; i < 4; i++ {
+		if _, err := g.Invoke(context.Background(), "", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sp := c.SProxy()
+	for _, fn := range []string{"f1", "f2", "f3"} {
+		inst := c.Router().Instances(fn)[0]
+		if got := sp.RequestCount(inst.ID()); got != 4 {
+			t.Errorf("%s: L7 count %d want 4", fn, got)
+		}
+	}
+	// the gateway received 4 replies
+	if got := sp.RequestCount(GatewayID); got != 4 {
+		t.Errorf("gateway reply count %d want 4", got)
+	}
+}
+
+func TestEProxyL3Metrics(t *testing.T) {
+	_, g := testChain(t, ModeEvent, echoSpec())
+	payload := make([]byte, 150)
+	for i := 0; i < 3; i++ {
+		if _, err := g.Invoke(context.Background(), "", payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkts, bytes := g.EProxy().L3Stats()
+	if pkts != 3 || bytes != 450 {
+		t.Fatalf("L3 stats pkts=%d bytes=%d want 3, 450", pkts, bytes)
+	}
+	if rate := g.EProxy().ScrapeRate(); rate < 0 {
+		t.Fatal("scrape rate negative")
+	}
+}
+
+func TestGatewayStats(t *testing.T) {
+	_, g := testChain(t, ModeEvent, echoSpec())
+	for i := 0; i < 5; i++ {
+		g.Invoke(context.Background(), "", []byte("x"))
+	}
+	s := g.Stats()
+	if s.Admitted != 5 || s.Completed != 5 || s.Rejected != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+	if g.Latency().Count() != 5 {
+		t.Fatal("latency histogram must capture each request")
+	}
+}
+
+func TestChainSpecValidation(t *testing.T) {
+	kernel := ebpf.NewKernel()
+	mgr := shm.NewManager()
+	cases := []ChainSpec{
+		{},                              // no name
+		{Name: "x"},                     // no functions
+		{Name: "x", Functions: []FunctionSpec{{}}},                                                       // unnamed fn
+		{Name: "x", Functions: []FunctionSpec{{Name: "a"}, {Name: "a"}}},                                 // dup fn
+		{Name: "x", Functions: []FunctionSpec{{Name: "a"}}, Routes: []RouteSpec{{From: "", To: []string{"ghost"}}}}, // bad route target
+		{Name: "x", Functions: []FunctionSpec{{Name: "a"}}, Routes: []RouteSpec{{From: "ghost", To: []string{"a"}}}}, // bad route source
+	}
+	for i, spec := range cases {
+		if _, err := NewChain(kernel, mgr, spec); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+	// pool prefixes must be released on failed construction
+	if _, err := mgr.CreatePool("x", 1, 1); err != nil {
+		t.Fatalf("failed chain construction leaked the pool prefix: %v", err)
+	}
+}
+
+func TestInvokeWithNoIngressRoute(t *testing.T) {
+	spec := ChainSpec{
+		Functions: []FunctionSpec{{Name: "a"}},
+	}
+	_, g := testChain(t, ModeEvent, spec)
+	if _, err := g.Invoke(context.Background(), "", nil); !errors.Is(err, ErrNoHead) {
+		t.Fatalf("want ErrNoHead, got %v", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	spec := ChainSpec{
+		Functions: []FunctionSpec{{
+			Name:    "stuck",
+			Handler: func(ctx *Ctx) error { <-block; return nil },
+		}},
+		Routes: []RouteSpec{{From: "", To: []string{"stuck"}}},
+	}
+	_, g := testChain(t, ModeEvent, spec)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := g.Invoke(ctx, "", []byte("x")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestSocketQueueSemantics(t *testing.T) {
+	s := NewSocket(5, 2)
+	d := shm.Descriptor{NextFn: 5}
+	if err := s.Deliver(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Deliver(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Deliver(d); !errors.Is(err, ErrSocketFull) {
+		t.Fatalf("want ErrSocketFull, got %v", err)
+	}
+	delivered, dropped := s.Stats()
+	if delivered != 2 || dropped != 1 {
+		t.Fatalf("stats %d/%d", delivered, dropped)
+	}
+	s.Close()
+	if err := s.Deliver(d); !errors.Is(err, ErrSocketClosed) {
+		t.Fatalf("want ErrSocketClosed, got %v", err)
+	}
+	// wire-form delivery with a bad descriptor
+	s2 := NewSocket(1, 1)
+	if err := s2.DeliverDescriptor([]byte{1, 2}); err == nil {
+		t.Fatal("short wire descriptor must fail")
+	}
+}
+
+func TestRingTransportUnknownAndUnregistered(t *testing.T) {
+	tr := NewRingTransport()
+	defer tr.Close()
+	s := NewSocket(1, 4)
+	if err := tr.Register(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Register(NewSocket(1, 4)); err == nil {
+		t.Fatal("duplicate registration must fail")
+	}
+	if err := tr.Send(0, shm.Descriptor{NextFn: 9}); !errors.Is(err, ErrNoSuchFn) {
+		t.Fatalf("want ErrNoSuchFn, got %v", err)
+	}
+	if err := tr.Send(0, shm.Descriptor{NextFn: 1}); !errors.Is(err, ErrFiltered) {
+		t.Fatalf("want ErrFiltered before Allow, got %v", err)
+	}
+	tr.Allow(0, 1)
+	if err := tr.Send(0, shm.Descriptor{NextFn: 1, Caller: 7}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-s.Recv():
+		if d.Caller != 7 {
+			t.Fatalf("descriptor corrupted: %+v", d)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("poller did not deliver")
+	}
+	if err := tr.Unregister(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Unregister(1); err == nil {
+		t.Fatal("double unregister must fail")
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Direct Function Routing (§3.2.3): a chain-specific userspace routing
+// table (conceptually resident in the chain's shared memory) keyed by
+// {message topic, current function}, resolving to the next function(s) in
+// the chain; the in-kernel sockmap then turns the chosen function's
+// instance ID into a socket. Load balancing across instances picks the pod
+// with the maximum residual service capacity RC_i = MC_i − r_i.
+
+// RouteKey addresses one routing-table entry.
+type RouteKey struct {
+	Topic string // "" matches any topic (pure sequential chains)
+	From  string // function name of the current hop; "" = gateway ingress
+}
+
+// Router is the DFR routing table plus the instance registry used for
+// residual-capacity load balancing.
+type Router struct {
+	mu        sync.RWMutex
+	routes    map[RouteKey][]string
+	instances map[string][]*Instance
+}
+
+// Router errors.
+var (
+	ErrNoRouteMatch = errors.New("core: no DFR route for key")
+	ErrNoInstance   = errors.New("core: function has no running instances")
+)
+
+// NewRouter returns an empty router.
+func NewRouter() *Router {
+	return &Router{
+		routes:    make(map[RouteKey][]string),
+		instances: make(map[string][]*Instance),
+	}
+}
+
+// SetRoute installs (or replaces) the next hops for key. The SPRIGHT
+// controller configures these from the user's chain definition; dynamic
+// updates at runtime are permitted.
+func (r *Router) SetRoute(key RouteKey, next ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(next) == 0 {
+		delete(r.routes, key)
+		return
+	}
+	r.routes[key] = append([]string(nil), next...)
+}
+
+// Next resolves the next-hop function names for a message with the given
+// topic leaving function `from`. Exact topic match wins; a ""-topic route
+// is the fallback. ok=false means the flow terminates (reply to caller).
+func (r *Router) Next(topic, from string) (next []string, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if n, hit := r.routes[RouteKey{Topic: topic, From: from}]; hit {
+		return n, true
+	}
+	if topic != "" {
+		if n, hit := r.routes[RouteKey{Topic: "", From: from}]; hit {
+			return n, true
+		}
+	}
+	return nil, false
+}
+
+// AddInstance registers a running instance of a function.
+func (r *Router) AddInstance(fn string, inst *Instance) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.instances[fn] = append(r.instances[fn], inst)
+}
+
+// RemoveInstance deregisters an instance (scale-down).
+func (r *Router) RemoveInstance(fn string, id uint32) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	list := r.instances[fn]
+	for i, in := range list {
+		if in.ID() == id {
+			r.instances[fn] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+// Instances returns the live instances of fn.
+func (r *Router) Instances(fn string) []*Instance {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*Instance(nil), r.instances[fn]...)
+}
+
+// PickInstance selects the active instance of fn with the maximum residual
+// service capacity (footnote 4: RC_i,t = MC_i − r_i,t).
+func (r *Router) PickInstance(fn string) (*Instance, error) {
+	r.mu.RLock()
+	list := r.instances[fn]
+	r.mu.RUnlock()
+	if len(list) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNoInstance, fn)
+	}
+	best := list[0]
+	bestRC := best.ResidualCapacity()
+	for _, in := range list[1:] {
+		if rc := in.ResidualCapacity(); rc > bestRC {
+			best, bestRC = in, rc
+		}
+	}
+	return best, nil
+}

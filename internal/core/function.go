@@ -1,0 +1,279 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/spright-go/spright/internal/shm"
+)
+
+// NoReply is the Caller sentinel for fire-and-forget events (asynchronous
+// IoT-style invocations with no response expected).
+const NoReply uint32 = 0xFFFFFFFF
+
+// GatewayID is the reserved instance ID of the chain's SPRIGHT gateway.
+const GatewayID uint32 = 0
+
+// Handler is a user function. It runs to completion per invocation (the
+// §3.8 programming model: purely event-driven, asynchronous). The handler
+// reads and mutates the message payload in place through Ctx — zero-copy —
+// and may override the default next hop with Ctx.ForwardTo or terminate
+// the flow early with Ctx.Reply.
+type Handler func(ctx *Ctx) error
+
+// Ctx is one invocation's view of the message and the chain.
+type Ctx struct {
+	inst *Instance
+	desc shm.Descriptor
+
+	// Topic is the message topic used for DFR routing.
+	Topic string
+
+	forwardedTo []string
+	replied     bool
+	dropped     bool
+}
+
+// Payload returns the message payload: a zero-copy view into the chain's
+// shared-memory pool. Mutations are visible downstream without copying.
+func (c *Ctx) Payload() []byte {
+	b, err := c.inst.chain.pool.Payload(c.desc.Buf)
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// SetPayload replaces the payload in place (bounded by the pool's buffer
+// size). This is the idiomatic way for a function to emit a new message
+// body without allocating.
+func (c *Ctx) SetPayload(b []byte) error {
+	if _, err := c.inst.chain.pool.Write(c.desc.Buf, b); err != nil {
+		return err
+	}
+	c.desc.Len = uint32(len(b))
+	return nil
+}
+
+// SetTopic rewrites the topic used for the next routing decision.
+func (c *Ctx) SetTopic(topic string) { c.Topic = topic }
+
+// Caller returns the request's caller ID (for the asynchronous
+// request/response decomposition of §3.8).
+func (c *Ctx) Caller() uint32 { return c.desc.Caller }
+
+// FunctionName returns the executing function's name.
+func (c *Ctx) FunctionName() string { return c.inst.fnName }
+
+// ForwardTo overrides DFR's routing table for this invocation and sends
+// the message to the named function(s) when the handler returns.
+func (c *Ctx) ForwardTo(fns ...string) { c.forwardedTo = fns }
+
+// Reply terminates the flow here: the descriptor returns to the caller
+// when the handler returns, bypassing any further routing.
+func (c *Ctx) Reply() { c.replied = true }
+
+// Drop discards the message (the buffer reference is released).
+func (c *Ctx) Drop() { c.dropped = true }
+
+// Instance is one running pod of a function: a socket, a run loop and a
+// concurrency limit.
+type Instance struct {
+	chain  *Chain
+	fnName string
+	id     uint32
+	sock   *Socket
+
+	handler     Handler
+	concurrency int
+	concMu      sync.Mutex
+	sem         chan struct{}
+	serviceTime time.Duration // optional simulated CPU service time
+
+	inflight atomic.Int64
+	handled  atomic.Uint64
+	errs     atomic.Uint64
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+	once sync.Once
+}
+
+// ID returns the instance ID (its sockmap key).
+func (in *Instance) ID() uint32 { return in.id }
+
+// Function returns the function name this instance runs.
+func (in *Instance) Function() string { return in.fnName }
+
+// Inflight returns the number of requests currently being processed.
+func (in *Instance) Inflight() int { return int(in.inflight.Load()) }
+
+// Handled returns the number of completed invocations.
+func (in *Instance) Handled() uint64 { return in.handled.Load() }
+
+// Errors returns the number of failed invocations.
+func (in *Instance) Errors() uint64 { return in.errs.Load() }
+
+// ResidualCapacity is MC_i − r_i,t with capacity measured in concurrency
+// slots: the maximum service capacity is the configured concurrency and
+// the current rate is the instantaneous in-flight count, both observable
+// by the event-driven proxy.
+func (in *Instance) ResidualCapacity() int {
+	return in.Concurrency() - int(in.inflight.Load())
+}
+
+// start launches the instance's run loop: one dispatcher goroutine feeding
+// a bounded worker pool of `concurrency` goroutines (the pod's concurrency
+// setting in §4.1).
+func (in *Instance) start() {
+	in.concMu.Lock()
+	in.sem = make(chan struct{}, in.concurrency)
+	in.concMu.Unlock()
+	in.wg.Add(1)
+	go func() {
+		defer in.wg.Done()
+		for {
+			select {
+			case <-in.stop:
+				return
+			case d, ok := <-in.sock.Recv():
+				if !ok {
+					return
+				}
+				in.concMu.Lock()
+				sem := in.sem
+				in.concMu.Unlock()
+				sem <- struct{}{}
+				in.wg.Add(1)
+				go func(d shm.Descriptor) {
+					defer in.wg.Done()
+					defer func() { <-sem }()
+					in.handle(d)
+				}(d)
+			}
+		}
+	}()
+}
+
+// Concurrency returns the instance's current concurrency limit.
+func (in *Instance) Concurrency() int {
+	in.concMu.Lock()
+	defer in.concMu.Unlock()
+	return in.concurrency
+}
+
+// SetConcurrency performs §3.7's vertical scaling: it resizes the pod's
+// worker pool in place ("adding more CPU cores for the function as
+// needed"). In-flight invocations finish under the old semaphore; new
+// dispatches use the new limit.
+func (in *Instance) SetConcurrency(n int) error {
+	if n <= 0 {
+		return errors.New("core: concurrency must be positive")
+	}
+	in.concMu.Lock()
+	defer in.concMu.Unlock()
+	in.concurrency = n
+	in.sem = make(chan struct{}, n)
+	return nil
+}
+
+func (in *Instance) shutdown() {
+	in.once.Do(func() {
+		close(in.stop)
+		in.sock.Close()
+	})
+	in.wg.Wait()
+}
+
+// handle executes the user handler and then performs the default DFR
+// action: forward to the routing table's next hop, or return the
+// descriptor to the caller when the chain ends here.
+func (in *Instance) handle(d shm.Descriptor) {
+	in.inflight.Add(1)
+	defer in.inflight.Add(-1)
+
+	ctx := &Ctx{inst: in, desc: d, Topic: in.chain.topicOf(d)}
+	hopStart := time.Now()
+	if in.serviceTime > 0 {
+		time.Sleep(in.serviceTime)
+	}
+	var err error
+	if in.handler != nil {
+		err = in.handler(ctx)
+	}
+	if tr := in.chain.currentTracer(); tr != nil {
+		tr.hop(d.Caller, in.fnName, in.id, time.Since(hopStart))
+	}
+	if err != nil {
+		in.errs.Add(1)
+		in.chain.releaseBuffer(ctx.desc.Buf)
+		in.chain.noteError(in.fnName, err)
+		return
+	}
+	in.handled.Add(1)
+
+	switch {
+	case ctx.dropped:
+		in.chain.releaseBuffer(ctx.desc.Buf)
+	case ctx.replied:
+		in.reply(ctx)
+	case len(ctx.forwardedTo) > 0:
+		in.forward(ctx, ctx.forwardedTo)
+	default:
+		next, ok := in.chain.router.Next(ctx.Topic, in.fnName)
+		if !ok {
+			in.reply(ctx)
+			return
+		}
+		in.forward(ctx, next)
+	}
+}
+
+// forward performs DFR delivery to each next-hop function, taking an extra
+// buffer reference per additional destination (pub/sub fan-out).
+func (in *Instance) forward(ctx *Ctx, next []string) {
+	d := ctx.desc
+	// extra references for fan-out beyond the first destination
+	for i := 1; i < len(next); i++ {
+		if err := in.chain.pool.Ref(d.Buf); err != nil {
+			in.chain.noteError(in.fnName, err)
+			return
+		}
+	}
+	in.chain.setTopic(d, ctx.Topic)
+	for _, fn := range next {
+		target, err := in.chain.router.PickInstance(fn)
+		if err != nil {
+			in.chain.releaseBuffer(d.Buf)
+			in.chain.noteError(in.fnName, err)
+			continue
+		}
+		nd := d
+		nd.NextFn = target.ID()
+		if err := in.chain.transport.Send(in.id, nd); err != nil {
+			in.chain.releaseBuffer(d.Buf)
+			in.chain.noteError(in.fnName, fmt.Errorf("forward to %s: %w", fn, err))
+		}
+	}
+}
+
+// reply returns the descriptor to the gateway (or releases it for
+// fire-and-forget events).
+func (in *Instance) reply(ctx *Ctx) {
+	d := ctx.desc
+	if d.Caller == NoReply {
+		in.chain.releaseBuffer(d.Buf)
+		return
+	}
+	d.NextFn = GatewayID
+	if err := in.chain.transport.Send(in.id, d); err != nil {
+		in.chain.releaseBuffer(d.Buf)
+		in.chain.noteError(in.fnName, fmt.Errorf("reply: %w", err))
+	}
+}
+
+// errTerminal marks handler failures for tests.
+var errTerminal = errors.New("core: handler error")

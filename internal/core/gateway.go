@@ -1,0 +1,332 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/spright-go/spright/internal/metrics"
+	"github.com/spright-go/spright/internal/shm"
+)
+
+// Gateway is the chain's SPRIGHT gateway (§3.1): the reverse proxy that
+// consolidates protocol processing, copies each admitted payload into the
+// chain's shared-memory pool exactly once, invokes the head function, and
+// constructs the external response when the descriptor returns.
+type Gateway struct {
+	chain *Chain
+	sock  *Socket
+	eprox *EProxy
+
+	pendMu  sync.Mutex
+	pending map[uint32]chan gwResult
+	nextID  atomic.Uint32
+
+	adapters *AdapterRegistry
+
+	admitted  atomic.Uint64
+	rejected  atomic.Uint64
+	completed atomic.Uint64
+
+	latMu sync.Mutex
+	lat   *metrics.Histogram
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+	once sync.Once
+}
+
+type gwResult struct {
+	payload []byte
+	err     error
+}
+
+// Gateway errors.
+var (
+	ErrGatewayClosed = errors.New("core: gateway closed")
+	ErrNoWaiter      = errors.New("core: response for unknown caller")
+)
+
+// NewGateway creates and starts the gateway for a chain, registering its
+// socket (instance ID 0) with the chain's transport and attaching the
+// EPROXY monitor programs.
+func NewGateway(c *Chain) (*Gateway, error) {
+	g := &Gateway{
+		chain:    c,
+		sock:     NewSocket(GatewayID, c.pool.Capacity()),
+		pending:  make(map[uint32]chan gwResult),
+		adapters: NewAdapterRegistry(),
+		lat:      metrics.NewHistogram(),
+		stop:     make(chan struct{}),
+	}
+	if err := c.transport.Register(g.sock); err != nil {
+		return nil, err
+	}
+	if c.sproxy != nil {
+		ep, err := NewEProxy(c.sproxy.kernel, c.name)
+		if err != nil {
+			return nil, err
+		}
+		g.eprox = ep
+	}
+	g.wg.Add(1)
+	go g.run()
+	return g, nil
+}
+
+// run consumes response descriptors returning to the gateway.
+func (g *Gateway) run() {
+	defer g.wg.Done()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case d, ok := <-g.sock.Recv():
+			if !ok {
+				return
+			}
+			g.complete(d)
+		}
+	}
+}
+
+func (g *Gateway) complete(d shm.Descriptor) {
+	g.pendMu.Lock()
+	ch, ok := g.pending[d.Caller]
+	delete(g.pending, d.Caller)
+	g.pendMu.Unlock()
+
+	if !ok {
+		// late response after a cancelled request: just release.
+		g.chain.releaseBuffer(d.Buf)
+		g.chain.noteError("gateway", fmt.Errorf("%w: %d", ErrNoWaiter, d.Caller))
+		return
+	}
+	// The single response copy out of shared memory: the gateway owns
+	// constructing the external HTTP response (§3.1).
+	payload, err := g.chain.pool.Payload(d.Buf)
+	var cp []byte
+	if err == nil {
+		cp = append([]byte(nil), payload[:min(int(d.Len), len(payload))]...)
+	}
+	g.chain.releaseBuffer(d.Buf)
+	g.completed.Add(1)
+	ch <- gwResult{payload: cp, err: err}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// admit writes the payload into the pool and builds the descriptor. It is
+// the backpressure point: pool exhaustion rejects the request.
+func (g *Gateway) admit(topic string, payload []byte, caller uint32) (shm.Descriptor, error) {
+	h, err := g.chain.pool.Get()
+	if err != nil {
+		g.rejected.Add(1)
+		return shm.Descriptor{}, fmt.Errorf("%w: %v", ErrBackpressure, err)
+	}
+	n, err := g.chain.pool.Write(h, payload)
+	if err != nil {
+		g.chain.releaseBuffer(h)
+		g.rejected.Add(1)
+		return shm.Descriptor{}, err
+	}
+	d := shm.Descriptor{Buf: h, Len: uint32(n), Caller: caller}
+	g.chain.setTopic(d, topic)
+	if g.eprox != nil {
+		g.eprox.OnIngress(len(payload))
+	}
+	g.admitted.Add(1)
+	return d, nil
+}
+
+// dispatch resolves the head function via DFR and sends the descriptor.
+func (g *Gateway) dispatch(topic string, d shm.Descriptor) error {
+	next, ok := g.chain.router.Next(topic, "")
+	if !ok || len(next) == 0 {
+		g.chain.releaseBuffer(d.Buf)
+		return ErrNoHead
+	}
+	// The gateway invokes only the head function (① in Fig. 4); the rest
+	// of the chain routes function-to-function.
+	inst, err := g.chain.router.PickInstance(next[0])
+	if err != nil {
+		g.chain.releaseBuffer(d.Buf)
+		return err
+	}
+	d.NextFn = inst.ID()
+	if err := g.chain.transport.Send(GatewayID, d); err != nil {
+		g.chain.releaseBuffer(d.Buf)
+		return err
+	}
+	return nil
+}
+
+// Invoke synchronously processes one request through the chain and returns
+// the response payload.
+func (g *Gateway) Invoke(ctx context.Context, topic string, payload []byte) ([]byte, error) {
+	start := time.Now()
+	caller := g.nextID.Add(1)
+	if caller == NoReply {
+		caller = g.nextID.Add(1)
+	}
+	ch := make(chan gwResult, 1)
+	g.pendMu.Lock()
+	g.pending[caller] = ch
+	g.pendMu.Unlock()
+	if tr := g.chain.currentTracer(); tr != nil {
+		tr.begin(caller)
+		defer tr.finish(caller)
+	}
+
+	d, err := g.admit(topic, payload, caller)
+	if err != nil {
+		g.forget(caller)
+		return nil, err
+	}
+	if err := g.dispatch(topic, d); err != nil {
+		g.forget(caller)
+		return nil, err
+	}
+
+	select {
+	case res := <-ch:
+		g.latMu.Lock()
+		g.lat.Observe(time.Since(start).Seconds())
+		g.latMu.Unlock()
+		return res.payload, res.err
+	case <-ctx.Done():
+		g.forget(caller)
+		return nil, ctx.Err()
+	case <-g.stop:
+		return nil, ErrGatewayClosed
+	}
+}
+
+// InvokeAsync fires an event into the chain with no response expected
+// (the IoT pattern of §4.2.2).
+func (g *Gateway) InvokeAsync(topic string, payload []byte) error {
+	d, err := g.admit(topic, payload, NoReply)
+	if err != nil {
+		return err
+	}
+	return g.dispatch(topic, d)
+}
+
+func (g *Gateway) forget(caller uint32) {
+	g.pendMu.Lock()
+	delete(g.pending, caller)
+	g.pendMu.Unlock()
+}
+
+// Adapters exposes the protocol-adaptation hook registry (§3.6).
+func (g *Gateway) Adapters() *AdapterRegistry { return g.adapters }
+
+// IngestRaw runs protocol adaptation on raw bytes arriving for the named
+// protocol and injects the normalized message into the chain. The reply
+// bytes (if the protocol is request/response) are returned re-encoded.
+func (g *Gateway) IngestRaw(ctx context.Context, protocol string, raw []byte) ([]byte, error) {
+	ad, err := g.adapters.Get(protocol)
+	if err != nil {
+		return nil, err
+	}
+	msg, reply, err := ad.Decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	if reply != nil {
+		// stateful L7 handshake (e.g. MQTT CONNECT) terminated by the
+		// gateway itself per §3.6 — no function invocation.
+		return reply, nil
+	}
+	if msg.NoResponse {
+		if err := g.InvokeAsync(msg.Topic, msg.Payload); err != nil {
+			return nil, err
+		}
+		return ad.EncodeAck(msg)
+	}
+	out, err := g.Invoke(ctx, msg.Topic, msg.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return ad.EncodeResponse(msg, out)
+}
+
+// ServeHTTP exposes the chain over real HTTP (net/http): the external
+// interface of the SPRIGHT gateway. The message topic is taken from the
+// X-Topic header, defaulting to the URL path.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	topic := r.Header.Get("X-Topic")
+	if topic == "" {
+		topic = r.URL.Path
+	}
+	out, err := g.Invoke(r.Context(), topic, body)
+	switch {
+	case errors.Is(err, ErrBackpressure):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	default:
+		w.WriteHeader(http.StatusOK)
+		if _, err := w.Write(out); err != nil {
+			g.chain.noteError("gateway", err)
+		}
+	}
+}
+
+// Stats summarizes gateway activity.
+type GatewayStats struct {
+	Admitted  uint64
+	Rejected  uint64
+	Completed uint64
+	P95       float64
+	Mean      float64
+}
+
+// Stats returns a snapshot.
+func (g *Gateway) Stats() GatewayStats {
+	g.latMu.Lock()
+	defer g.latMu.Unlock()
+	return GatewayStats{
+		Admitted:  g.admitted.Load(),
+		Rejected:  g.rejected.Load(),
+		Completed: g.completed.Load(),
+		P95:       g.lat.Quantile(0.95),
+		Mean:      g.lat.Mean(),
+	}
+}
+
+// Latency returns a copy of the gateway latency histogram.
+func (g *Gateway) Latency() *metrics.Histogram {
+	g.latMu.Lock()
+	defer g.latMu.Unlock()
+	h := metrics.NewHistogram()
+	h.Merge(g.lat)
+	return h
+}
+
+// EProxy returns the gateway's EPROXY (nil in polling mode).
+func (g *Gateway) EProxy() *EProxy { return g.eprox }
+
+// Close stops the gateway.
+func (g *Gateway) Close() {
+	g.once.Do(func() {
+		close(g.stop)
+		g.sock.Close()
+	})
+	g.wg.Wait()
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLateResponseReleasedNotLeaked: when a caller abandons a request
+// (context cancelled) and the response arrives afterwards, the gateway
+// must release the buffer and account the orphan instead of leaking.
+func TestLateResponseReleasedNotLeaked(t *testing.T) {
+	release := make(chan struct{})
+	spec := ChainSpec{
+		Functions: []FunctionSpec{{
+			Name:    "slow",
+			Handler: func(ctx *Ctx) error { <-release; return nil },
+		}},
+		Routes: []RouteSpec{{From: "", To: []string{"slow"}}},
+	}
+	c, g := testChain(t, ModeEvent, spec)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := g.Invoke(ctx, "", []byte("x"))
+		errCh <- err
+	}()
+	// wait for the request to be in flight, then abandon it
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Pool().Stats().InUse == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+	// let the handler complete: the late reply goes to a forgotten caller
+	close(release)
+	deadline = time.Now().Add(2 * time.Second)
+	for c.Pool().Stats().InUse != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("late response leaked its buffer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cnt, errs := c.Errors()
+	if cnt == 0 {
+		t.Fatal("orphaned response must be recorded")
+	}
+	found := false
+	for _, e := range errs {
+		if errors.Is(e, ErrNoWaiter) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want ErrNoWaiter in %v", errs)
+	}
+}
+
+func TestGatewayHTTPStatusCodes(t *testing.T) {
+	block := make(chan struct{})
+	spec := ChainSpec{
+		PoolBuffers: 1,
+		Functions: []FunctionSpec{{
+			Name:    "hold",
+			Handler: func(ctx *Ctx) error { <-block; return nil },
+		}},
+		Routes: []RouteSpec{{From: "", To: []string{"hold"}}},
+	}
+	c, g := testChain(t, ModeEvent, spec)
+	srv := httptest.NewServer(g)
+	defer srv.Close()
+	// LIFO: unblock the held handler before srv.Close waits for its
+	// outstanding request.
+	defer close(block)
+
+	// first request occupies the single buffer
+	go srv.Client().Post(srv.URL+"/x", "text/plain", strings.NewReader("a"))
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Pool().Stats().InUse == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// second must get 503 (backpressure)
+	resp, err := srv.Client().Post(srv.URL+"/x", "text/plain", strings.NewReader("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("status %d want 503", resp.StatusCode)
+	}
+}
+
+func TestInvokeAsyncNoPendingEntry(t *testing.T) {
+	done := make(chan struct{}, 1)
+	spec := ChainSpec{
+		Functions: []FunctionSpec{{
+			Name: "sink",
+			Handler: func(ctx *Ctx) error {
+				select {
+				case done <- struct{}{}:
+				default:
+				}
+				ctx.Drop()
+				return nil
+			},
+		}},
+		Routes: []RouteSpec{{From: "", To: []string{"sink"}}},
+	}
+	c, g := testChain(t, ModeEvent, spec)
+	if err := g.InvokeAsync("", []byte("ev")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("async event not processed")
+	}
+	// buffer fully released, no pending waiters, no errors
+	deadline := time.Now().Add(time.Second)
+	for c.Pool().Stats().InUse != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("async event leaked its buffer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n, errs := c.Errors(); n != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+}
+
+func TestGatewayTopicFromHeaderAndPath(t *testing.T) {
+	got := make(chan string, 2)
+	spec := ChainSpec{
+		Functions: []FunctionSpec{{
+			Name: "echo",
+			Handler: func(ctx *Ctx) error {
+				got <- ctx.Topic
+				return nil
+			},
+		}},
+		Routes: []RouteSpec{{From: "", To: []string{"echo"}}},
+	}
+	_, g := testChain(t, ModeEvent, spec)
+	srv := httptest.NewServer(g)
+	defer srv.Close()
+
+	resp, err := srv.Client().Post(srv.URL+"/some/path", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if topic := <-got; topic != "/some/path" {
+		t.Fatalf("topic %q want /some/path", topic)
+	}
+}

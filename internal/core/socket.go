@@ -1,0 +1,89 @@
+// Package core implements SPRIGHT itself: the per-chain gateway, the
+// SPROXY event-driven socket proxy (a real SK_MSG program executed by the
+// internal/ebpf VM), the EPROXY metric programs, Direct Function Routing,
+// security domains, protocol-adaptation hooks, and the two descriptor
+// transports — event-driven sockmap redirection (S-SPRIGHT) and DPDK-style
+// polled rings (D-SPRIGHT).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"github.com/spright-go/spright/internal/shm"
+)
+
+// Socket is a function instance's descriptor endpoint — the analog of the
+// socket interface SPROXY attaches to. Descriptors arrive on a buffered
+// channel; the instance's run loop consumes them. It implements
+// ebpf.SockRef so a sockmap can deliver to it from inside the VM.
+type Socket struct {
+	id     uint32
+	ch     chan shm.Descriptor
+	closed atomic.Bool
+
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// Socket errors.
+var (
+	ErrSocketClosed = errors.New("core: socket closed")
+	ErrSocketFull   = errors.New("core: socket queue full")
+)
+
+// NewSocket creates a socket with the given instance ID and queue depth.
+func NewSocket(id uint32, depth int) *Socket {
+	if depth <= 0 {
+		depth = 1
+	}
+	return &Socket{id: id, ch: make(chan shm.Descriptor, depth)}
+}
+
+// SockID implements ebpf.SockRef.
+func (s *Socket) SockID() uint32 { return s.id }
+
+// DeliverDescriptor implements ebpf.SockRef: parse the 16-byte wire form
+// and enqueue. A full queue is a drop — the shared-memory pool, not the
+// socket, is the chain's burst buffer, so the socket queue is sized to the
+// pool and overflow indicates the pool-level backpressure failed.
+func (s *Socket) DeliverDescriptor(wire []byte) error {
+	d, err := shm.UnmarshalDescriptor(wire)
+	if err != nil {
+		return err
+	}
+	return s.Deliver(d)
+}
+
+// Deliver enqueues a parsed descriptor.
+func (s *Socket) Deliver(d shm.Descriptor) error {
+	if s.closed.Load() {
+		return ErrSocketClosed
+	}
+	select {
+	case s.ch <- d:
+		s.delivered.Add(1)
+		return nil
+	default:
+		s.dropped.Add(1)
+		return ErrSocketFull
+	}
+}
+
+// Recv returns the descriptor channel for the instance's run loop.
+func (s *Socket) Recv() <-chan shm.Descriptor { return s.ch }
+
+// Close marks the socket closed and wakes the consumer.
+func (s *Socket) Close() {
+	if s.closed.CompareAndSwap(false, true) {
+		close(s.ch)
+	}
+}
+
+// Stats reports delivery counters.
+func (s *Socket) Stats() (delivered, dropped uint64) {
+	return s.delivered.Load(), s.dropped.Load()
+}
+
+func (s *Socket) String() string { return fmt.Sprintf("sock(%d)", s.id) }

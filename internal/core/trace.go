@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Request tracing: an opt-in, per-chain record of every hop a descriptor
+// takes (function, instance, arrival time, handler duration). The gateway's
+// chain-level metrics of §3.3 ("function-chain-level metrics such as the
+// request rate and execution time on a chain basis") are derived from
+// these traces; tests and operators use them to see DFR in action.
+
+// HopRecord is one function visit in a request's trace.
+type HopRecord struct {
+	Function string
+	Instance uint32
+	At       time.Time
+	Duration time.Duration
+}
+
+// Trace is the recorded path of one request through the chain.
+type Trace struct {
+	Caller uint32
+	Hops   []HopRecord
+	Start  time.Time
+	End    time.Time
+}
+
+// Elapsed is the chain-level execution time (gateway in to gateway out).
+func (t *Trace) Elapsed() time.Duration {
+	if t.End.IsZero() {
+		return 0
+	}
+	return t.End.Sub(t.Start)
+}
+
+// Path renders "fn1->fn2->fn3" for assertions and logs.
+func (t *Trace) Path() string {
+	parts := make([]string, len(t.Hops))
+	for i, h := range t.Hops {
+		parts[i] = h.Function
+	}
+	return strings.Join(parts, "->")
+}
+
+func (t *Trace) String() string {
+	return fmt.Sprintf("trace{caller=%d path=%s elapsed=%s}", t.Caller, t.Path(), t.Elapsed())
+}
+
+// Tracer collects traces for a chain. Disabled (nil) by default: tracing
+// is a debugging aid, not a dataplane cost.
+type Tracer struct {
+	mu     sync.Mutex
+	limit  int
+	active map[uint32]*Trace
+	done   []*Trace
+}
+
+// NewTracer creates a tracer retaining up to limit completed traces.
+func NewTracer(limit int) *Tracer {
+	if limit <= 0 {
+		limit = 256
+	}
+	return &Tracer{limit: limit, active: make(map[uint32]*Trace)}
+}
+
+func (tr *Tracer) begin(caller uint32) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.active[caller] = &Trace{Caller: caller, Start: time.Now()}
+}
+
+func (tr *Tracer) hop(caller uint32, fn string, inst uint32, dur time.Duration) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	t, ok := tr.active[caller]
+	if !ok {
+		return
+	}
+	t.Hops = append(t.Hops, HopRecord{Function: fn, Instance: inst, At: time.Now(), Duration: dur})
+}
+
+func (tr *Tracer) finish(caller uint32) *Trace {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	t, ok := tr.active[caller]
+	if !ok {
+		return nil
+	}
+	delete(tr.active, caller)
+	t.End = time.Now()
+	if len(tr.done) < tr.limit {
+		tr.done = append(tr.done, t)
+	}
+	return t
+}
+
+// Completed returns the retained completed traces.
+func (tr *Tracer) Completed() []*Trace {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]*Trace(nil), tr.done...)
+}
+
+// ChainMetrics is the §3.3 chain-level snapshot the gateway's metrics
+// agent reports.
+type ChainMetrics struct {
+	Requests      uint64
+	MeanExecution time.Duration
+	Paths         map[string]int
+}
+
+// Metrics summarizes completed traces.
+func (tr *Tracer) Metrics() ChainMetrics {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	m := ChainMetrics{Paths: make(map[string]int)}
+	var total time.Duration
+	for _, t := range tr.done {
+		m.Requests++
+		total += t.Elapsed()
+		m.Paths[t.Path()]++
+	}
+	if m.Requests > 0 {
+		m.MeanExecution = total / time.Duration(m.Requests)
+	}
+	return m
+}

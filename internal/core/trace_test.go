@@ -1,0 +1,110 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTracingRecordsDFRPath(t *testing.T) {
+	c, g := testChain(t, ModeEvent, seqSpec())
+	tr := c.EnableTracing(16)
+	if _, err := g.Invoke(context.Background(), "", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	done := tr.Completed()
+	if len(done) != 1 {
+		t.Fatalf("traces %d want 1", len(done))
+	}
+	if p := done[0].Path(); p != "f1->f2->f3" {
+		t.Fatalf("path %q", p)
+	}
+	if done[0].Elapsed() <= 0 {
+		t.Fatal("elapsed must be positive")
+	}
+	for _, h := range done[0].Hops {
+		if h.Instance == 0 || h.Function == "" {
+			t.Fatalf("incomplete hop record %+v", h)
+		}
+	}
+}
+
+func TestTracingMetricsAggregation(t *testing.T) {
+	c, g := testChain(t, ModeEvent, seqSpec())
+	tr := c.EnableTracing(16)
+	for i := 0; i < 3; i++ {
+		if _, err := g.Invoke(context.Background(), "", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := tr.Metrics()
+	if m.Requests != 3 {
+		t.Fatalf("requests %d", m.Requests)
+	}
+	if m.MeanExecution <= 0 {
+		t.Fatal("mean execution must be positive")
+	}
+	if m.Paths["f1->f2->f3"] != 3 {
+		t.Fatalf("paths %v", m.Paths)
+	}
+}
+
+func TestTracingDisable(t *testing.T) {
+	c, g := testChain(t, ModeEvent, echoSpec())
+	tr := c.EnableTracing(4)
+	g.Invoke(context.Background(), "", []byte("a"))
+	c.DisableTracing()
+	g.Invoke(context.Background(), "", []byte("b"))
+	if got := len(tr.Completed()); got != 1 {
+		t.Fatalf("traces after disable: %d want 1", got)
+	}
+}
+
+func TestTracingRetentionLimit(t *testing.T) {
+	c, g := testChain(t, ModeEvent, echoSpec())
+	tr := c.EnableTracing(2)
+	for i := 0; i < 5; i++ {
+		g.Invoke(context.Background(), "", []byte("x"))
+	}
+	if got := len(tr.Completed()); got != 2 {
+		t.Fatalf("retained %d traces, want limit 2", got)
+	}
+}
+
+func TestTracerHopDurationCapturesServiceTime(t *testing.T) {
+	spec := ChainSpec{
+		Functions: []FunctionSpec{{
+			Name:        "slow",
+			ServiceTime: 20 * time.Millisecond,
+			Handler:     func(ctx *Ctx) error { return nil },
+		}},
+		Routes: []RouteSpec{{From: "", To: []string{"slow"}}},
+	}
+	c, g := testChain(t, ModeEvent, spec)
+	tr := c.EnableTracing(4)
+	if _, err := g.Invoke(context.Background(), "", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	done := tr.Completed()
+	if len(done) != 1 || len(done[0].Hops) != 1 {
+		t.Fatalf("trace incomplete: %+v", done)
+	}
+	if d := done[0].Hops[0].Duration; d < 15*time.Millisecond {
+		t.Fatalf("hop duration %v must include the 20ms service time", d)
+	}
+}
+
+func TestTracerStringRendering(t *testing.T) {
+	tr := NewTracer(0) // default limit
+	tr.begin(1)
+	tr.hop(1, "a", 1, time.Millisecond)
+	tr.hop(99, "ghost", 9, 0) // unknown caller is a no-op
+	tr.finish(1)
+	if tr.finish(1) != nil {
+		t.Fatal("double finish must return nil")
+	}
+	done := tr.Completed()
+	if len(done) != 1 || done[0].String() == "" || done[0].Path() != "a" {
+		t.Fatalf("rendering wrong: %v", done)
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestVerticalScalingRaisesParallelism: §3.7 vertical pod scaling — a
+// 1-slot instance serializes; raising its concurrency at runtime lets
+// invocations overlap.
+func TestVerticalScalingRaisesParallelism(t *testing.T) {
+	var mu sync.Mutex
+	inflight, peak := 0, 0
+	spec := ChainSpec{
+		Functions: []FunctionSpec{{
+			Name:        "w",
+			Concurrency: 1,
+			Handler: func(ctx *Ctx) error {
+				mu.Lock()
+				inflight++
+				if inflight > peak {
+					peak = inflight
+				}
+				mu.Unlock()
+				time.Sleep(10 * time.Millisecond)
+				mu.Lock()
+				inflight--
+				mu.Unlock()
+				return nil
+			},
+		}},
+		Routes: []RouteSpec{{From: "", To: []string{"w"}}},
+	}
+	c, g := testChain(t, ModeEvent, spec)
+	inst := c.Router().Instances("w")[0]
+
+	burst := func(n int) {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				g.Invoke(contextWithTimeout(t, 10*time.Second), "", []byte("x"))
+			}()
+		}
+		wg.Wait()
+	}
+	burst(6)
+	mu.Lock()
+	p1 := peak
+	peak = 0
+	mu.Unlock()
+	if p1 != 1 {
+		t.Fatalf("concurrency 1 must serialize, peak=%d", p1)
+	}
+
+	if err := inst.SetConcurrency(4); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Concurrency() != 4 {
+		t.Fatal("concurrency not updated")
+	}
+	burst(8)
+	mu.Lock()
+	p2 := peak
+	mu.Unlock()
+	if p2 < 2 {
+		t.Fatalf("after vertical scale-up, invocations must overlap; peak=%d", p2)
+	}
+	if err := inst.SetConcurrency(0); err == nil {
+		t.Fatal("non-positive concurrency must be rejected")
+	}
+	// chain still serves after resize
+	if _, err := g.Invoke(context.Background(), "", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package ebpf
+
+// Assembler helpers: thin constructors that make hand-written programs
+// (SPROXY, EPROXY, tests) readable. They mirror the clang/libbpf mnemonics.
+
+// Mov64Imm: dst = imm.
+func Mov64Imm(dst Register, imm int64) Insn { return Insn{Op: OpMovImm, Dst: dst, Imm: imm} }
+
+// Mov64Reg: dst = src.
+func Mov64Reg(dst, src Register) Insn { return Insn{Op: OpMovReg, Dst: dst, Src: src} }
+
+// Add64Imm: dst += imm.
+func Add64Imm(dst Register, imm int64) Insn { return Insn{Op: OpAddImm, Dst: dst, Imm: imm} }
+
+// Add64Reg: dst += src.
+func Add64Reg(dst, src Register) Insn { return Insn{Op: OpAddReg, Dst: dst, Src: src} }
+
+// Sub64Imm: dst -= imm.
+func Sub64Imm(dst Register, imm int64) Insn { return Insn{Op: OpSubImm, Dst: dst, Imm: imm} }
+
+// Mul64Imm: dst *= imm.
+func Mul64Imm(dst Register, imm int64) Insn { return Insn{Op: OpMulImm, Dst: dst, Imm: imm} }
+
+// And64Imm: dst &= imm.
+func And64Imm(dst Register, imm int64) Insn { return Insn{Op: OpAndImm, Dst: dst, Imm: imm} }
+
+// Or64Reg: dst |= src.
+func Or64Reg(dst, src Register) Insn { return Insn{Op: OpOrReg, Dst: dst, Src: src} }
+
+// Rsh64Imm: dst >>= imm (logical).
+func Rsh64Imm(dst Register, imm int64) Insn { return Insn{Op: OpRshImm, Dst: dst, Imm: imm} }
+
+// Lsh64Imm: dst <<= imm.
+func Lsh64Imm(dst Register, imm int64) Insn { return Insn{Op: OpLshImm, Dst: dst, Imm: imm} }
+
+// LoadMem: dst = *(size*)(src+off).
+func LoadMem(dst, src Register, off int16, size Size) Insn {
+	return Insn{Op: OpLoad, Dst: dst, Src: src, Off: off, Size: size}
+}
+
+// StoreMem: *(size*)(dst+off) = src.
+func StoreMem(dst Register, off int16, src Register, size Size) Insn {
+	return Insn{Op: OpStore, Dst: dst, Src: src, Off: off, Size: size}
+}
+
+// StoreImm: *(size*)(dst+off) = imm.
+func StoreImm(dst Register, off int16, imm int64, size Size) Insn {
+	return Insn{Op: OpStoreImm, Dst: dst, Off: off, Imm: imm, Size: size}
+}
+
+// AtomicAdd: lock *(size*)(dst+off) += src.
+func AtomicAdd(dst Register, off int16, src Register, size Size) Insn {
+	return Insn{Op: OpAtomicAdd, Dst: dst, Src: src, Off: off, Size: size}
+}
+
+// LoadMapFD: dst = handle of the map with file descriptor fd.
+func LoadMapFD(dst Register, fd int) Insn {
+	return Insn{Op: OpLoadMapFD, Dst: dst, Imm: int64(fd)}
+}
+
+// Ja: unconditional relative jump.
+func Ja(off int16) Insn { return Insn{Op: OpJa, Off: off} }
+
+// JeqImm: if dst == imm goto +off.
+func JeqImm(dst Register, imm int64, off int16) Insn {
+	return Insn{Op: OpJeqImm, Dst: dst, Imm: imm, Off: off}
+}
+
+// JneImm: if dst != imm goto +off.
+func JneImm(dst Register, imm int64, off int16) Insn {
+	return Insn{Op: OpJneImm, Dst: dst, Imm: imm, Off: off}
+}
+
+// JeqReg: if dst == src goto +off.
+func JeqReg(dst, src Register, off int16) Insn {
+	return Insn{Op: OpJeqReg, Dst: dst, Src: src, Off: off}
+}
+
+// JgtReg: if dst > src goto +off (unsigned).
+func JgtReg(dst, src Register, off int16) Insn {
+	return Insn{Op: OpJgtReg, Dst: dst, Src: src, Off: off}
+}
+
+// JgtImm: if dst > imm goto +off (unsigned).
+func JgtImm(dst Register, imm int64, off int16) Insn {
+	return Insn{Op: OpJgtImm, Dst: dst, Imm: imm, Off: off}
+}
+
+// JltImm: if dst < imm goto +off (unsigned).
+func JltImm(dst Register, imm int64, off int16) Insn {
+	return Insn{Op: OpJltImm, Dst: dst, Imm: imm, Off: off}
+}
+
+// JgeImm: if dst >= imm goto +off (unsigned).
+func JgeImm(dst Register, imm int64, off int16) Insn {
+	return Insn{Op: OpJgeImm, Dst: dst, Imm: imm, Off: off}
+}
+
+// Call invokes helper id.
+func Call(id HelperID) Insn { return Insn{Op: OpCall, Imm: int64(id)} }
+
+// Exit returns R0 to the hook.
+func Exit() Insn { return Insn{Op: OpExit} }

@@ -1,0 +1,87 @@
+package ebpf
+
+import "fmt"
+
+// Builder assembles programs with symbolic labels so jump displacements are
+// computed instead of hand-counted. Usage:
+//
+//	b := NewBuilder("sproxy", ProgTypeSKMsg)
+//	b.Ins(LoadMem(R6, R1, 0, DW))
+//	b.Jmp(JgtReg(R2, R7, 0), "drop")
+//	...
+//	b.Label("drop")
+//	b.Ins(Mov64Imm(R0, SKDrop), Exit())
+//	prog, err := b.Program()
+type Builder struct {
+	name  string
+	typ   ProgType
+	insns []Insn
+	// jumps to fix up: insn index -> label
+	fixups map[int]string
+	labels map[string]int
+	errs   []error
+}
+
+// NewBuilder starts a program.
+func NewBuilder(name string, typ ProgType) *Builder {
+	return &Builder{
+		name:   name,
+		typ:    typ,
+		fixups: make(map[int]string),
+		labels: make(map[string]int),
+	}
+}
+
+// Ins appends instructions verbatim.
+func (b *Builder) Ins(insns ...Insn) *Builder {
+	b.insns = append(b.insns, insns...)
+	return b
+}
+
+// Jmp appends a jump instruction whose target is the named label; the Off
+// field of in is ignored and resolved at Program() time.
+func (b *Builder) Jmp(in Insn, label string) *Builder {
+	if !in.Op.isJump() {
+		b.errs = append(b.errs, fmt.Errorf("ebpf: Jmp with non-jump op %d", in.Op))
+	}
+	b.fixups[len(b.insns)] = label
+	b.insns = append(b.insns, in)
+	return b
+}
+
+// Label marks the next instruction's position.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("ebpf: duplicate label %q", name))
+	}
+	b.labels[name] = len(b.insns)
+	return b
+}
+
+// Program resolves labels and returns the assembled program.
+func (b *Builder) Program() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	for idx, label := range b.fixups {
+		target, ok := b.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("ebpf: undefined label %q", label)
+		}
+		off := target - idx - 1
+		if off < -32768 || off > 32767 {
+			return nil, fmt.Errorf("ebpf: jump to %q out of int16 range", label)
+		}
+		b.insns[idx].Off = int16(off)
+	}
+	return &Program{Name: b.name, Type: b.typ, Insns: b.insns}, nil
+}
+
+// MustProgram is Program for statically known-good assembly.
+func (b *Builder) MustProgram() *Program {
+	p, err := b.Program()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,192 @@
+package ebpf
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Kernel wire format: every eBPF instruction encodes to the classic 8-byte
+// layout (opcode u8, dst:src packed u8, offset s16, immediate s32), with
+// ld_imm64-style wide instructions occupying two slots. This lets programs
+// round-trip through the same byte representation the kernel's
+// bpf(BPF_PROG_LOAD, ...) consumes, and gives tests a second, independent
+// representation to cross-check the in-memory form against.
+
+// InsnSize is the wire size of one instruction slot.
+const InsnSize = 8
+
+// Wire opcode construction, following include/uapi/linux/bpf.h.
+const (
+	classALU64 = 0x07
+	classJMP   = 0x05
+	classLDX   = 0x61 // base for sized loads (we store class+size resolved)
+	classSTX   = 0x63
+	classST    = 0x62
+	classXADD  = 0xdb // BPF_STX | BPF_DW | BPF_ATOMIC (simplified)
+)
+
+// wireOp maps our flattened Op to a (mostly) UAPI-faithful opcode byte.
+// ALU ops use BPF_ALU64 with the K/X source bit; jumps use BPF_JMP.
+var wireOp = map[Op]byte{
+	OpAddReg: 0x0f, OpAddImm: 0x07,
+	OpSubReg: 0x1f, OpSubImm: 0x17,
+	OpMulReg: 0x2f, OpMulImm: 0x27,
+	OpDivReg: 0x3f, OpDivImm: 0x37,
+	OpModReg: 0x9f, OpModImm: 0x97,
+	OpAndReg: 0x5f, OpAndImm: 0x57,
+	OpOrReg: 0x4f, OpOrImm: 0x47,
+	OpXorReg: 0xaf, OpXorImm: 0xa7,
+	OpLshReg: 0x6f, OpLshImm: 0x67,
+	OpRshReg: 0x7f, OpRshImm: 0x77,
+	OpArshReg: 0xcf, OpArshImm: 0xc7,
+	OpNeg:    0x87,
+	OpMovReg: 0xbf, OpMovImm: 0xb7,
+
+	OpJa:     0x05,
+	OpJeqReg: 0x1d, OpJeqImm: 0x15,
+	OpJneReg: 0x5d, OpJneImm: 0x55,
+	OpJgtReg: 0x2d, OpJgtImm: 0x25,
+	OpJgeReg: 0x3d, OpJgeImm: 0x35,
+	OpJltReg: 0xad, OpJltImm: 0xa5,
+	OpJleReg: 0xbd, OpJleImm: 0xb5,
+	OpJsgtReg: 0x6d, OpJsgtImm: 0x65,
+
+	OpCall: 0x85,
+	OpExit: 0x95,
+}
+
+// sized memory opcodes: BPF_LDX/STX/ST with the size bits.
+func memWireOp(op Op, size Size) (byte, error) {
+	var sizeBits byte
+	switch size {
+	case W:
+		sizeBits = 0x00
+	case H:
+		sizeBits = 0x08
+	case B:
+		sizeBits = 0x10
+	case DW:
+		sizeBits = 0x18
+	default:
+		return 0, fmt.Errorf("ebpf: bad size %d", size)
+	}
+	switch op {
+	case OpLoad:
+		return 0x61 | sizeBits, nil
+	case OpStore:
+		return 0x63 | sizeBits, nil
+	case OpStoreImm:
+		return 0x62 | sizeBits, nil
+	case OpAtomicAdd:
+		return 0xc3 | sizeBits, nil // BPF_STX|BPF_ATOMIC
+	default:
+		return 0, fmt.Errorf("ebpf: not a memory op: %d", op)
+	}
+}
+
+var wireOpRev map[byte]Op
+var memWireRev map[byte]struct {
+	op   Op
+	size Size
+}
+
+func init() {
+	wireOpRev = make(map[byte]Op, len(wireOp))
+	for op, b := range wireOp {
+		wireOpRev[b] = op
+	}
+	memWireRev = make(map[byte]struct {
+		op   Op
+		size Size
+	})
+	for _, op := range []Op{OpLoad, OpStore, OpStoreImm, OpAtomicAdd} {
+		for _, size := range []Size{B, H, W, DW} {
+			b, _ := memWireOp(op, size)
+			memWireRev[b] = struct {
+				op   Op
+				size Size
+			}{op, size}
+		}
+	}
+}
+
+// ldImm64Op is the wide load-map-fd pseudo instruction (BPF_LD|BPF_IMM|BPF_DW
+// with src=BPF_PSEUDO_MAP_FD).
+const ldImm64Op byte = 0x18
+const pseudoMapFD = 1
+
+// MarshalInsns encodes a program's instructions into kernel wire format.
+func MarshalInsns(insns []Insn) ([]byte, error) {
+	var out []byte
+	slot := make([]byte, InsnSize)
+	emit := func(opcode byte, dst, src Register, off int16, imm int32) {
+		slot[0] = opcode
+		slot[1] = byte(src)<<4 | byte(dst)
+		binary.LittleEndian.PutUint16(slot[2:4], uint16(off))
+		binary.LittleEndian.PutUint32(slot[4:8], uint32(imm))
+		out = append(out, slot...)
+	}
+	for i, in := range insns {
+		switch in.Op {
+		case OpLoadMapFD:
+			// wide instruction: two slots, imm split low/high
+			emit(ldImm64Op, in.Dst, pseudoMapFD, 0, int32(in.Imm))
+			emit(0, 0, 0, 0, int32(in.Imm>>32))
+		case OpLoad, OpStore, OpStoreImm, OpAtomicAdd:
+			opc, err := memWireOp(in.Op, in.Size)
+			if err != nil {
+				return nil, fmt.Errorf("insn %d: %w", i, err)
+			}
+			emit(opc, in.Dst, in.Src, in.Off, int32(in.Imm))
+		default:
+			opc, ok := wireOp[in.Op]
+			if !ok {
+				return nil, fmt.Errorf("ebpf: insn %d: unencodable op %d", i, in.Op)
+			}
+			emit(opc, in.Dst, in.Src, in.Off, int32(in.Imm))
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalInsns decodes kernel wire format back into instructions.
+func UnmarshalInsns(data []byte) ([]Insn, error) {
+	if len(data)%InsnSize != 0 {
+		return nil, fmt.Errorf("ebpf: wire length %d not a multiple of %d", len(data), InsnSize)
+	}
+	var out []Insn
+	for p := 0; p < len(data); p += InsnSize {
+		opcode := data[p]
+		dst := Register(data[p+1] & 0x0f)
+		src := Register(data[p+1] >> 4)
+		off := int16(binary.LittleEndian.Uint16(data[p+2 : p+4]))
+		imm := int32(binary.LittleEndian.Uint32(data[p+4 : p+8]))
+
+		if opcode == ldImm64Op {
+			if src != pseudoMapFD {
+				return nil, fmt.Errorf("ebpf: ld_imm64 at %d without map-fd pseudo src", p/InsnSize)
+			}
+			if p+2*InsnSize > len(data) {
+				return nil, fmt.Errorf("ebpf: truncated ld_imm64 at %d", p/InsnSize)
+			}
+			hi := int32(binary.LittleEndian.Uint32(data[p+InsnSize+4 : p+InsnSize+8]))
+			out = append(out, Insn{
+				Op:  OpLoadMapFD,
+				Dst: dst,
+				Imm: int64(hi)<<32 | int64(uint32(imm)),
+			})
+			p += InsnSize
+			continue
+		}
+		if m, ok := memWireRev[opcode]; ok {
+			out = append(out, Insn{Op: m.op, Dst: dst, Src: src, Off: off, Imm: int64(imm), Size: m.size})
+			continue
+		}
+		op, ok := wireOpRev[opcode]
+		if !ok {
+			return nil, fmt.Errorf("ebpf: unknown wire opcode %#02x at insn %d", opcode, p/InsnSize)
+		}
+		out = append(out, Insn{Op: op, Dst: dst, Src: src, Off: off, Imm: int64(imm)})
+	}
+	return out, nil
+}

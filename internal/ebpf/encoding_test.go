@@ -1,0 +1,163 @@
+package ebpf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestWireRoundTripSproxyProgram(t *testing.T) {
+	k := NewKernel()
+	sm, _ := k.CreateMap(MapSpec{Name: "s", Type: MapTypeSockMap, KeySize: 4, ValueSize: 4, MaxEntries: 4})
+	prog := sproxyTestProgram(sm.FD())
+	wire, err := MarshalInsns(prog.Insns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalInsns(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(prog.Insns) {
+		t.Fatalf("insn count %d != %d", len(got), len(prog.Insns))
+	}
+	for i := range got {
+		if got[i] != prog.Insns[i] {
+			t.Fatalf("insn %d mismatch: %+v != %+v", i, got[i], prog.Insns[i])
+		}
+	}
+}
+
+func TestWireRoundTripExecutesSame(t *testing.T) {
+	// decode(encode(p)) must behave identically when run.
+	k := NewKernel()
+	p := retProg(
+		Mov64Imm(R0, 0),
+		Mov64Imm(R2, 10),
+		Add64Reg(R0, R2),
+		Sub64Imm(R2, 1),
+		JneImm(R2, 0, -3),
+		Exit(),
+	)
+	wire, err := MarshalInsns(p.Insns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := UnmarshalInsns(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := loadAndRun(t, k, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := loadAndRun(t, NewKernel(), &Program{Name: "rt", Type: ProgTypeXDP, Insns: decoded}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Ret != rt.Ret {
+		t.Fatalf("round-tripped program returned %d, original %d", rt.Ret, orig.Ret)
+	}
+}
+
+func TestWireLdImm64TwoSlots(t *testing.T) {
+	k := NewKernel()
+	m, _ := k.CreateMap(MapSpec{Name: "m", Type: MapTypeArray, KeySize: 4, ValueSize: 8, MaxEntries: 1})
+	insns := []Insn{LoadMapFD(R1, m.FD()), Mov64Imm(R0, 0), Exit()}
+	wire, err := MarshalInsns(insns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != 4*InsnSize { // ld_imm64 occupies two slots
+		t.Fatalf("wire length %d, want %d", len(wire), 4*InsnSize)
+	}
+	got, err := UnmarshalInsns(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != insns[0] {
+		t.Fatalf("decoded %+v", got)
+	}
+}
+
+func TestWireRejectsBadInput(t *testing.T) {
+	if _, err := UnmarshalInsns(make([]byte, 7)); err == nil {
+		t.Fatal("non-multiple length must fail")
+	}
+	if _, err := UnmarshalInsns([]byte{0xFF, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("unknown opcode must fail")
+	}
+	// truncated ld_imm64: single slot only
+	one := []byte{ldImm64Op, 0x11, 0, 0, 1, 0, 0, 0}
+	if _, err := UnmarshalInsns(one); err == nil {
+		t.Fatal("truncated ld_imm64 must fail")
+	}
+}
+
+func TestWireEncodingUniqueOpcodes(t *testing.T) {
+	seen := map[byte]Op{}
+	for op, b := range wireOp {
+		if prev, dup := seen[b]; dup {
+			t.Fatalf("wire opcode %#02x assigned to both %d and %d", b, prev, op)
+		}
+		seen[b] = op
+	}
+}
+
+// Property: any structurally valid instruction sequence that encodes must
+// decode to exactly itself.
+func TestWireRoundTripProperty(t *testing.T) {
+	ops := []Op{OpAddImm, OpSubReg, OpMovImm, OpMovReg, OpJeqImm, OpCall, OpExit, OpLoad, OpStore}
+	sizes := []Size{B, H, W, DW}
+	f := func(raw []uint32) bool {
+		var insns []Insn
+		for _, r := range raw {
+			op := ops[int(r%uint32(len(ops)))]
+			in := Insn{
+				Op:  op,
+				Dst: Register(r % 10),
+				Src: Register((r >> 4) % 10),
+				Off: int16(r >> 8),
+				Imm: int64(int32(r)),
+			}
+			if op == OpCall {
+				in.Dst, in.Src, in.Off = 0, 0, 0
+				in.Imm = int64(HelperKtimeGetNs)
+			}
+			if op == OpLoad || op == OpStore {
+				in.Size = sizes[int(r>>2)%len(sizes)]
+				in.Imm = 0
+			}
+			if op.isJump() {
+				in.Imm = int64(int32(r % 1000))
+			}
+			insns = append(insns, in)
+		}
+		wire, err := MarshalInsns(insns)
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalInsns(wire)
+		if err != nil || len(got) != len(insns) {
+			return false
+		}
+		for i := range got {
+			if got[i] != insns[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireDeterministic(t *testing.T) {
+	p := retProg(Mov64Imm(R0, 1), Exit())
+	a, _ := MarshalInsns(p.Insns)
+	b, _ := MarshalInsns(p.Insns)
+	if !bytes.Equal(a, b) {
+		t.Fatal("encoding must be deterministic")
+	}
+}

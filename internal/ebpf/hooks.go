@@ -1,0 +1,142 @@
+package ebpf
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Hook points where programs attach. In the paper's design (§3.5, Fig. 7),
+// XDP programs sit on the physical NIC RX path, TC programs on the
+// host-side veth RX path, and SK_MSG programs on function sockets.
+type AttachPoint int
+
+// Attach points.
+const (
+	AttachXDP AttachPoint = iota
+	AttachTCIngress
+	AttachSKMsg
+)
+
+func (a AttachPoint) String() string {
+	switch a {
+	case AttachXDP:
+		return "xdp"
+	case AttachTCIngress:
+		return "tc-ingress"
+	case AttachSKMsg:
+		return "sk_msg"
+	default:
+		return fmt.Sprintf("attach(%d)", int(a))
+	}
+}
+
+// ErrTypeMismatch is returned when a program's type does not fit the hook.
+var ErrTypeMismatch = errors.New("ebpf: program type does not match attach point")
+
+// Link is an attached program; Close detaches it (like bpf_link).
+type Link struct {
+	hook *Hook
+	lp   *LoadedProgram
+	once sync.Once
+}
+
+// Program returns the attached program.
+func (l *Link) Program() *LoadedProgram { return l.lp }
+
+// Close detaches the program from its hook.
+func (l *Link) Close() {
+	l.once.Do(func() {
+		l.hook.mu.Lock()
+		defer l.hook.mu.Unlock()
+		for i, cand := range l.hook.links {
+			if cand == l {
+				l.hook.links = append(l.hook.links[:i], l.hook.links[i+1:]...)
+				break
+			}
+		}
+	})
+}
+
+// Hook is one attachment point instance (e.g. the XDP hook of one NIC, the
+// SK_MSG hook of one socket). Programs run in attach order until one
+// returns a non-pass verdict.
+type Hook struct {
+	point AttachPoint
+	kern  *Kernel
+
+	mu    sync.Mutex
+	links []*Link
+}
+
+// NewHook creates a hook of the given kind bound to a kernel.
+func NewHook(k *Kernel, point AttachPoint) *Hook {
+	return &Hook{point: point, kern: k}
+}
+
+// Point returns the hook's attach point kind.
+func (h *Hook) Point() AttachPoint { return h.point }
+
+// Attach verifies type compatibility and attaches the program.
+func (h *Hook) Attach(lp *LoadedProgram) (*Link, error) {
+	ok := false
+	switch h.point {
+	case AttachXDP:
+		ok = lp.Type() == ProgTypeXDP
+	case AttachTCIngress:
+		ok = lp.Type() == ProgTypeTC
+	case AttachSKMsg:
+		ok = lp.Type() == ProgTypeSKMsg
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %v program on %v hook", ErrTypeMismatch, lp.Type(), h.point)
+	}
+	l := &Link{hook: h, lp: lp}
+	h.mu.Lock()
+	h.links = append(h.links, l)
+	h.mu.Unlock()
+	return l, nil
+}
+
+// Attached returns the number of attached programs.
+func (h *Hook) Attached() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.links)
+}
+
+// passVerdict is the verdict that lets the next program run.
+func (h *Hook) passVerdict() int64 {
+	switch h.point {
+	case AttachXDP:
+		return XDPPass
+	case AttachTCIngress:
+		return TCActOK
+	default:
+		return SKPass
+	}
+}
+
+// Fire runs the attached programs over data. Programs run in order until
+// one returns a verdict other than pass; that result is returned. With no
+// programs attached, Fire returns the pass verdict (the event-driven
+// property: no attached program, no work).
+func (h *Hook) Fire(data []byte, ifindex uint32, env Env) (Result, error) {
+	h.mu.Lock()
+	links := make([]*Link, len(h.links))
+	copy(links, h.links)
+	h.mu.Unlock()
+
+	res := Result{Ret: h.passVerdict()}
+	for _, l := range links {
+		r, err := l.lp.kernel.Run(l.lp, data, ifindex, env)
+		if err != nil {
+			return r, fmt.Errorf("hook %v program %q: %w", h.point, l.lp.Name(), err)
+		}
+		if r.Ret != h.passVerdict() || r.RedirectSock != nil || r.HasIfRedir {
+			return r, nil
+		}
+		res = r
+	}
+	return res, nil
+}

@@ -1,0 +1,200 @@
+// Package ebpf implements the eBPF-like in-kernel virtual machine that
+// SPRIGHT's event-driven dataplane is built on: a register machine with a
+// static verifier, maps (array/hash/sockmap and friends), a helper-call
+// interface (map access, msg_redirect_map, fib_lookup, redirect, ...), and
+// kernel hook points (XDP, TC, SK_MSG).
+//
+// SPROXY and EPROXY (paper §3.2–§3.3, §3.5) are real programs assembled
+// against this ISA and executed by this interpreter — the event-driven
+// control flow of the paper (descriptor parse → sockmap lookup → in-kernel
+// redirect) runs as verified bytecode, not as native Go shortcuts.
+//
+// The ISA is a faithful subset of Linux eBPF: eleven 64-bit registers
+// (R0–R9 general purpose, R10 read-only frame pointer), ALU64, memory
+// (byte/half/word/dword), conditional jumps, helper calls and exit.
+package ebpf
+
+import "fmt"
+
+// Register names R0..R10.
+type Register uint8
+
+// The eBPF register file. R0 holds return values, R1–R5 carry helper
+// arguments, R6–R9 are callee-saved scratch, R10 is the frame pointer.
+const (
+	R0 Register = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	numRegisters
+)
+
+// Op is an operation code. The encoding is flattened (one constant per
+// operation+operand-form) rather than bit-packed; Size carries the memory
+// access width for load/store ops.
+type Op uint8
+
+const (
+	OpInvalid Op = iota
+
+	// ALU64, register and immediate forms.
+	OpAddReg
+	OpAddImm
+	OpSubReg
+	OpSubImm
+	OpMulReg
+	OpMulImm
+	OpDivReg
+	OpDivImm
+	OpModReg
+	OpModImm
+	OpAndReg
+	OpAndImm
+	OpOrReg
+	OpOrImm
+	OpXorReg
+	OpXorImm
+	OpLshReg
+	OpLshImm
+	OpRshReg
+	OpRshImm
+	OpArshReg
+	OpArshImm
+	OpNeg
+	OpMovReg
+	OpMovImm
+
+	// Memory. Off is the signed displacement from the base register.
+	OpLoad    // dst = *(size *)(src + off)
+	OpStore   // *(size *)(dst + off) = src
+	OpStoreImm // *(size *)(dst + off) = imm
+
+	// Pseudo-instruction: load a map handle into dst (ld_imm64 with a
+	// map fd in real eBPF). The verifier resolves Imm to a loaded map.
+	OpLoadMapFD
+
+	// Atomic add: *(size *)(dst + off) += src. Mirrors BPF_XADD, which
+	// the paper's metric-collection programs rely on.
+	OpAtomicAdd
+
+	// Jumps. Off is a relative instruction displacement.
+	OpJa
+	OpJeqReg
+	OpJeqImm
+	OpJneReg
+	OpJneImm
+	OpJgtReg
+	OpJgtImm
+	OpJgeReg
+	OpJgeImm
+	OpJltReg
+	OpJltImm
+	OpJleReg
+	OpJleImm
+	OpJsgtReg
+	OpJsgtImm
+
+	// Call a helper identified by Imm.
+	OpCall
+	// Exit: return R0.
+	OpExit
+)
+
+// Size is a memory access width.
+type Size uint8
+
+// Memory access widths.
+const (
+	B  Size = 1 // byte
+	H  Size = 2 // half word
+	W  Size = 4 // word
+	DW Size = 8 // double word
+)
+
+// Insn is one decoded instruction.
+type Insn struct {
+	Op   Op
+	Dst  Register
+	Src  Register
+	Off  int16
+	Imm  int64
+	Size Size
+}
+
+func (i Insn) String() string {
+	switch i.Op {
+	case OpMovImm:
+		return fmt.Sprintf("r%d = %d", i.Dst, i.Imm)
+	case OpMovReg:
+		return fmt.Sprintf("r%d = r%d", i.Dst, i.Src)
+	case OpLoad:
+		return fmt.Sprintf("r%d = *(u%d *)(r%d %+d)", i.Dst, i.Size*8, i.Src, i.Off)
+	case OpStore:
+		return fmt.Sprintf("*(u%d *)(r%d %+d) = r%d", i.Size*8, i.Dst, i.Off, i.Src)
+	case OpStoreImm:
+		return fmt.Sprintf("*(u%d *)(r%d %+d) = %d", i.Size*8, i.Dst, i.Off, i.Imm)
+	case OpAtomicAdd:
+		return fmt.Sprintf("lock *(u%d *)(r%d %+d) += r%d", i.Size*8, i.Dst, i.Off, i.Src)
+	case OpLoadMapFD:
+		return fmt.Sprintf("r%d = map_fd(%d)", i.Dst, i.Imm)
+	case OpCall:
+		return fmt.Sprintf("call %s", HelperID(i.Imm))
+	case OpExit:
+		return "exit"
+	case OpJa:
+		return fmt.Sprintf("goto %+d", i.Off)
+	default:
+		return fmt.Sprintf("op%d dst=r%d src=r%d off=%d imm=%d", i.Op, i.Dst, i.Src, i.Off, i.Imm)
+	}
+}
+
+// isJump reports whether the op transfers control via Off.
+func (o Op) isJump() bool {
+	switch o {
+	case OpJa, OpJeqReg, OpJeqImm, OpJneReg, OpJneImm, OpJgtReg, OpJgtImm,
+		OpJgeReg, OpJgeImm, OpJltReg, OpJltImm, OpJleReg, OpJleImm,
+		OpJsgtReg, OpJsgtImm:
+		return true
+	}
+	return false
+}
+
+// isConditional reports whether a jump can fall through.
+func (o Op) isConditional() bool { return o.isJump() && o != OpJa }
+
+// readsSrc reports whether the op reads its Src register.
+func (o Op) readsSrc() bool {
+	switch o {
+	case OpAddReg, OpSubReg, OpMulReg, OpDivReg, OpModReg, OpAndReg, OpOrReg,
+		OpXorReg, OpLshReg, OpRshReg, OpArshReg, OpMovReg, OpLoad, OpStore,
+		OpAtomicAdd, OpJeqReg, OpJneReg, OpJgtReg, OpJgeReg, OpJltReg,
+		OpJleReg, OpJsgtReg:
+		return true
+	}
+	return false
+}
+
+// readsDst reports whether the op reads its Dst register before writing.
+func (o Op) readsDst() bool {
+	switch o {
+	case OpMovReg, OpMovImm, OpLoad, OpLoadMapFD, OpCall, OpExit, OpJa:
+		return false
+	}
+	return true
+}
+
+// writesDst reports whether the op writes its Dst register.
+func (o Op) writesDst() bool {
+	switch o {
+	case OpStore, OpStoreImm, OpAtomicAdd, OpExit, OpCall:
+		return false
+	}
+	return !o.isJump()
+}

@@ -1,0 +1,301 @@
+package ebpf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// MapType enumerates the supported eBPF map types.
+type MapType int
+
+// Map types used by SPRIGHT: arrays and hashes for metrics and routing,
+// sockmaps for SPROXY's socket redirection, and a hash used as the
+// inter-function descriptor filter (§3.4).
+const (
+	MapTypeArray MapType = iota
+	MapTypeHash
+	MapTypeSockMap
+	MapTypePerCPUArray
+)
+
+func (t MapType) String() string {
+	switch t {
+	case MapTypeArray:
+		return "array"
+	case MapTypeHash:
+		return "hash"
+	case MapTypeSockMap:
+		return "sockmap"
+	case MapTypePerCPUArray:
+		return "percpu_array"
+	default:
+		return fmt.Sprintf("maptype(%d)", int(t))
+	}
+}
+
+// MapSpec declares a map before creation, mirroring struct bpf_map_def.
+type MapSpec struct {
+	Name       string
+	Type       MapType
+	KeySize    int
+	ValueSize  int
+	MaxEntries int
+}
+
+// Map errors.
+var (
+	ErrKeyNotFound = errors.New("ebpf: key not found")
+	ErrMapFull     = errors.New("ebpf: map full")
+	ErrBadKey      = errors.New("ebpf: bad key size")
+	ErrBadValue    = errors.New("ebpf: bad value size")
+)
+
+// Map is an in-"kernel" key/value store shared between programs and
+// userspace, the configurability mechanism of §3.1. All methods are safe
+// for concurrent use.
+type Map struct {
+	spec MapSpec
+	fd   int
+
+	mu      sync.RWMutex
+	array   [][]byte          // MapTypeArray / PerCPUArray backing
+	hash    map[string][]byte // MapTypeHash backing
+	sockets map[uint32]SockRef // MapTypeSockMap backing
+}
+
+// SockRef is a sockmap entry: the kernel-side reference to a socket that
+// msg_redirect_map can deliver to. Deliver must not block.
+type SockRef interface {
+	// DeliverDescriptor hands the redirected bytes to the socket's owner.
+	DeliverDescriptor(data []byte) error
+	// SockID identifies the socket (for tests and diagnostics).
+	SockID() uint32
+}
+
+func newMap(spec MapSpec, fd int) (*Map, error) {
+	if spec.KeySize <= 0 && spec.Type != MapTypeSockMap {
+		return nil, fmt.Errorf("ebpf: map %q: key size must be positive", spec.Name)
+	}
+	if spec.MaxEntries <= 0 {
+		return nil, fmt.Errorf("ebpf: map %q: max entries must be positive", spec.Name)
+	}
+	m := &Map{spec: spec, fd: fd}
+	switch spec.Type {
+	case MapTypeArray, MapTypePerCPUArray:
+		if spec.KeySize != 4 {
+			return nil, fmt.Errorf("ebpf: array map %q requires 4-byte keys", spec.Name)
+		}
+		m.array = make([][]byte, spec.MaxEntries)
+		for i := range m.array {
+			m.array[i] = make([]byte, spec.ValueSize)
+		}
+	case MapTypeHash:
+		m.hash = make(map[string][]byte)
+	case MapTypeSockMap:
+		m.sockets = make(map[uint32]SockRef)
+	default:
+		return nil, fmt.Errorf("ebpf: unsupported map type %v", spec.Type)
+	}
+	return m, nil
+}
+
+// FD returns the map's file descriptor (its handle in programs).
+func (m *Map) FD() int { return m.fd }
+
+// Spec returns the creation spec.
+func (m *Map) Spec() MapSpec { return m.spec }
+
+func (m *Map) arrayIndex(key []byte) (int, error) {
+	if len(key) != 4 {
+		return 0, ErrBadKey
+	}
+	idx := int(binary.LittleEndian.Uint32(key))
+	if idx < 0 || idx >= m.spec.MaxEntries {
+		return 0, ErrKeyNotFound
+	}
+	return idx, nil
+}
+
+// Lookup returns a copy of the value for key.
+func (m *Map) Lookup(key []byte) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	v, err := m.lookupRefLocked(key)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, nil
+}
+
+// lookupRefLocked returns the live value slice (programs write through it,
+// like the pointer bpf_map_lookup_elem returns in the kernel).
+func (m *Map) lookupRefLocked(key []byte) ([]byte, error) {
+	switch m.spec.Type {
+	case MapTypeArray, MapTypePerCPUArray:
+		idx, err := m.arrayIndex(key)
+		if err != nil {
+			return nil, err
+		}
+		return m.array[idx], nil
+	case MapTypeHash:
+		if len(key) != m.spec.KeySize {
+			return nil, ErrBadKey
+		}
+		v, ok := m.hash[string(key)]
+		if !ok {
+			return nil, ErrKeyNotFound
+		}
+		return v, nil
+	default:
+		return nil, fmt.Errorf("ebpf: lookup unsupported on %v map", m.spec.Type)
+	}
+}
+
+// LookupRef returns the live (aliased) value slice for in-place mutation.
+func (m *Map) LookupRef(key []byte) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.lookupRefLocked(key)
+}
+
+// Update inserts or replaces the value for key.
+func (m *Map) Update(key, value []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch m.spec.Type {
+	case MapTypeArray, MapTypePerCPUArray:
+		idx, err := m.arrayIndex(key)
+		if err != nil {
+			return err
+		}
+		if len(value) != m.spec.ValueSize {
+			return ErrBadValue
+		}
+		copy(m.array[idx], value)
+		return nil
+	case MapTypeHash:
+		if len(key) != m.spec.KeySize {
+			return ErrBadKey
+		}
+		if len(value) != m.spec.ValueSize {
+			return ErrBadValue
+		}
+		if _, ok := m.hash[string(key)]; !ok && len(m.hash) >= m.spec.MaxEntries {
+			return ErrMapFull
+		}
+		v := make([]byte, len(value))
+		copy(v, value)
+		m.hash[string(key)] = v
+		return nil
+	default:
+		return fmt.Errorf("ebpf: update unsupported on %v map", m.spec.Type)
+	}
+}
+
+// Delete removes key.
+func (m *Map) Delete(key []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch m.spec.Type {
+	case MapTypeHash:
+		if len(key) != m.spec.KeySize {
+			return ErrBadKey
+		}
+		if _, ok := m.hash[string(key)]; !ok {
+			return ErrKeyNotFound
+		}
+		delete(m.hash, string(key))
+		return nil
+	case MapTypeArray, MapTypePerCPUArray:
+		idx, err := m.arrayIndex(key)
+		if err != nil {
+			return err
+		}
+		for i := range m.array[idx] {
+			m.array[idx][i] = 0
+		}
+		return nil
+	case MapTypeSockMap:
+		if len(key) != 4 {
+			return ErrBadKey
+		}
+		k := binary.LittleEndian.Uint32(key)
+		if _, ok := m.sockets[k]; !ok {
+			return ErrKeyNotFound
+		}
+		delete(m.sockets, k)
+		return nil
+	default:
+		return fmt.Errorf("ebpf: delete unsupported on %v map", m.spec.Type)
+	}
+}
+
+// UpdateSock installs a socket reference under key (userspace control-plane
+// operation: the SPRIGHT gateway registers each new function instance's
+// socket here, §3.2.1).
+func (m *Map) UpdateSock(key uint32, s SockRef) error {
+	if m.spec.Type != MapTypeSockMap {
+		return fmt.Errorf("ebpf: UpdateSock on %v map", m.spec.Type)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.sockets[key]; !ok && len(m.sockets) >= m.spec.MaxEntries {
+		return ErrMapFull
+	}
+	m.sockets[key] = s
+	return nil
+}
+
+// LookupSock returns the socket registered under key.
+func (m *Map) LookupSock(key uint32) (SockRef, error) {
+	if m.spec.Type != MapTypeSockMap {
+		return nil, fmt.Errorf("ebpf: LookupSock on %v map", m.spec.Type)
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s, ok := m.sockets[key]
+	if !ok {
+		return nil, ErrKeyNotFound
+	}
+	return s, nil
+}
+
+// Entries returns the number of populated entries (hash and sockmap).
+func (m *Map) Entries() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	switch m.spec.Type {
+	case MapTypeHash:
+		return len(m.hash)
+	case MapTypeSockMap:
+		return len(m.sockets)
+	default:
+		return m.spec.MaxEntries
+	}
+}
+
+// U32Key encodes a uint32 map key.
+func U32Key(k uint32) []byte {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, k)
+	return b
+}
+
+// U64Value encodes a uint64 map value.
+func U64Value(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+// U64FromValue decodes a uint64 map value.
+func U64FromValue(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}

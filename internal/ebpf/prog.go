@@ -1,0 +1,215 @@
+package ebpf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// ProgType declares which hook a program may attach to, mirroring
+// bpf_prog_type.
+type ProgType int
+
+// Program types used by SPRIGHT.
+const (
+	ProgTypeXDP ProgType = iota
+	ProgTypeTC            // sched_cls
+	ProgTypeSKMsg         // sk_msg (the SPROXY program type)
+	ProgTypeSockOps
+)
+
+func (t ProgType) String() string {
+	switch t {
+	case ProgTypeXDP:
+		return "xdp"
+	case ProgTypeTC:
+		return "tc"
+	case ProgTypeSKMsg:
+		return "sk_msg"
+	case ProgTypeSockOps:
+		return "sock_ops"
+	default:
+		return fmt.Sprintf("progtype(%d)", int(t))
+	}
+}
+
+// XDP verdict codes (enum xdp_action).
+const (
+	XDPAborted  int64 = 0
+	XDPDrop     int64 = 1
+	XDPPass     int64 = 2
+	XDPTx       int64 = 3
+	XDPRedirect int64 = 4
+)
+
+// TC verdict codes (subset of tc actions).
+const (
+	TCActOK       int64 = 0
+	TCActShot     int64 = 2
+	TCActRedirect int64 = 7
+)
+
+// SK_MSG verdict codes.
+const (
+	SKDrop int64 = 0
+	SKPass int64 = 1
+)
+
+// Program is an unloaded program: a name, a type and its instructions.
+type Program struct {
+	Name  string
+	Type  ProgType
+	Insns []Insn
+}
+
+// LoadedProgram is a verified program resident in the kernel.
+type LoadedProgram struct {
+	prog   *Program
+	kernel *Kernel
+	fd     int
+}
+
+// FD returns the program's file descriptor.
+func (lp *LoadedProgram) FD() int { return lp.fd }
+
+// Name returns the program name.
+func (lp *LoadedProgram) Name() string { return lp.prog.Name }
+
+// Type returns the program type.
+func (lp *LoadedProgram) Type() ProgType { return lp.prog.Type }
+
+// Len returns the instruction count.
+func (lp *LoadedProgram) Len() int { return len(lp.prog.Insns) }
+
+// Kernel is the per-node eBPF subsystem: the registry of maps and loaded
+// programs plus the execution engine. One Kernel instance backs one
+// simulated worker node.
+type Kernel struct {
+	mu    sync.RWMutex
+	maps  map[int]*Map
+	progs map[int]*LoadedProgram
+	next  int
+
+	env Env
+
+	// stats
+	runs      uint64
+	insnTotal uint64
+}
+
+// NewKernel creates an empty eBPF subsystem with a null environment.
+func NewKernel() *Kernel {
+	return &Kernel{
+		maps:  make(map[int]*Map),
+		progs: make(map[int]*LoadedProgram),
+		next:  3, // fds 0-2 are taken, as on a real system
+		env:   nullEnv{},
+	}
+}
+
+// SetEnv installs the host environment used by helpers (time, FIB).
+func (k *Kernel) SetEnv(e Env) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if e == nil {
+		e = nullEnv{}
+	}
+	k.env = e
+}
+
+func (k *Kernel) currentEnv() Env {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.env
+}
+
+// CreateMap creates a map and assigns it a file descriptor.
+func (k *Kernel) CreateMap(spec MapSpec) (*Map, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	fd := k.next
+	m, err := newMap(spec, fd)
+	if err != nil {
+		return nil, err
+	}
+	k.next++
+	k.maps[fd] = m
+	return m, nil
+}
+
+func (k *Kernel) mapByFD(fd int) *Map {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.maps[fd]
+}
+
+// Load verifies a program and makes it executable.
+func (k *Kernel) Load(p *Program) (*LoadedProgram, error) {
+	if err := k.verify(p); err != nil {
+		return nil, fmt.Errorf("load %q: %w", p.Name, err)
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	lp := &LoadedProgram{prog: p, kernel: k, fd: k.next}
+	k.next++
+	k.progs[lp.fd] = lp
+	return lp, nil
+}
+
+// Stats reports cumulative execution statistics.
+func (k *Kernel) Stats() (runs, insns uint64) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.runs, k.insnTotal
+}
+
+func (k *Kernel) noteRun(insns int) {
+	k.mu.Lock()
+	k.runs++
+	k.insnTotal += uint64(insns)
+	k.mu.Unlock()
+}
+
+// ctx layouts. All context structs start with data/data_end pointers like
+// their kernel counterparts, so programs written against one hook parse
+// packet bounds identically.
+const (
+	ctxOffData    = 0  // u64: pointer to start of packet/message data
+	ctxOffDataEnd = 8  // u64: pointer past the end of data
+	ctxOffIfindex = 16 // u32: ingress ifindex (XDP/TC) or local sock id (SK_MSG)
+	ctxOffMark    = 20 // u32: mark (TC only)
+	ctxSize       = 24
+)
+
+// buildCtx assembles the context struct and address space for a run.
+func (k *Kernel) newExec(lp *LoadedProgram, data []byte, ifindex uint32, env Env) *execState {
+	st := &execState{kernel: k, prog: lp, env: env}
+	if env == nil {
+		st.env = k.currentEnv()
+	}
+
+	ctx := make([]byte, ctxSize)
+	binary.LittleEndian.PutUint64(ctx[ctxOffData:], packetBase)
+	binary.LittleEndian.PutUint64(ctx[ctxOffDataEnd:], packetBase+uint64(len(data)))
+	binary.LittleEndian.PutUint32(ctx[ctxOffIfindex:], ifindex)
+
+	stack := make([]byte, StackSize)
+	st.space.add(ctxBase, ctx, true)
+	st.space.add(packetBase, data, true)
+	st.space.add(stackBase, stack, true)
+
+	st.reg[R1] = ctxBase
+	st.reg[R10] = stackBase + StackSize
+	st.msgData = data
+	return st
+}
+
+// Run executes a loaded program over data (packet or message bytes) with
+// the given ingress ifindex. It is the common engine behind the hook
+// dispatchers in hooks.go.
+func (k *Kernel) Run(lp *LoadedProgram, data []byte, ifindex uint32, env Env) (Result, error) {
+	st := k.newExec(lp, data, ifindex, env)
+	res, err := st.run()
+	k.noteRun(res.Insns)
+	return res, err
+}

@@ -1,0 +1,220 @@
+package ebpf
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func mustReject(t *testing.T, k *Kernel, p *Program, substr string) {
+	t.Helper()
+	_, err := k.Load(p)
+	if err == nil {
+		t.Fatalf("verifier accepted bad program %q", p.Name)
+	}
+	if !errors.Is(err, ErrVerifier) {
+		t.Fatalf("want ErrVerifier, got %v", err)
+	}
+	if substr != "" && !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error %q does not mention %q", err, substr)
+	}
+}
+
+func TestVerifierRejectsEmptyProgram(t *testing.T) {
+	mustReject(t, NewKernel(), retProg(), "empty")
+}
+
+func TestVerifierRejectsOversizedProgram(t *testing.T) {
+	insns := make([]Insn, MaxProgInsns+1)
+	for i := range insns {
+		insns[i] = Mov64Imm(R0, 0)
+	}
+	insns[len(insns)-1] = Exit()
+	mustReject(t, NewKernel(), retProg(insns...), "too large")
+}
+
+func TestVerifierRejectsMissingExit(t *testing.T) {
+	mustReject(t, NewKernel(), retProg(Mov64Imm(R0, 1)), "falls off")
+}
+
+func TestVerifierRejectsJumpOutOfRange(t *testing.T) {
+	mustReject(t, NewKernel(), retProg(
+		Mov64Imm(R0, 0),
+		Ja(100),
+		Exit(),
+	), "jump target")
+	mustReject(t, NewKernel(), retProg(
+		Mov64Imm(R0, 0),
+		Ja(-100),
+		Exit(),
+	), "jump target")
+}
+
+func TestVerifierRejectsUninitializedRead(t *testing.T) {
+	mustReject(t, NewKernel(), retProg(
+		Mov64Reg(R0, R5), // r5 never written
+		Exit(),
+	), "uninitialized register r5")
+}
+
+func TestVerifierRejectsUninitializedR0AtExit(t *testing.T) {
+	mustReject(t, NewKernel(), retProg(Exit()), "uninitialized r0")
+}
+
+func TestVerifierRejectsWriteToR10(t *testing.T) {
+	mustReject(t, NewKernel(), retProg(
+		Mov64Imm(R10, 0),
+		Mov64Imm(R0, 0),
+		Exit(),
+	), "frame pointer")
+}
+
+func TestVerifierRejectsDivByZeroImmediate(t *testing.T) {
+	mustReject(t, NewKernel(), retProg(
+		Mov64Imm(R0, 1),
+		Insn{Op: OpDivImm, Dst: R0, Imm: 0},
+		Exit(),
+	), "division by zero")
+}
+
+func TestVerifierRejectsUnknownHelper(t *testing.T) {
+	mustReject(t, NewKernel(), retProg(
+		Call(HelperID(9999)),
+		Exit(),
+	), "unknown helper")
+}
+
+func TestVerifierRejectsUnknownMapFD(t *testing.T) {
+	mustReject(t, NewKernel(), retProg(
+		LoadMapFD(R1, 77),
+		Mov64Imm(R0, 0),
+		Exit(),
+	), "unknown map")
+}
+
+func TestVerifierRejectsBadRegister(t *testing.T) {
+	mustReject(t, NewKernel(), retProg(
+		Insn{Op: OpMovImm, Dst: Register(14)},
+		Exit(),
+	), "bad register")
+}
+
+func TestVerifierRejectsBadAccessSize(t *testing.T) {
+	mustReject(t, NewKernel(), retProg(
+		Mov64Imm(R0, 0),
+		Insn{Op: OpLoad, Dst: R0, Src: R10, Off: -8, Size: 3},
+		Exit(),
+	), "bad access size")
+}
+
+func TestVerifierRejectsClobberedHelperArgs(t *testing.T) {
+	// R1-R5 are dead after a call; reading R3 afterwards must fail.
+	k := NewKernel()
+	mustReject(t, k, retProg(
+		Call(HelperKtimeGetNs),
+		Mov64Reg(R0, R3),
+		Exit(),
+	), "uninitialized register r3")
+}
+
+func TestVerifierRejectsUninitializedHelperArg(t *testing.T) {
+	k := NewKernel()
+	m, err := k.CreateMap(MapSpec{Name: "m", Type: MapTypeArray, KeySize: 4, ValueSize: 8, MaxEntries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// map_lookup_elem needs r1 (map) and r2 (key ptr); r2 missing.
+	mustReject(t, k, retProg(
+		LoadMapFD(R1, m.FD()),
+		Call(HelperMapLookupElem),
+		Exit(),
+	), "needs initialized r2")
+}
+
+func TestVerifierAcceptsBranchJoinBothInitialized(t *testing.T) {
+	k := NewKernel()
+	p := retProg(
+		Mov64Imm(R2, 1),
+		JeqImm(R2, 1, 2),
+		Mov64Imm(R3, 10), // path A inits r3
+		Ja(1),
+		Mov64Imm(R3, 20), // path B inits r3
+		Mov64Reg(R0, R3), // join: r3 initialized on both paths
+		Exit(),
+	)
+	if _, err := k.Load(p); err != nil {
+		t.Fatalf("join-point program should verify: %v", err)
+	}
+}
+
+func TestVerifierRejectsBranchJoinPartialInit(t *testing.T) {
+	mustReject(t, NewKernel(), retProg(
+		Mov64Imm(R2, 1),
+		JeqImm(R2, 1, 1), // branch may skip the init
+		Mov64Imm(R3, 10), // only fall-through inits r3
+		Mov64Reg(R0, R3), // join: r3 not initialized on the branch path
+		Exit(),
+	), "uninitialized register r3")
+}
+
+func TestVerifierAcceptsR1AndR10AtEntry(t *testing.T) {
+	k := NewKernel()
+	p := retProg(
+		Mov64Reg(R0, R1), // ctx pointer is live at entry
+		Mov64Reg(R2, R10),
+		Add64Reg(R0, R2),
+		Exit(),
+	)
+	if _, err := k.Load(p); err != nil {
+		t.Fatalf("entry registers must be live: %v", err)
+	}
+}
+
+func TestVerifierAcceptsBackwardJumpWithExitPath(t *testing.T) {
+	k := NewKernel()
+	p := retProg(
+		Mov64Imm(R0, 0),
+		Mov64Imm(R2, 10),
+		Add64Imm(R0, 1),
+		Sub64Imm(R2, 1),
+		JneImm(R2, 0, -3),
+		Exit(),
+	)
+	if _, err := k.Load(p); err != nil {
+		t.Fatalf("bounded loop should verify: %v", err)
+	}
+}
+
+func TestVerifierDeadCodeAfterExitIgnored(t *testing.T) {
+	// Unreachable garbage after exit must not block loading (it is never
+	// reached, mirroring kernel behaviour for pruned paths)... except the
+	// structural pass still validates registers. Use valid-but-dead code.
+	k := NewKernel()
+	p := retProg(
+		Mov64Imm(R0, 1),
+		Exit(),
+		Mov64Imm(R0, 2),
+		Exit(),
+	)
+	if _, err := k.Load(p); err != nil {
+		t.Fatalf("dead code should not block load: %v", err)
+	}
+}
+
+func TestLoadAssignsDistinctFDs(t *testing.T) {
+	k := NewKernel()
+	a, err := k.Load(retProg(Mov64Imm(R0, 0), Exit()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := k.Load(retProg(Mov64Imm(R0, 1), Exit()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FD() == b.FD() {
+		t.Fatal("programs must get distinct fds")
+	}
+	if a.FD() < 3 {
+		t.Fatal("fds 0-2 are reserved")
+	}
+}

@@ -1,0 +1,342 @@
+package ebpf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// atomicMu serializes OpAtomicAdd read-modify-write sequences across
+// concurrent program executions — the interpreter's stand-in for the LOCK
+// prefix BPF_XADD compiles to. Map values are shared memory between runs,
+// so without this two concurrent counters could lose increments.
+var atomicMu sync.Mutex
+
+// StackSize is the per-invocation stack available through R10, matching the
+// kernel's 512-byte eBPF stack.
+const StackSize = 512
+
+// MaxRuntimeInsns is the dynamic instruction budget per program run — the
+// runtime analog of the kernel verifier's one-million-instruction
+// complexity limit.
+const MaxRuntimeInsns = 1 << 20
+
+// Virtual address-space layout. Regions never overlap: the context struct,
+// packet data, stack and map values each live under a distinct base.
+const (
+	ctxBase    uint64 = 0x0000_1000_0000_0000
+	packetBase uint64 = 0x0000_2000_0000_0000
+	stackBase  uint64 = 0x0000_7ff0_0000_0000
+	mapValBase uint64 = 0x0000_4000_0000_0000
+	mapValStep uint64 = 0x0000_0000_0001_0000
+
+	// map handles returned by OpLoadMapFD are tagged so that helpers can
+	// tell them apart from pointers.
+	mapHandleTag uint64 = 0xEB9F_0000_0000_0000
+)
+
+// Runtime errors.
+var (
+	ErrOutOfBounds  = errors.New("ebpf: memory access out of bounds")
+	ErrBudget       = errors.New("ebpf: instruction budget exceeded")
+	ErrDivByZero    = errors.New("ebpf: division by zero")
+	ErrBadMapHandle = errors.New("ebpf: register does not hold a map handle")
+)
+
+type region struct {
+	base     uint64
+	data     []byte
+	writable bool
+}
+
+type addrSpace struct {
+	regions []region
+	nextMap uint64
+}
+
+func (a *addrSpace) add(base uint64, data []byte, writable bool) {
+	a.regions = append(a.regions, region{base: base, data: data, writable: writable})
+}
+
+// mapValue maps a live map-value slice into the address space, returning
+// its virtual address (what bpf_map_lookup_elem hands back).
+func (a *addrSpace) mapValue(data []byte) uint64 {
+	base := mapValBase + a.nextMap*mapValStep
+	a.nextMap++
+	a.add(base, data, true)
+	return base
+}
+
+func (a *addrSpace) access(addr uint64, size int, write bool) ([]byte, error) {
+	for i := range a.regions {
+		r := &a.regions[i]
+		if addr >= r.base && addr+uint64(size) <= r.base+uint64(len(r.data)) {
+			if write && !r.writable {
+				return nil, fmt.Errorf("%w: write to read-only region at %#x", ErrOutOfBounds, addr)
+			}
+			off := addr - r.base
+			return r.data[off : off+uint64(size)], nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %d bytes at %#x", ErrOutOfBounds, size, addr)
+}
+
+// Env is the host environment visible to helpers. Hooks provide an Env when
+// running programs; a nil Env yields zero time and an empty FIB.
+type Env interface {
+	// Now returns kernel monotonic time in nanoseconds (bpf_ktime_get_ns).
+	Now() int64
+	// FIBLookup resolves a destination address to an egress interface
+	// index (bpf_fib_lookup). ok is false when no route exists.
+	FIBLookup(daddr uint32, ingressIf uint32) (egressIf uint32, ok bool)
+}
+
+type nullEnv struct{}
+
+func (nullEnv) Now() int64                            { return 0 }
+func (nullEnv) FIBLookup(uint32, uint32) (uint32, bool) { return 0, false }
+
+// Result is the outcome of one program execution.
+type Result struct {
+	Ret   int64 // R0 at exit (the verdict)
+	Insns int   // dynamic instructions executed
+
+	// RedirectIf is set when bpf_redirect chose an egress interface.
+	RedirectIf uint32
+	HasIfRedir bool
+
+	// RedirectSock is set when bpf_msg_redirect_map selected a socket.
+	RedirectSock SockRef
+
+	// FIBHit reports whether a fib_lookup succeeded during the run.
+	FIBHit bool
+}
+
+type execState struct {
+	kernel *Kernel
+	prog   *LoadedProgram
+	env    Env
+	space  addrSpace
+	reg    [numRegisters]uint64
+	res    Result
+
+	// msgData is the SK_MSG payload (for msg_redirect_map delivery).
+	msgData []byte
+}
+
+func loadUint(b []byte, size Size) uint64 {
+	switch size {
+	case B:
+		return uint64(b[0])
+	case H:
+		return uint64(binary.LittleEndian.Uint16(b))
+	case W:
+		return uint64(binary.LittleEndian.Uint32(b))
+	default:
+		return binary.LittleEndian.Uint64(b)
+	}
+}
+
+func storeUint(b []byte, size Size, v uint64) {
+	switch size {
+	case B:
+		b[0] = byte(v)
+	case H:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	case W:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(b, v)
+	}
+}
+
+// run interprets the program until exit, error, or budget exhaustion.
+func (st *execState) run() (Result, error) {
+	insns := st.prog.prog.Insns
+	pc := 0
+	for {
+		if st.res.Insns >= MaxRuntimeInsns {
+			return st.res, ErrBudget
+		}
+		if pc < 0 || pc >= len(insns) {
+			return st.res, fmt.Errorf("ebpf: pc %d out of program bounds", pc)
+		}
+		in := insns[pc]
+		st.res.Insns++
+		switch in.Op {
+		case OpMovImm:
+			st.reg[in.Dst] = uint64(in.Imm)
+		case OpMovReg:
+			st.reg[in.Dst] = st.reg[in.Src]
+		case OpAddImm:
+			st.reg[in.Dst] += uint64(in.Imm)
+		case OpAddReg:
+			st.reg[in.Dst] += st.reg[in.Src]
+		case OpSubImm:
+			st.reg[in.Dst] -= uint64(in.Imm)
+		case OpSubReg:
+			st.reg[in.Dst] -= st.reg[in.Src]
+		case OpMulImm:
+			st.reg[in.Dst] *= uint64(in.Imm)
+		case OpMulReg:
+			st.reg[in.Dst] *= st.reg[in.Src]
+		case OpDivImm:
+			st.reg[in.Dst] /= uint64(in.Imm) // imm==0 rejected by verifier
+		case OpDivReg:
+			if st.reg[in.Src] == 0 {
+				return st.res, ErrDivByZero
+			}
+			st.reg[in.Dst] /= st.reg[in.Src]
+		case OpModImm:
+			st.reg[in.Dst] %= uint64(in.Imm)
+		case OpModReg:
+			if st.reg[in.Src] == 0 {
+				return st.res, ErrDivByZero
+			}
+			st.reg[in.Dst] %= st.reg[in.Src]
+		case OpAndImm:
+			st.reg[in.Dst] &= uint64(in.Imm)
+		case OpAndReg:
+			st.reg[in.Dst] &= st.reg[in.Src]
+		case OpOrImm:
+			st.reg[in.Dst] |= uint64(in.Imm)
+		case OpOrReg:
+			st.reg[in.Dst] |= st.reg[in.Src]
+		case OpXorImm:
+			st.reg[in.Dst] ^= uint64(in.Imm)
+		case OpXorReg:
+			st.reg[in.Dst] ^= st.reg[in.Src]
+		case OpLshImm:
+			st.reg[in.Dst] <<= uint64(in.Imm) & 63
+		case OpLshReg:
+			st.reg[in.Dst] <<= st.reg[in.Src] & 63
+		case OpRshImm:
+			st.reg[in.Dst] >>= uint64(in.Imm) & 63
+		case OpRshReg:
+			st.reg[in.Dst] >>= st.reg[in.Src] & 63
+		case OpArshImm:
+			st.reg[in.Dst] = uint64(int64(st.reg[in.Dst]) >> (uint64(in.Imm) & 63))
+		case OpArshReg:
+			st.reg[in.Dst] = uint64(int64(st.reg[in.Dst]) >> (st.reg[in.Src] & 63))
+		case OpNeg:
+			st.reg[in.Dst] = uint64(-int64(st.reg[in.Dst]))
+
+		case OpLoad:
+			b, err := st.space.access(st.reg[in.Src]+uint64(int64(in.Off)), int(in.Size), false)
+			if err != nil {
+				return st.res, err
+			}
+			st.reg[in.Dst] = loadUint(b, in.Size)
+		case OpStore:
+			b, err := st.space.access(st.reg[in.Dst]+uint64(int64(in.Off)), int(in.Size), true)
+			if err != nil {
+				return st.res, err
+			}
+			storeUint(b, in.Size, st.reg[in.Src])
+		case OpStoreImm:
+			b, err := st.space.access(st.reg[in.Dst]+uint64(int64(in.Off)), int(in.Size), true)
+			if err != nil {
+				return st.res, err
+			}
+			storeUint(b, in.Size, uint64(in.Imm))
+		case OpAtomicAdd:
+			b, err := st.space.access(st.reg[in.Dst]+uint64(int64(in.Off)), int(in.Size), true)
+			if err != nil {
+				return st.res, err
+			}
+			atomicMu.Lock()
+			storeUint(b, in.Size, loadUint(b, in.Size)+st.reg[in.Src])
+			atomicMu.Unlock()
+
+		case OpLoadMapFD:
+			st.reg[in.Dst] = mapHandleTag | uint64(uint32(in.Imm))
+
+		case OpJa:
+			pc += int(in.Off)
+		case OpJeqImm:
+			if st.reg[in.Dst] == uint64(in.Imm) {
+				pc += int(in.Off)
+			}
+		case OpJeqReg:
+			if st.reg[in.Dst] == st.reg[in.Src] {
+				pc += int(in.Off)
+			}
+		case OpJneImm:
+			if st.reg[in.Dst] != uint64(in.Imm) {
+				pc += int(in.Off)
+			}
+		case OpJneReg:
+			if st.reg[in.Dst] != st.reg[in.Src] {
+				pc += int(in.Off)
+			}
+		case OpJgtImm:
+			if st.reg[in.Dst] > uint64(in.Imm) {
+				pc += int(in.Off)
+			}
+		case OpJgtReg:
+			if st.reg[in.Dst] > st.reg[in.Src] {
+				pc += int(in.Off)
+			}
+		case OpJgeImm:
+			if st.reg[in.Dst] >= uint64(in.Imm) {
+				pc += int(in.Off)
+			}
+		case OpJgeReg:
+			if st.reg[in.Dst] >= st.reg[in.Src] {
+				pc += int(in.Off)
+			}
+		case OpJltImm:
+			if st.reg[in.Dst] < uint64(in.Imm) {
+				pc += int(in.Off)
+			}
+		case OpJltReg:
+			if st.reg[in.Dst] < st.reg[in.Src] {
+				pc += int(in.Off)
+			}
+		case OpJleImm:
+			if st.reg[in.Dst] <= uint64(in.Imm) {
+				pc += int(in.Off)
+			}
+		case OpJleReg:
+			if st.reg[in.Dst] <= st.reg[in.Src] {
+				pc += int(in.Off)
+			}
+		case OpJsgtImm:
+			if int64(st.reg[in.Dst]) > in.Imm {
+				pc += int(in.Off)
+			}
+		case OpJsgtReg:
+			if int64(st.reg[in.Dst]) > int64(st.reg[in.Src]) {
+				pc += int(in.Off)
+			}
+
+		case OpCall:
+			if err := st.call(HelperID(in.Imm)); err != nil {
+				return st.res, err
+			}
+		case OpExit:
+			st.res.Ret = int64(st.reg[R0])
+			return st.res, nil
+		default:
+			return st.res, fmt.Errorf("ebpf: invalid opcode %d at pc %d", in.Op, pc)
+		}
+		pc++
+	}
+}
+
+// mapFromHandle resolves a tagged map handle in a register.
+func (st *execState) mapFromHandle(v uint64) (*Map, error) {
+	if v&mapHandleTag != mapHandleTag {
+		return nil, ErrBadMapHandle
+	}
+	m := st.kernel.mapByFD(int(uint32(v)))
+	if m == nil {
+		return nil, fmt.Errorf("ebpf: no map with fd %d", uint32(v))
+	}
+	return m, nil
+}
+
+func (st *execState) readMem(addr uint64, n int) ([]byte, error) {
+	return st.space.access(addr, n, false)
+}

@@ -1,0 +1,281 @@
+package ebpf
+
+import (
+	"errors"
+	"testing"
+)
+
+// loadAndRun is a test convenience: load prog in k and run over data.
+func loadAndRun(t *testing.T, k *Kernel, p *Program, data []byte) (Result, error) {
+	t.Helper()
+	lp, err := k.Load(p)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return k.Run(lp, data, 0, nil)
+}
+
+func retProg(insns ...Insn) *Program {
+	return &Program{Name: "test", Type: ProgTypeXDP, Insns: insns}
+}
+
+func TestVMMovAndExit(t *testing.T) {
+	k := NewKernel()
+	res, err := loadAndRun(t, k, retProg(Mov64Imm(R0, 42), Exit()), nil)
+	if err != nil || res.Ret != 42 {
+		t.Fatalf("got %d, %v; want 42", res.Ret, err)
+	}
+}
+
+func TestVMArithmetic(t *testing.T) {
+	cases := []struct {
+		name string
+		body []Insn
+		want int64
+	}{
+		{"add", []Insn{Mov64Imm(R0, 40), Add64Imm(R0, 2)}, 42},
+		{"add-reg", []Insn{Mov64Imm(R0, 40), Mov64Imm(R1, 2), Add64Reg(R0, R1)}, 42},
+		{"sub", []Insn{Mov64Imm(R0, 50), Sub64Imm(R0, 8)}, 42},
+		{"mul", []Insn{Mov64Imm(R0, 21), Mul64Imm(R0, 2)}, 42},
+		{"div", []Insn{Mov64Imm(R0, 84), {Op: OpDivImm, Dst: R0, Imm: 2}}, 42},
+		{"mod", []Insn{Mov64Imm(R0, 142), {Op: OpModImm, Dst: R0, Imm: 100}}, 42},
+		{"and", []Insn{Mov64Imm(R0, 0xff), And64Imm(R0, 0x2a)}, 42},
+		{"or", []Insn{Mov64Imm(R0, 0x20), {Op: OpOrImm, Dst: R0, Imm: 0x0a}}, 42},
+		{"xor", []Insn{Mov64Imm(R0, 0x6b), {Op: OpXorImm, Dst: R0, Imm: 0x41}}, 42},
+		{"lsh", []Insn{Mov64Imm(R0, 21), Lsh64Imm(R0, 1)}, 42},
+		{"rsh", []Insn{Mov64Imm(R0, 84), Rsh64Imm(R0, 1)}, 42},
+		{"arsh", []Insn{Mov64Imm(R0, -84), {Op: OpArshImm, Dst: R0, Imm: 1}}, -42},
+		{"neg", []Insn{Mov64Imm(R0, -42), {Op: OpNeg, Dst: R0}}, 42},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			k := NewKernel()
+			res, err := loadAndRun(t, k, retProg(append(c.body, Exit())...), nil)
+			if err != nil || res.Ret != c.want {
+				t.Fatalf("got %d, %v; want %d", res.Ret, err, c.want)
+			}
+		})
+	}
+}
+
+func TestVMConditionalJumps(t *testing.T) {
+	// if r1(ctx ptr) != 0 then 1 else 2 — via a jump over an assignment.
+	k := NewKernel()
+	p := retProg(
+		Mov64Imm(R0, 1),
+		Mov64Imm(R2, 10),
+		JgtImm(R2, 5, 1), // skip next insn
+		Mov64Imm(R0, 2),
+		Exit(),
+	)
+	res, err := loadAndRun(t, k, p, nil)
+	if err != nil || res.Ret != 1 {
+		t.Fatalf("taken branch: got %d, %v", res.Ret, err)
+	}
+
+	p2 := retProg(
+		Mov64Imm(R0, 1),
+		Mov64Imm(R2, 3),
+		JgtImm(R2, 5, 1),
+		Mov64Imm(R0, 2),
+		Exit(),
+	)
+	res, err = loadAndRun(t, NewKernel(), p2, nil)
+	if err != nil || res.Ret != 2 {
+		t.Fatalf("fall-through branch: got %d, %v", res.Ret, err)
+	}
+}
+
+func TestVMBoundedLoop(t *testing.T) {
+	// r0 = sum(1..10) using a backward jump (verifier allows; runtime
+	// budget bounds it).
+	k := NewKernel()
+	p := retProg(
+		Mov64Imm(R0, 0),
+		Mov64Imm(R2, 10),
+		// loop: r0 += r2; r2 -= 1; if r2 != 0 goto loop
+		Add64Reg(R0, R2),
+		Sub64Imm(R2, 1),
+		JneImm(R2, 0, -3),
+		Exit(),
+	)
+	res, err := loadAndRun(t, k, p, nil)
+	if err != nil || res.Ret != 55 {
+		t.Fatalf("got %d, %v; want 55", res.Ret, err)
+	}
+}
+
+func TestVMInfiniteLoopHitsBudget(t *testing.T) {
+	k := NewKernel()
+	// JeqImm always takes the backward branch at runtime, but the
+	// verifier sees a reachable exit on the fall-through path.
+	p := retProg(
+		Mov64Imm(R0, 0),
+		JeqImm(R0, 0, -2), // target = pc+1-2 = 0: spins forever
+		Exit(),
+	)
+	_, err := loadAndRun(t, k, p, nil)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+}
+
+func TestVMDivByZeroRegister(t *testing.T) {
+	k := NewKernel()
+	p := retProg(
+		Mov64Imm(R0, 10),
+		Mov64Imm(R2, 0),
+		Insn{Op: OpDivReg, Dst: R0, Src: R2},
+		Exit(),
+	)
+	_, err := loadAndRun(t, k, p, nil)
+	if !errors.Is(err, ErrDivByZero) {
+		t.Fatalf("want ErrDivByZero, got %v", err)
+	}
+}
+
+func TestVMStackReadWrite(t *testing.T) {
+	k := NewKernel()
+	p := retProg(
+		Mov64Imm(R2, 0x1234),
+		StoreMem(R10, -8, R2, DW),
+		LoadMem(R0, R10, -8, DW),
+		Exit(),
+	)
+	res, err := loadAndRun(t, k, p, nil)
+	if err != nil || res.Ret != 0x1234 {
+		t.Fatalf("got %#x, %v", res.Ret, err)
+	}
+}
+
+func TestVMStackOverflowCaught(t *testing.T) {
+	k := NewKernel()
+	p := retProg(
+		Mov64Imm(R2, 1),
+		StoreMem(R10, -(StackSize + 8), R2, DW),
+		Mov64Imm(R0, 0),
+		Exit(),
+	)
+	_, err := loadAndRun(t, k, p, nil)
+	if !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("want ErrOutOfBounds, got %v", err)
+	}
+}
+
+func TestVMStackOverrunAboveFP(t *testing.T) {
+	k := NewKernel()
+	p := retProg(
+		Mov64Imm(R2, 1),
+		StoreMem(R10, 0, R2, DW), // at/above fp is out of the stack region
+		Mov64Imm(R0, 0),
+		Exit(),
+	)
+	if _, err := loadAndRun(t, k, p, nil); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("want ErrOutOfBounds, got %v", err)
+	}
+}
+
+func TestVMPacketAccessViaCtx(t *testing.T) {
+	// Read first byte of the packet through the ctx data pointer, with a
+	// proper bounds check against data_end.
+	k := NewKernel()
+	p := retProg(
+		LoadMem(R2, R1, ctxOffData, DW),    // r2 = data
+		LoadMem(R3, R1, ctxOffDataEnd, DW), // r3 = data_end
+		Mov64Reg(R4, R2),
+		Add64Imm(R4, 1),
+		JgtReg(R4, R3, 2), // if data+1 > data_end: out of bounds -> ret 0
+		LoadMem(R0, R2, 0, B),
+		Exit(),
+		Mov64Imm(R0, 0),
+		Exit(),
+	)
+	res, err := loadAndRun(t, k, p, []byte{0x7f, 0x02})
+	if err != nil || res.Ret != 0x7f {
+		t.Fatalf("got %#x, %v; want 0x7f", res.Ret, err)
+	}
+	// empty packet takes the bounds-check branch
+	res, err = loadAndRun(t, NewKernel(), p, nil)
+	if err != nil || res.Ret != 0 {
+		t.Fatalf("empty packet: got %d, %v; want 0", res.Ret, err)
+	}
+}
+
+func TestVMPacketOutOfBoundsRead(t *testing.T) {
+	k := NewKernel()
+	p := retProg(
+		LoadMem(R2, R1, ctxOffData, DW),
+		LoadMem(R0, R2, 100, DW), // way past a 2-byte packet
+		Exit(),
+	)
+	if _, err := loadAndRun(t, k, p, []byte{1, 2}); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("want ErrOutOfBounds, got %v", err)
+	}
+}
+
+func TestVMCtxWritable(t *testing.T) {
+	// TC programs may write the mark field.
+	k := NewKernel()
+	p := &Program{Name: "mark", Type: ProgTypeTC, Insns: []Insn{
+		StoreImm(R1, ctxOffMark, 7, W),
+		LoadMem(R0, R1, ctxOffMark, W),
+		Exit(),
+	}}
+	lp, err := k.Load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := k.Run(lp, nil, 0, nil)
+	if err != nil || res.Ret != 7 {
+		t.Fatalf("got %d, %v", res.Ret, err)
+	}
+}
+
+func TestVMIfindexInCtx(t *testing.T) {
+	k := NewKernel()
+	p := retProg(
+		LoadMem(R0, R1, ctxOffIfindex, W),
+		Exit(),
+	)
+	lp, err := k.Load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := k.Run(lp, nil, 17, nil)
+	if err != nil || res.Ret != 17 {
+		t.Fatalf("ifindex: got %d, %v; want 17", res.Ret, err)
+	}
+}
+
+func TestVMAtomicAdd(t *testing.T) {
+	k := NewKernel()
+	p := retProg(
+		Mov64Imm(R2, 5),
+		StoreMem(R10, -8, R2, DW),
+		Mov64Imm(R3, 37),
+		AtomicAdd(R10, -8, R3, DW),
+		LoadMem(R0, R10, -8, DW),
+		Exit(),
+	)
+	res, err := loadAndRun(t, k, p, nil)
+	if err != nil || res.Ret != 42 {
+		t.Fatalf("got %d, %v; want 42", res.Ret, err)
+	}
+}
+
+func TestKernelStatsAccumulate(t *testing.T) {
+	k := NewKernel()
+	lp, err := k.Load(retProg(Mov64Imm(R0, 0), Exit()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := k.Run(lp, nil, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runs, insns := k.Stats()
+	if runs != 3 || insns != 6 {
+		t.Fatalf("stats runs=%d insns=%d, want 3,6", runs, insns)
+	}
+}

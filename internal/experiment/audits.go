@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"github.com/spright-go/spright/internal/cost"
+	"github.com/spright-go/spright/internal/platform"
+)
+
+// auditRows renders an AuditResult in the paper's table layout.
+func auditRows(rb *reportBuilder, r platform.AuditResult, prefix string) {
+	type row struct {
+		name string
+		get  func(cost.Audit) int
+	}
+	rows := []row{
+		{"# of copies", func(a cost.Audit) int { return a.Copies }},
+		{"# of context switches", func(a cost.Audit) int { return a.CtxSwitches }},
+		{"# of interrupts", func(a cost.Audit) int { return a.Interrupts }},
+		{"# of protocol processing tasks", func(a cost.Audit) int { return a.ProtoTasks }},
+		{"# of serialization", func(a cost.Audit) int { return a.Serialize }},
+		{"# of deserialization", func(a cost.Audit) int { return a.Deserialize }},
+	}
+	rb.printf("%-32s", "Data Pipeline No.")
+	for _, s := range r.Steps {
+		rb.printf("%4s", s.Label)
+	}
+	rb.printf("  ext within total\n")
+	for _, row := range rows {
+		rb.printf("%-32s", row.name)
+		for _, s := range r.Steps {
+			rb.printf("%4d", row.get(s.Audit))
+		}
+		rb.printf("  %3d %6d %5d\n", row.get(r.External), row.get(r.Within), row.get(r.Total))
+		rb.set(prefix+"_"+shortName(row.name), float64(row.get(r.Total)))
+	}
+}
+
+func shortName(n string) string {
+	switch n {
+	case "# of copies":
+		return "copies"
+	case "# of context switches":
+		return "ctx"
+	case "# of interrupts":
+		return "intr"
+	case "# of protocol processing tasks":
+		return "proto"
+	case "# of serialization":
+		return "ser"
+	case "# of deserialization":
+		return "deser"
+	}
+	return n
+}
+
+// Table1 reproduces the Knative audit of a '1 broker/front-end + 2
+// functions' chain.
+func Table1() *Report {
+	rb := newReport()
+	r := platform.KnativeAudit(2, 100)
+	rb.printf("Per-request Knative overhead audit, '1 broker/front-end + 2 functions' chain\n")
+	auditRows(rb, r, "kn")
+	rb.printf("\nwithin-chain share: copies %.0f%%, protocol tasks %.0f%%\n",
+		100*r.WithinShare(func(a cost.Audit) int { return a.Copies }),
+		100*r.WithinShare(func(a cost.Audit) int { return a.ProtoTasks }))
+	return rb.done("table1", "Table 1")
+}
+
+// Table2 reproduces the SPRIGHT audit, with the Knative totals for
+// comparison (the paper's last column).
+func Table2() *Report {
+	rb := newReport()
+	sp := platform.SprightAudit(2, 100)
+	kn := platform.KnativeAudit(2, 100)
+	rb.printf("Per-request SPRIGHT overhead audit, '1 broker/front-end + 2 functions' chain\n")
+	auditRows(rb, sp, "sp")
+	rb.printf("\n%-32s %8s %8s\n", "Total comparison", "SPRIGHT", "Knative")
+	rb.printf("%-32s %8d %8d\n", "copies", sp.Total.Copies, kn.Total.Copies)
+	rb.printf("%-32s %8d %8d\n", "context switches", sp.Total.CtxSwitches, kn.Total.CtxSwitches)
+	rb.printf("%-32s %8d %8d\n", "interrupts", sp.Total.Interrupts, kn.Total.Interrupts)
+	rb.printf("%-32s %8d %8d\n", "protocol tasks", sp.Total.ProtoTasks, kn.Total.ProtoTasks)
+	rb.printf("%-32s %8d %8d\n", "serializations", sp.Total.Serialize, kn.Total.Serialize)
+	rb.printf("%-32s %8d %8d\n", "deserializations", sp.Total.Deserialize, kn.Total.Deserialize)
+	rb.set("kn_copies", float64(kn.Total.Copies))
+	return rb.done("table2", "Table 2")
+}
+
+// ChainScaling regenerates the §2 linear-growth claim: within-chain
+// overheads per request as the chain lengthens, Knative vs SPRIGHT.
+func ChainScaling() *Report {
+	rb := newReport()
+	m := cost.DefaultModel()
+	rb.printf("%6s %18s %18s %14s %14s\n", "nFns", "Kn within-copies", "SPRIGHT copies", "Kn cycles", "SPRIGHT cycles")
+	for n := 1; n <= 8; n++ {
+		kn := platform.KnativeAudit(n, 100)
+		sp := platform.SprightAudit(n, 100)
+		rb.printf("%6d %18d %18d %14.0f %14.0f\n",
+			n, kn.Within.Copies, sp.Within.Copies, m.Cycles(kn.Total), m.Cycles(sp.Total))
+		if n == 8 {
+			rb.set("kn8_copies", float64(kn.Within.Copies))
+			rb.set("sp8_copies", float64(sp.Within.Copies))
+			rb.set("kn8_cycles", m.Cycles(kn.Total))
+			rb.set("sp8_cycles", m.Cycles(sp.Total))
+		}
+	}
+	return rb.done("scaling", "Chain-length scaling")
+}

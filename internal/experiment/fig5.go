@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"github.com/spright-go/spright/internal/metrics"
+	"github.com/spright-go/spright/internal/platform"
+	"github.com/spright-go/spright/internal/sim"
+)
+
+// fig5 configuration: a 2-function chain, gateway/front-end on 2 dedicated
+// cores, ab-style closed loop on a second node (§3.2.2).
+var fig5Seq = []int{1, 2}
+
+func fig5Spright(v platform.SprightVariant) platform.SprightParams {
+	return platform.SprightParams{
+		Variant:       v,
+		GatewayCycles: 30e3,
+		AppCycles:     platform.ConstFnCost(40e3),
+		Concurrency:   32,
+	}
+}
+
+func fig5Run(mk func(eng *sim.Engine) platform.Pipeline, conc int, dur sim.Time) *platform.Result {
+	eng := sim.NewEngine()
+	p := mk(eng)
+	return platform.RunClosedLoop(eng, p, platform.RunOptions{
+		Concurrency: conc,
+		Duration:    dur,
+		Seq:         fig5Seq,
+		Seed:        7,
+	})
+}
+
+// Fig5 reproduces the D-/S-SPRIGHT vs Knative comparison: RPS and latency
+// across the concurrency sweep, and per-component CPU usage.
+func Fig5() *Report {
+	rb := newReport()
+	dur := sim.Time(10e9)
+	mkS := func(eng *sim.Engine) platform.Pipeline {
+		return platform.NewSpright("fig5", eng, platform.DefaultConfig(), fig5Seq, fig5Spright(platform.SVariant))
+	}
+	mkD := func(eng *sim.Engine) platform.Pipeline {
+		return platform.NewSpright("fig5", eng, platform.DefaultConfig(), fig5Seq, fig5Spright(platform.DVariant))
+	}
+	mkK := func(eng *sim.Engine) platform.Pipeline {
+		return platform.NewKnative("fig5", eng, platform.DefaultConfig(), fig5Seq, platform.DefaultKnativeFig5())
+	}
+
+	rb.printf("(a) RPS and average latency vs closed-loop concurrency\n")
+	rb.printf("%6s | %9s %9s %9s | %9s %9s %9s\n",
+		"conc", "D-RPS", "S-RPS", "Kn-RPS", "D-lat(ms)", "S-lat(ms)", "Kn-lat(ms)")
+	for _, conc := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512} {
+		d := fig5Run(mkD, conc, dur)
+		s := fig5Run(mkS, conc, dur)
+		k := fig5Run(mkK, conc, dur)
+		rps := func(r *platform.Result) float64 { return float64(r.Completed) / dur.Seconds() }
+		rb.printf("%6d | %9.0f %9.0f %9.0f | %9.3f %9.3f %9.3f\n",
+			conc, rps(d), rps(s), rps(k),
+			d.Latency.Mean()*1e3, s.Latency.Mean()*1e3, k.Latency.Mean()*1e3)
+		if conc == 32 {
+			rb.set("d_rps_32", rps(d))
+			rb.set("s_rps_32", rps(s))
+			rb.set("kn_rps_32", rps(k))
+			rb.set("d_lat_ms_32", d.Latency.Mean()*1e3)
+			rb.set("s_lat_ms_32", s.Latency.Mean()*1e3)
+			rb.set("kn_lat_ms_32", k.Latency.Mean()*1e3)
+		}
+	}
+
+	rb.printf("\n(b,c) CPU usage (%% of one core) vs concurrency\n")
+	rb.printf("%6s | %8s %8s | %8s %8s | %8s %8s %8s\n",
+		"conc", "D-GW", "D-SFs", "S-GW", "S-SFs", "Kn-GW", "Kn-QPs", "Kn-SFs")
+	for _, conc := range []int{1, 2, 4, 8, 16, 32} {
+		d := fig5Run(mkD, conc, dur)
+		s := fig5Run(mkS, conc, dur)
+		k := fig5Run(mkK, conc, dur)
+		rb.printf("%6d | %8.0f %8.0f | %8.0f %8.0f | %8.0f %8.0f %8.0f\n",
+			conc,
+			d.MeanCPU("GW")*100, d.MeanCPU("SFs")*100,
+			s.MeanCPU("GW")*100, s.MeanCPU("SFs")*100,
+			k.MeanCPU("GW")*100, k.MeanCPU("QPs")*100, k.MeanCPU("SFs")*100)
+		if conc == 1 {
+			rb.set("s_cpu_1", s.TotalMeanCPU()*100)
+			rb.set("d_cpu_1", d.TotalMeanCPU()*100)
+			rb.set("kn_cpu_1", (k.MeanCPU("GW")+k.MeanCPU("QPs")+k.MeanCPU("SFs"))*100)
+		}
+		if conc == 32 {
+			rb.set("s_cpu_32", s.TotalMeanCPU()*100)
+			rb.set("d_cpu_32", d.TotalMeanCPU()*100)
+			rb.set("kn_cpu_32", (k.MeanCPU("GW")+k.MeanCPU("QPs")+k.MeanCPU("SFs"))*100)
+		}
+	}
+	// 10 repetitions at concurrency 32 with a 99% CI, as the paper's
+	// experiment methodology prescribes ("results from 10 repetitions...
+	// 99% confidence interval").
+	rb.printf("\n10-repetition RPS at concurrency 32 (mean ± 99%% CI):\n")
+	type mkFn struct {
+		name string
+		mk   func(eng *sim.Engine) platform.Pipeline
+	}
+	for _, m := range []mkFn{{"D-SPRIGHT", mkD}, {"S-SPRIGHT", mkS}, {"Knative", mkK}} {
+		var samples []float64
+		for rep := 0; rep < 10; rep++ {
+			eng := sim.NewEngine()
+			p := m.mk(eng)
+			res := platform.RunClosedLoop(eng, p, platform.RunOptions{
+				Concurrency: 32,
+				Duration:    sim.Time(5e9),
+				Seq:         fig5Seq,
+				Seed:        uint64(100 + rep),
+				// small client-side jitter so repetitions differ, as
+				// real ab runs do
+				Think: func(r *sim.Rand) sim.Time { return sim.Time(r.Exp(20e3)) },
+			})
+			samples = append(samples, float64(res.Completed)/5.0)
+		}
+		mean, hw := metrics.ConfidenceInterval99(samples)
+		rb.printf("  %-10s %9.0f ± %.0f RPS\n", m.name, mean, hw)
+		rb.set("ci_"+m.name, hw)
+	}
+
+	rb.printf("\npaper check: S≈D in RPS (D ≲1.2x), both ≫ Kn (~5x); S CPU ≪ D CPU (polling);\n")
+	rb.printf("S-SPRIGHT idle CPU is zero — pollers burn %d cores regardless of load.\n", 4)
+	return rb.done("fig5", "Fig. 5")
+}

@@ -1,0 +1,231 @@
+// Package grpcbase implements the paper's "gRPC mode" baseline (§4.1) as
+// real code: functions run as servers behind in-memory connections
+// (net.Pipe) and call each other directly with gRPC-style length-prefixed
+// frames. Unlike SPRIGHT's zero-copy descriptor passing, every hop here
+// pays real serialization, a real copy onto the connection, and a real
+// copy + deserialization on the other side — the costs Takeaway #3
+// quantifies. The root benchmark harness races this baseline against the
+// SPRIGHT dataplane on identical workloads.
+package grpcbase
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/spright-go/spright/internal/proto"
+)
+
+// Handler is a gRPC-mode function: it receives the request message bytes
+// and returns response bytes (synchronous request/response, the model
+// SPRIGHT's §3.8 porting rules decompose).
+type Handler func(method string, req []byte) ([]byte, error)
+
+// Server hosts one function behind a listener-less in-memory transport.
+type Server struct {
+	name    string
+	handler Handler
+
+	mu     sync.Mutex
+	conns  []net.Conn
+	closed bool
+	wg     sync.WaitGroup
+
+	served sync.Map // method -> *uint64 (rough call counts)
+}
+
+// NewServer starts a function server.
+func NewServer(name string, h Handler) *Server {
+	return &Server{name: name, handler: h}
+}
+
+// Name returns the function name.
+func (s *Server) Name() string { return s.name }
+
+// Dial creates a client connection to the server over an in-memory pipe
+// and starts the server-side loop for it.
+func (s *Server) Dial() (*ClientConn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("grpcbase: server closed")
+	}
+	c, srv := net.Pipe()
+	s.conns = append(s.conns, srv)
+	s.wg.Add(1)
+	go s.serve(srv)
+	return &ClientConn{conn: c}, nil
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		method, msg, err := proto.UnmarshalGRPC(frame)
+		if err != nil {
+			writeFrame(conn, proto.MarshalGRPC("error", []byte(err.Error())))
+			continue
+		}
+		resp, err := s.handler(method, msg)
+		if err != nil {
+			writeFrame(conn, proto.MarshalGRPC("error", []byte(err.Error())))
+			continue
+		}
+		if err := writeFrame(conn, proto.MarshalGRPC(method, resp)); err != nil {
+			return
+		}
+	}
+}
+
+// Close shuts the server down, terminating all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	conns := s.conns
+	s.conns = nil
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+// ClientConn is a client handle to one function server.
+type ClientConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Call performs one synchronous RPC: serialize, write, read, deserialize.
+func (c *ClientConn) Call(method string, req []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, proto.MarshalGRPC(method, req)); err != nil {
+		return nil, err
+	}
+	frame, err := readFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	m, msg, err := proto.UnmarshalGRPC(frame)
+	if err != nil {
+		return nil, err
+	}
+	if m == "error" {
+		return nil, fmt.Errorf("grpcbase: remote error: %s", msg)
+	}
+	return msg, nil
+}
+
+// Close closes the client side.
+func (c *ClientConn) Close() { c.conn.Close() }
+
+// frame transport: u32 length prefix + body (HTTP/2 DATA stand-in).
+func writeFrame(w io.Writer, body []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > 64<<20 {
+		return nil, fmt.Errorf("grpcbase: frame too large: %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// Mesh wires a set of function servers into a directly-callable service
+// mesh: every function can call every other (the "server-full" topology).
+type Mesh struct {
+	mu      sync.Mutex
+	servers map[string]*Server
+	conns   map[string]*ClientConn // one pooled conn per destination
+}
+
+// NewMesh returns an empty mesh.
+func NewMesh() *Mesh {
+	return &Mesh{servers: make(map[string]*Server), conns: make(map[string]*ClientConn)}
+}
+
+// Register adds a function server to the mesh.
+func (m *Mesh) Register(s *Server) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.servers[s.Name()]; dup {
+		return fmt.Errorf("grpcbase: duplicate server %q", s.Name())
+	}
+	m.servers[s.Name()] = s
+	return nil
+}
+
+// Call invokes function fn with the given method and message, dialing (and
+// pooling) a connection on first use.
+func (m *Mesh) Call(fn, method string, req []byte) ([]byte, error) {
+	m.mu.Lock()
+	conn, ok := m.conns[fn]
+	if !ok {
+		s, exists := m.servers[fn]
+		if !exists {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("grpcbase: unknown function %q", fn)
+		}
+		var err error
+		conn, err = s.Dial()
+		if err != nil {
+			m.mu.Unlock()
+			return nil, err
+		}
+		m.conns[fn] = conn
+	}
+	m.mu.Unlock()
+	return conn.Call(method, req)
+}
+
+// CallChain performs the sequential chain fn1 → fn2 → … with the client
+// mediating every hop — the direct-call pipeline of §4.2.1, where each hop
+// costs a full serialize/copy/deserialize round trip.
+func (m *Mesh) CallChain(fns []string, method string, req []byte) ([]byte, error) {
+	cur := req
+	for _, fn := range fns {
+		out, err := m.Call(fn, method, cur)
+		if err != nil {
+			return nil, fmt.Errorf("chain hop %q: %w", fn, err)
+		}
+		cur = out
+	}
+	return cur, nil
+}
+
+// Close tears down all connections and servers.
+func (m *Mesh) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.conns {
+		c.Close()
+	}
+	for _, s := range m.servers {
+		s.Close()
+	}
+	m.conns = map[string]*ClientConn{}
+	m.servers = map[string]*Server{}
+}

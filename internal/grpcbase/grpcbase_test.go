@@ -1,0 +1,138 @@
+package grpcbase
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func echoUpper(_ string, req []byte) ([]byte, error) {
+	out := make([]byte, len(req))
+	for i, b := range req {
+		if b >= 'a' && b <= 'z' {
+			b -= 32
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+func TestServerCall(t *testing.T) {
+	s := NewServer("upper", echoUpper)
+	defer s.Close()
+	conn, err := s.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	out, err := conn.Call("/svc/Do", []byte("hello"))
+	if err != nil || string(out) != "HELLO" {
+		t.Fatalf("got %q, %v", out, err)
+	}
+}
+
+func TestServerHandlerError(t *testing.T) {
+	s := NewServer("bad", func(string, []byte) ([]byte, error) {
+		return nil, errBoom
+	})
+	defer s.Close()
+	conn, _ := s.Dial()
+	defer conn.Close()
+	if _, err := conn.Call("/x", []byte("a")); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("want remote error, got %v", err)
+	}
+	// connection stays usable after an application error
+	s2 := NewServer("ok", echoUpper)
+	defer s2.Close()
+	c2, _ := s2.Dial()
+	if _, err := c2.Call("/x", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var errBoom = &boomErr{}
+
+type boomErr struct{}
+
+func (*boomErr) Error() string { return "boom" }
+
+func TestServerClosedRejectsDial(t *testing.T) {
+	s := NewServer("x", echoUpper)
+	s.Close()
+	if _, err := s.Dial(); err == nil {
+		t.Fatal("dial after close must fail")
+	}
+}
+
+func TestMeshChain(t *testing.T) {
+	m := NewMesh()
+	defer m.Close()
+	append1 := func(tag string) Handler {
+		return func(_ string, req []byte) ([]byte, error) {
+			return append(append([]byte{}, req...), []byte(tag)...), nil
+		}
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		if err := m.Register(NewServer(name, append1(">"+name))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := m.CallChain([]string{"a", "b", "c"}, "/m", []byte("in"))
+	if err != nil || string(out) != "in>a>b>c" {
+		t.Fatalf("got %q, %v", out, err)
+	}
+}
+
+func TestMeshUnknownFunction(t *testing.T) {
+	m := NewMesh()
+	defer m.Close()
+	if _, err := m.Call("ghost", "/m", nil); err == nil {
+		t.Fatal("unknown function must fail")
+	}
+	if _, err := m.CallChain([]string{"ghost"}, "/m", nil); err == nil {
+		t.Fatal("chain through unknown function must fail")
+	}
+}
+
+func TestMeshDuplicateRegistration(t *testing.T) {
+	m := NewMesh()
+	defer m.Close()
+	m.Register(NewServer("a", echoUpper))
+	if err := m.Register(NewServer("a", echoUpper)); err == nil {
+		t.Fatal("duplicate must fail")
+	}
+}
+
+func TestMeshConcurrentCalls(t *testing.T) {
+	m := NewMesh()
+	defer m.Close()
+	m.Register(NewServer("f", echoUpper))
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				out, err := m.Call("f", "/m", []byte("xyz"))
+				if err != nil || !bytes.Equal(out, []byte("XYZ")) {
+					t.Errorf("call failed: %q %v", out, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestLargePayloadFraming(t *testing.T) {
+	s := NewServer("big", func(_ string, req []byte) ([]byte, error) { return req, nil })
+	defer s.Close()
+	conn, _ := s.Dial()
+	defer conn.Close()
+	payload := bytes.Repeat([]byte{0xAB}, 1<<20)
+	out, err := conn.Call("/m", payload)
+	if err != nil || !bytes.Equal(out, payload) {
+		t.Fatalf("1MB round trip failed: %v", err)
+	}
+}

@@ -1,0 +1,215 @@
+// Package metrics provides the measurement toolkit for the evaluation:
+// log-bucketed latency histograms with percentile/CDF extraction, time
+// series for RPS and CPU usage, and confidence intervals across repeated
+// runs (the paper reports 99% CIs over 10 repetitions).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a log-bucketed histogram of non-negative values (latencies
+// in seconds, sizes in bytes, ...). Buckets grow geometrically, giving
+// ~1.5% relative error over nine decades, HDR-histogram style. The zero
+// value is not ready; use NewHistogram.
+type Histogram struct {
+	buckets []uint64
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+
+	base  float64 // smallest representable value
+	ratio float64 // bucket growth factor
+}
+
+// NewHistogram creates a histogram covering [1e-9, ~1e3) seconds.
+func NewHistogram() *Histogram {
+	return &Histogram{
+		buckets: make([]uint64, 2048),
+		base:    1e-9,
+		ratio:   1.0138, // 2048 buckets span ~12 decades
+		min:     math.Inf(1),
+		max:     math.Inf(-1),
+	}
+}
+
+func (h *Histogram) bucketOf(v float64) int {
+	if v <= h.base {
+		return 0
+	}
+	b := int(math.Log(v/h.base) / math.Log(h.ratio))
+	if b >= len(h.buckets) {
+		b = len(h.buckets) - 1
+	}
+	return b
+}
+
+// bucketValue returns the representative (upper-edge) value of bucket i.
+func (h *Histogram) bucketValue(i int) float64 {
+	return h.base * math.Pow(h.ratio, float64(i+1))
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (h *Histogram) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[h.bucketOf(v)]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min and Max return observed extremes (0 when empty).
+func (h *Histogram) Min() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) with bucket resolution.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			v := h.bucketValue(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// CDF returns (value, fraction) points for plotting, one per non-empty
+// bucket.
+func (h *Histogram) CDF() []CDFPoint {
+	var out []CDFPoint
+	var cum uint64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		out = append(out, CDFPoint{Value: h.bucketValue(i), Fraction: float64(cum) / float64(h.count)})
+	}
+	return out
+}
+
+// CDFPoint is one point of a cumulative distribution.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// Merge adds other's observations into h (same geometry required).
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.count > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// Summary formats mean/p95/p99 in milliseconds for report rows.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("mean=%.2fms p95=%.2fms p99=%.2fms n=%d",
+		h.Mean()*1e3, h.Quantile(0.95)*1e3, h.Quantile(0.99)*1e3, h.count)
+}
+
+// ConfidenceInterval99 returns the half-width of the 99% CI of the mean of
+// xs using the normal approximation (z = 2.576), as the paper reports over
+// its 10 repetitions.
+func ConfidenceInterval99(xs []float64) (mean, halfWidth float64) {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	if n < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / (n - 1))
+	return mean, 2.576 * sd / math.Sqrt(n)
+}
+
+// Percentiles is a convenience for sorting raw samples and reading exact
+// (non-bucketed) percentiles in tests.
+func Percentiles(xs []float64, qs ...float64) []float64 {
+	if len(xs) == 0 {
+		return make([]float64, len(qs))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		idx := int(math.Ceil(q*float64(len(s)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(s) {
+			idx = len(s) - 1
+		}
+		out[i] = s[idx]
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasicStats(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []float64{0.001, 0.002, 0.003, 0.004, 0.005} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if m := h.Mean(); math.Abs(m-0.003) > 1e-9 {
+		t.Fatalf("mean %v", m)
+	}
+	if h.Min() != 0.001 || h.Max() != 0.005 {
+		t.Fatalf("min/max %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	// 1000 values uniform on (0, 1] seconds
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got := h.Quantile(q)
+		if rel := math.Abs(got-q) / q; rel > 0.03 {
+			t.Errorf("q%.2f: got %v (rel err %.3f)", q, got, rel)
+		}
+	}
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Fatal("extreme quantiles must be min/max")
+	}
+}
+
+func TestHistogramEmptySafe(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	if h.CDF() != nil {
+		t.Fatal("empty CDF must be nil")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-5)
+	if h.Min() != 0 {
+		t.Fatal("negative observation must clamp to 0")
+	}
+}
+
+func TestHistogramCDFMonotone(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i%10+1) * 0.01)
+	}
+	cdf := h.CDF()
+	if len(cdf) == 0 {
+		t.Fatal("no CDF points")
+	}
+	prevV, prevF := 0.0, 0.0
+	for _, p := range cdf {
+		if p.Value <= prevV || p.Fraction < prevF {
+			t.Fatalf("CDF not monotone at %+v", p)
+		}
+		prevV, prevF = p.Value, p.Fraction
+	}
+	if last := cdf[len(cdf)-1].Fraction; math.Abs(last-1.0) > 1e-12 {
+		t.Fatalf("CDF must end at 1.0, got %v", last)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Observe(0.001)
+	b.Observe(0.1)
+	a.Merge(b)
+	if a.Count() != 2 || a.Max() != 0.1 || a.Min() != 0.001 {
+		t.Fatalf("merge wrong: %s", a.Summary())
+	}
+}
+
+func TestHistogramQuantileWithinBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, r := range raw {
+			h.Observe(float64(r) / 1000)
+		}
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+			v := h.Quantile(q)
+			if v < h.Min() || v > h.Max() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfidenceInterval(t *testing.T) {
+	mean, hw := ConfidenceInterval99([]float64{10, 10, 10, 10})
+	if mean != 10 || hw != 0 {
+		t.Fatalf("constant data: mean=%v hw=%v", mean, hw)
+	}
+	mean, hw = ConfidenceInterval99([]float64{9, 11})
+	if mean != 10 || hw <= 0 {
+		t.Fatalf("spread data: mean=%v hw=%v", mean, hw)
+	}
+	if m, h := ConfidenceInterval99(nil); m != 0 || h != 0 {
+		t.Fatal("empty input must be zero")
+	}
+	if m, h := ConfidenceInterval99([]float64{5}); m != 5 || h != 0 {
+		t.Fatal("single sample must have zero width")
+	}
+}
+
+func TestPercentilesExact(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	ps := Percentiles(xs, 0.2, 0.5, 1.0)
+	if ps[0] != 1 || ps[1] != 3 || ps[2] != 5 {
+		t.Fatalf("got %v", ps)
+	}
+	// input must not be mutated
+	if xs[0] != 5 {
+		t.Fatal("Percentiles mutated its input")
+	}
+	if out := Percentiles(nil, 0.5); out[0] != 0 {
+		t.Fatal("empty input must yield zeros")
+	}
+}
+
+func TestTimeSeriesRate(t *testing.T) {
+	ts := NewTimeSeries(1.0, ModeRate)
+	// 10 requests in second 0, 20 in second 2
+	for i := 0; i < 10; i++ {
+		ts.Observe(0.5, 1)
+	}
+	for i := 0; i < 20; i++ {
+		ts.Observe(2.5, 1)
+	}
+	pts := ts.Points()
+	if len(pts) != 3 {
+		t.Fatalf("points %d want 3", len(pts))
+	}
+	if pts[0].V != 10 || pts[1].V != 0 || pts[2].V != 20 {
+		t.Fatalf("rates %v", pts)
+	}
+}
+
+func TestTimeSeriesMean(t *testing.T) {
+	ts := NewTimeSeries(1.0, ModeMean)
+	ts.Observe(0.1, 2)
+	ts.Observe(0.9, 4)
+	pts := ts.Points()
+	if pts[0].V != 3 {
+		t.Fatalf("mean bucket %v want 3", pts[0].V)
+	}
+}
+
+func TestTimeSeriesNegativeTimeIgnored(t *testing.T) {
+	ts := NewTimeSeries(1.0, ModeRate)
+	ts.Observe(-1, 1)
+	if len(ts.Points()) != 0 {
+		t.Fatal("negative time must be ignored")
+	}
+}
+
+func TestTimeSeriesMeanSkipsEmptyBuckets(t *testing.T) {
+	ts := NewTimeSeries(1.0, ModeMean)
+	ts.Observe(0.5, 10)
+	ts.Observe(5.5, 20)
+	if m := ts.Mean(); m != 15 {
+		t.Fatalf("mean %v want 15 (empty buckets skipped)", m)
+	}
+}
+
+func TestTimeSeriesMaxAndSparkline(t *testing.T) {
+	ts := NewTimeSeries(1.0, ModeRate)
+	ts.Observe(0.5, 1)
+	ts.Observe(1.5, 1)
+	ts.Observe(1.6, 1)
+	if ts.Max() != 2 {
+		t.Fatalf("max %v", ts.Max())
+	}
+	if s := ts.Sparkline(10); s == "" {
+		t.Fatal("sparkline empty")
+	}
+	empty := NewTimeSeries(1.0, ModeRate)
+	if empty.Sparkline(10) != "" {
+		t.Fatal("empty series sparkline must be empty")
+	}
+}
+
+func TestFormatPoints(t *testing.T) {
+	pts := []Point{{0, 1}, {1, 2}, {2, 3}, {3, 4}}
+	out := FormatPoints(pts, 2)
+	if out == "" {
+		t.Fatal("no output")
+	}
+}
+
+func TestTimeSeriesWindowValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero window must panic")
+		}
+	}()
+	NewTimeSeries(0, ModeRate)
+}

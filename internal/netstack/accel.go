@@ -1,0 +1,98 @@
+package netstack
+
+import (
+	"fmt"
+
+	"github.com/spright-go/spright/internal/ebpf"
+)
+
+// ForwardingProgram assembles the §3.5 eBPF forwarding program for the
+// given program type (XDP for the NIC hook, TC for veth-host hooks):
+//
+//  1. Parse the destination address from the frame.
+//  2. bpf_fib_lookup against the kernel FIB.
+//  3. bpf_redirect the raw frame to the egress interface — bypassing the
+//     kernel protocol stack and iptables entirely.
+//
+// Packets without a route fall through to the kernel slow path (pass).
+func ForwardingProgram(name string, typ ebpf.ProgType) (*ebpf.Program, error) {
+	if typ != ebpf.ProgTypeXDP && typ != ebpf.ProgTypeTC {
+		return nil, fmt.Errorf("netstack: forwarding program must be XDP or TC, got %v", typ)
+	}
+	passVerdict := ebpf.XDPPass
+	if typ == ebpf.ProgTypeTC {
+		passVerdict = ebpf.TCActOK
+	}
+
+	b := ebpf.NewBuilder(name, typ)
+	// r6 = data, r7 = data_end
+	b.Ins(
+		ebpf.LoadMem(ebpf.R6, ebpf.R1, 0, ebpf.DW),
+		ebpf.LoadMem(ebpf.R7, ebpf.R1, 8, ebpf.DW),
+		// bounds check: need at least the 4-byte daddr
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R6),
+		ebpf.Add64Imm(ebpf.R2, 4),
+	)
+	b.Jmp(ebpf.JgtReg(ebpf.R2, ebpf.R7, 0), "pass")
+	b.Ins(
+		// r8 = daddr; r9 = ingress ifindex
+		ebpf.LoadMem(ebpf.R8, ebpf.R6, 0, ebpf.W),
+		ebpf.LoadMem(ebpf.R9, ebpf.R1, 16, ebpf.W),
+		// fib params on stack: {ifindex_in, daddr, ifindex_out}
+		ebpf.StoreMem(ebpf.R10, -12, ebpf.R9, ebpf.W),
+		ebpf.StoreMem(ebpf.R10, -8, ebpf.R8, ebpf.W),
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Add64Imm(ebpf.R2, -12),
+		ebpf.Mov64Imm(ebpf.R3, ebpf.FibParamsSize),
+		ebpf.Mov64Imm(ebpf.R4, 0),
+		ebpf.Call(ebpf.HelperFibLookup),
+	)
+	b.Jmp(ebpf.JneImm(ebpf.R0, 0, 0), "pass")
+	b.Ins(
+		ebpf.LoadMem(ebpf.R1, ebpf.R10, -4, ebpf.W), // egress ifindex
+		ebpf.Mov64Imm(ebpf.R2, 0),
+		ebpf.Call(ebpf.HelperRedirect),
+		ebpf.Exit(), // verdict from bpf_redirect
+	)
+	b.Label("pass")
+	b.Ins(ebpf.Mov64Imm(ebpf.R0, passVerdict), ebpf.Exit())
+	return b.Program()
+}
+
+// EnableAcceleration loads and attaches forwarding programs to a NIC's XDP
+// hook and to every provided veth-host TC hook, returning the links so
+// callers can detach (the xdp ablation experiment toggles this).
+func EnableAcceleration(n *Node, nic *Device, vethHosts ...*Device) ([]*ebpf.Link, error) {
+	var links []*ebpf.Link
+	if nic != nil {
+		prog, err := ForwardingProgram("xdp_fwd", ebpf.ProgTypeXDP)
+		if err != nil {
+			return nil, err
+		}
+		lp, err := n.Kernel.Load(prog)
+		if err != nil {
+			return nil, err
+		}
+		l, err := nic.XDP.Attach(lp)
+		if err != nil {
+			return nil, err
+		}
+		links = append(links, l)
+	}
+	for _, v := range vethHosts {
+		prog, err := ForwardingProgram("tc_fwd_"+v.Name, ebpf.ProgTypeTC)
+		if err != nil {
+			return nil, err
+		}
+		lp, err := n.Kernel.Load(prog)
+		if err != nil {
+			return nil, err
+		}
+		l, err := v.TC.Attach(lp)
+		if err != nil {
+			return nil, err
+		}
+		links = append(links, l)
+	}
+	return links, nil
+}

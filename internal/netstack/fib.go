@@ -1,0 +1,46 @@
+package netstack
+
+import "sync"
+
+// FIB is the kernel Forwarding Information Base: destination address →
+// egress interface index. The eBPF forwarding program of §3.5 consults it
+// through the bpf_fib_lookup helper; the slow path consults it in the
+// kernel's route lookup.
+type FIB struct {
+	mu     sync.RWMutex
+	routes map[uint32]int
+}
+
+// NewFIB returns an empty table.
+func NewFIB() *FIB {
+	return &FIB{routes: make(map[uint32]int)}
+}
+
+// AddRoute installs dst → ifindex.
+func (f *FIB) AddRoute(dst uint32, ifindex int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.routes[dst] = ifindex
+}
+
+// DelRoute removes the route for dst.
+func (f *FIB) DelRoute(dst uint32) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.routes, dst)
+}
+
+// Lookup resolves dst to an egress ifindex.
+func (f *FIB) Lookup(dst uint32) (int, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	ifi, ok := f.routes[dst]
+	return ifi, ok
+}
+
+// Len returns the number of installed routes.
+func (f *FIB) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.routes)
+}

@@ -1,0 +1,270 @@
+package netstack
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/spright-go/spright/internal/cost"
+	"github.com/spright-go/spright/internal/ebpf"
+)
+
+// DeviceKind distinguishes network devices on the node.
+type DeviceKind int
+
+// Device kinds.
+const (
+	DevNIC DeviceKind = iota
+	DevVethHost
+	DevVethPod
+	DevLoopback
+)
+
+// Endpoint receives packets delivered to a device (a pod's network
+// namespace / socket layer in the real system).
+type Endpoint interface {
+	Receive(p *Packet)
+}
+
+// EndpointFunc adapts a function to the Endpoint interface.
+type EndpointFunc func(p *Packet)
+
+// Receive calls f(p).
+func (f EndpointFunc) Receive(p *Packet) { f(p) }
+
+// Device is one network interface. NICs carry an XDP hook; host-side veths
+// carry a TC ingress hook (the attachment points of Fig. 7).
+type Device struct {
+	node    *Node
+	Ifindex int
+	Name    string
+	Kind    DeviceKind
+
+	XDP *ebpf.Hook // non-nil on NICs
+	TC  *ebpf.Hook // non-nil on veth-host devices
+
+	peer     *Device  // veth pair peer
+	endpoint Endpoint // set on pod-side veths and NICs facing out
+}
+
+// Peer returns the other end of a veth pair.
+func (d *Device) Peer() *Device { return d.peer }
+
+// SetEndpoint binds the receiver of packets delivered to this device.
+func (d *Device) SetEndpoint(e Endpoint) { d.endpoint = e }
+
+// Node is one simulated worker node's kernel networking state.
+type Node struct {
+	Name string
+
+	mu      sync.RWMutex
+	devices map[int]*Device
+	nextIf  int
+
+	Kernel   *ebpf.Kernel
+	FIB      *FIB
+	Forward  *RuleChain // the iptables FORWARD chain all kernel-routed traffic crosses
+	nowNanos func() int64
+}
+
+// NewNode creates a node with an empty FIB, an empty FORWARD chain and a
+// fresh eBPF kernel whose helper environment (ktime, fib_lookup) is wired
+// to this node.
+func NewNode(name string) *Node {
+	n := &Node{
+		Name:    name,
+		devices: make(map[int]*Device),
+		nextIf:  1,
+		Kernel:  ebpf.NewKernel(),
+		FIB:     NewFIB(),
+		Forward: NewRuleChain("FORWARD"),
+	}
+	n.Kernel.SetEnv(nodeEnv{n})
+	return n
+}
+
+// SetClock wires a monotonic time source for bpf_ktime_get_ns.
+func (n *Node) SetClock(now func() int64) { n.nowNanos = now }
+
+// nodeEnv adapts the node to the ebpf.Env helper interface.
+type nodeEnv struct{ n *Node }
+
+func (e nodeEnv) Now() int64 {
+	if e.n.nowNanos != nil {
+		return e.n.nowNanos()
+	}
+	return 0
+}
+
+func (e nodeEnv) FIBLookup(daddr uint32, _ uint32) (uint32, bool) {
+	ifi, ok := e.n.FIB.Lookup(daddr)
+	return uint32(ifi), ok
+}
+
+func (n *Node) addDevice(name string, kind DeviceKind) *Device {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	d := &Device{node: n, Ifindex: n.nextIf, Name: name, Kind: kind}
+	n.nextIf++
+	n.devices[d.Ifindex] = d
+	return d
+}
+
+// AddNIC creates a physical NIC with an XDP hook.
+func (n *Node) AddNIC(name string) *Device {
+	d := n.addDevice(name, DevNIC)
+	d.XDP = ebpf.NewHook(n.Kernel, ebpf.AttachXDP)
+	return d
+}
+
+// AddVethPair creates a veth pair: the host side carries a TC ingress hook,
+// the pod side belongs to the pod's namespace.
+func (n *Node) AddVethPair(podName string) (host, pod *Device) {
+	host = n.addDevice("veth-"+podName+"-host", DevVethHost)
+	pod = n.addDevice("veth-"+podName+"-pod", DevVethPod)
+	host.TC = ebpf.NewHook(n.Kernel, ebpf.AttachTCIngress)
+	host.peer, pod.peer = pod, host
+	return host, pod
+}
+
+// Device returns the device with the given ifindex.
+func (n *Node) Device(ifindex int) (*Device, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	d, ok := n.devices[ifindex]
+	return d, ok
+}
+
+// Errors.
+var (
+	ErrNoRoute   = errors.New("netstack: no route to destination")
+	ErrDropped   = errors.New("netstack: packet dropped")
+	ErrNoEndpoint = errors.New("netstack: destination device has no endpoint")
+)
+
+// frame serializes the packet header for hook programs: daddr (u32 LE) then
+// saddr, followed by the payload. The XDP forwarding program reads daddr at
+// offset 0 — matching fibTestProgram-style parsers.
+func frame(p *Packet) []byte {
+	b := make([]byte, 8+len(p.Payload))
+	binary.LittleEndian.PutUint32(b[0:4], p.Dst)
+	binary.LittleEndian.PutUint32(b[4:8], p.Src)
+	copy(b[8:], p.Payload)
+	return b
+}
+
+// deliverToDevice hands the packet to a device's bound endpoint, following
+// the veth pair to the pod side when targeting the host side.
+func (n *Node) deliverToDevice(d *Device, p *Packet) error {
+	target := d
+	if d.Kind == DevVethHost && d.peer != nil {
+		target = d.peer
+	}
+	if target.endpoint == nil {
+		return fmt.Errorf("%w: %s", ErrNoEndpoint, target.Name)
+	}
+	target.endpoint.Receive(p)
+	return nil
+}
+
+// ExternalIn delivers an externally arriving packet from the NIC to the pod
+// that owns the destination address. The NIC's XDP hook runs first: an
+// XDP_REDIRECT verdict short-circuits the kernel stack and iptables
+// (§3.5 ①); otherwise the packet takes the kernel slow path and is charged
+// the external-in hop profile plus iptables traversal.
+func (n *Node) ExternalIn(nic *Device, p *Packet) error {
+	if nic.XDP != nil && nic.XDP.Attached() > 0 {
+		res, err := nic.XDP.Fire(frame(p), uint32(nic.Ifindex), nil)
+		if err != nil {
+			return fmt.Errorf("xdp: %w", err)
+		}
+		switch {
+		case res.Ret == ebpf.XDPDrop:
+			p.note(cost.HopXDPRedirect)
+			return ErrDropped
+		case res.HasIfRedir:
+			dev, ok := n.Device(int(res.RedirectIf))
+			if !ok {
+				return fmt.Errorf("netstack: redirect to unknown ifindex %d", res.RedirectIf)
+			}
+			p.note(cost.HopXDPRedirect)
+			// the receiving pod still crosses one copy+wake to
+			// userspace, but skips stack + iptables.
+			prof := cost.Audit{Copies: 1, CtxSwitches: 1, Interrupts: 1, BytesCopied: len(p.Payload)}
+			p.Audit.Add(prof)
+			return n.deliverToDevice(dev, p)
+		}
+	}
+	// kernel slow path
+	ifi, ok := n.FIB.Lookup(p.Dst)
+	if !ok {
+		return ErrNoRoute
+	}
+	if n.Forward.Evaluate(p) == VerdictDrop {
+		return ErrDropped
+	}
+	dev, ok := n.Device(ifi)
+	if !ok {
+		return fmt.Errorf("netstack: route to unknown ifindex %d", ifi)
+	}
+	p.note(cost.HopExternalIn)
+	return n.deliverToDevice(dev, p)
+}
+
+// PodToPod carries a packet from one pod to another on the same node. The
+// source pod's host-side veth TC hook runs first: TC_ACT_REDIRECT passes
+// the raw frame directly to the destination veth (§3.5 ②); otherwise the
+// packet crosses both kernel stacks and iptables (the cross-pod profile of
+// Table 1).
+func (n *Node) PodToPod(srcHostVeth *Device, p *Packet) error {
+	if srcHostVeth.TC != nil && srcHostVeth.TC.Attached() > 0 {
+		res, err := srcHostVeth.TC.Fire(frame(p), uint32(srcHostVeth.Ifindex), nil)
+		if err != nil {
+			return fmt.Errorf("tc: %w", err)
+		}
+		switch {
+		case res.Ret == ebpf.TCActShot:
+			p.note(cost.HopXDPRedirect)
+			return ErrDropped
+		case res.HasIfRedir:
+			dev, ok := n.Device(int(res.RedirectIf))
+			if !ok {
+				return fmt.Errorf("netstack: redirect to unknown ifindex %d", res.RedirectIf)
+			}
+			p.note(cost.HopXDPRedirect)
+			prof := cost.Audit{Copies: 1, CtxSwitches: 1, Interrupts: 1, BytesCopied: len(p.Payload)}
+			p.Audit.Add(prof)
+			return n.deliverToDevice(dev, p)
+		}
+	}
+	ifi, ok := n.FIB.Lookup(p.Dst)
+	if !ok {
+		return ErrNoRoute
+	}
+	if n.Forward.Evaluate(p) == VerdictDrop {
+		return ErrDropped
+	}
+	dev, ok := n.Device(ifi)
+	if !ok {
+		return fmt.Errorf("netstack: route to unknown ifindex %d", ifi)
+	}
+	p.note(cost.HopCrossPod)
+	return n.deliverToDevice(dev, p)
+}
+
+// Localhost carries a packet between two processes inside one pod (sidecar
+// ↔ user container) over loopback: the intra-pod profile.
+func (n *Node) Localhost(p *Packet, to Endpoint) error {
+	if to == nil {
+		return ErrNoEndpoint
+	}
+	p.note(cost.HopIntraPod)
+	to.Receive(p)
+	return nil
+}
+
+// ExternalOut accounts the pod → NIC transmission of a response.
+func (n *Node) ExternalOut(p *Packet) {
+	p.note(cost.HopExternalOut)
+}

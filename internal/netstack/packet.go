@@ -1,0 +1,45 @@
+// Package netstack simulates the kernel networking substrate of one worker
+// node: NICs, veth pairs, loopback, the kernel FIB, iptables chains, and
+// the eBPF XDP/TC hook points of §3.5. Its job is twofold:
+//
+//  1. Provide the structural per-hop overhead accounting (data copies,
+//     context switches, interrupts, protocol tasks) from which the paper's
+//     Tables 1 and 2 are reproduced — each traversal primitive adds its
+//     cost.Hop profile to the request's Audit.
+//  2. Execute real eBPF programs (internal/ebpf) at the XDP and TC hooks so
+//     the accelerated redirect path (§3.5, Fig. 7) is exercised literally:
+//     a FIB lookup helper call followed by an in-driver frame redirect.
+package netstack
+
+import (
+	"fmt"
+
+	"github.com/spright-go/spright/internal/cost"
+)
+
+// Packet is one L3+ message traversing the node, carrying its request's
+// audit so overheads accumulate per request across hops.
+type Packet struct {
+	Src, Dst uint32 // addresses (host byte order)
+	Payload  []byte
+	Audit    *cost.Audit
+}
+
+// NewPacket builds a packet with a fresh audit.
+func NewPacket(src, dst uint32, payload []byte) *Packet {
+	return &Packet{Src: src, Dst: dst, Payload: payload, Audit: &cost.Audit{}}
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt{%#x->%#x %dB}", p.Src, p.Dst, len(p.Payload))
+}
+
+// note applies one hop profile to the packet's audit, accounting bytes for
+// the copies the hop performs.
+func (p *Packet) note(h cost.Hop) {
+	prof := h.Profile()
+	prof.BytesCopied = prof.Copies * len(p.Payload)
+	if p.Audit != nil {
+		p.Audit.Add(prof)
+	}
+}

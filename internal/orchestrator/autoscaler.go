@@ -1,0 +1,137 @@
+package orchestrator
+
+import (
+	"sync"
+	"time"
+)
+
+// Autoscaler scrapes per-instance concurrency from the deployment's
+// event-driven proxies and scales functions between minReplicas and
+// maxReplicas (§3.7). SPRIGHT never scales to zero: warm instances cost no
+// CPU when idle, which is the whole point of §4.2.2.
+type Autoscaler struct {
+	dep *Deployment
+
+	// Target is the desired per-instance concurrency (Knative's
+	// container-concurrency target analog).
+	Target int
+	// MinReplicas and MaxReplicas bound each function's instance count.
+	MinReplicas int
+	MaxReplicas int
+
+	mu      sync.Mutex
+	ticker  *time.Ticker
+	stop    chan struct{}
+	started bool
+
+	decisions []ScaleDecision
+}
+
+// ScaleDecision records one autoscaling action for observability.
+type ScaleDecision struct {
+	Function string
+	From     int
+	To       int
+}
+
+// NewAutoscaler builds an autoscaler for a deployment with a concurrency
+// target per instance.
+func NewAutoscaler(dep *Deployment, target int) *Autoscaler {
+	if target <= 0 {
+		target = 32
+	}
+	return &Autoscaler{
+		dep:         dep,
+		Target:      target,
+		MinReplicas: 1,
+		MaxReplicas: 8,
+		stop:        make(chan struct{}),
+	}
+}
+
+// Evaluate performs one scaling pass and returns the decisions taken.
+// Desired replicas per function = ceil(total inflight / target).
+func (a *Autoscaler) Evaluate() []ScaleDecision {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []ScaleDecision
+
+	byFn := map[string][]int{}
+	for _, in := range a.dep.Chain.Instances() {
+		byFn[in.Function()] = append(byFn[in.Function()], in.Inflight())
+	}
+	for fn, loads := range byFn {
+		total := 0
+		for _, l := range loads {
+			total += l
+		}
+		have := len(loads)
+		want := (total + a.Target - 1) / a.Target
+		if want < a.MinReplicas {
+			want = a.MinReplicas
+		}
+		if want > a.MaxReplicas {
+			want = a.MaxReplicas
+		}
+		for have < want {
+			if _, err := a.dep.Chain.ScaleUp(fn); err != nil {
+				break
+			}
+			have++
+		}
+		for have > want {
+			if err := a.dep.Chain.ScaleDown(fn); err != nil {
+				break
+			}
+			have--
+		}
+		if have != len(loads) {
+			d := ScaleDecision{Function: fn, From: len(loads), To: have}
+			out = append(out, d)
+			a.decisions = append(a.decisions, d)
+		}
+	}
+	return out
+}
+
+// Start runs Evaluate on a period until Stop.
+func (a *Autoscaler) Start(period time.Duration) {
+	a.mu.Lock()
+	if a.started {
+		a.mu.Unlock()
+		return
+	}
+	a.started = true
+	a.ticker = time.NewTicker(period)
+	ticker, stop := a.ticker, a.stop
+	a.mu.Unlock()
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				a.Evaluate()
+			}
+		}
+	}()
+}
+
+// Stop halts the background loop.
+func (a *Autoscaler) Stop() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.started {
+		a.ticker.Stop()
+		close(a.stop)
+		a.started = false
+		a.stop = make(chan struct{})
+	}
+}
+
+// Decisions returns the history of scaling actions.
+func (a *Autoscaler) Decisions() []ScaleDecision {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]ScaleDecision(nil), a.decisions...)
+}

@@ -1,0 +1,262 @@
+// Package orchestrator provides SPRIGHT's control plane (Fig. 3): the
+// cluster-wide SPRIGHT controller cooperating with per-node kubelets to
+// create chains (the Fig. 6 startup flow), a chain-level placement engine
+// (functions of one chain are co-located on a node, §3.8), a cluster-wide
+// ingress gateway routing external requests to per-chain SPRIGHT gateways,
+// health probing, and a metrics-driven autoscaler hook.
+package orchestrator
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"github.com/spright-go/spright/internal/core"
+	"github.com/spright-go/spright/internal/ebpf"
+	"github.com/spright-go/spright/internal/netstack"
+	"github.com/spright-go/spright/internal/shm"
+)
+
+// WorkerNode is one node's infrastructure: its eBPF kernel, its shared
+// memory manager (the DPDK primary process), and its simulated network.
+type WorkerNode struct {
+	Name    string
+	Kernel  *ebpf.Kernel
+	ShmMgr  *shm.Manager
+	Net     *netstack.Node
+	Kubelet *Kubelet
+
+	mu     sync.Mutex
+	chains map[string]*Deployment
+}
+
+// NewWorkerNode provisions a node.
+func NewWorkerNode(name string) *WorkerNode {
+	n := &WorkerNode{
+		Name:   name,
+		Kernel: ebpf.NewKernel(),
+		ShmMgr: shm.NewManager(),
+		Net:    netstack.NewNode(name),
+		chains: make(map[string]*Deployment),
+	}
+	n.Kubelet = &Kubelet{node: n}
+	return n
+}
+
+// Chains returns the number of chains deployed on the node.
+func (n *WorkerNode) Chains() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.chains)
+}
+
+// Deployment is one deployed chain: where it runs and its dataplane.
+type Deployment struct {
+	Node    *WorkerNode
+	Chain   *core.Chain
+	Gateway *core.Gateway
+}
+
+// Close tears the deployment down.
+func (d *Deployment) Close() {
+	d.Gateway.Close()
+	d.Chain.Close()
+	d.Node.mu.Lock()
+	delete(d.Node.chains, d.Chain.Name())
+	d.Node.mu.Unlock()
+	_ = d.Node.ShmMgr.Release(d.Chain.Name())
+}
+
+// Kubelet is the per-node pod manager the controller instructs (§3.1). It
+// performs the node-local steps of the Fig. 6 startup flow.
+type Kubelet struct {
+	node *WorkerNode
+}
+
+// CreateChain executes the node-local startup flow of Fig. 6:
+// ① a dedicated shared-memory manager/pool for the chain, ② pool
+// initialization, ③ a dedicated SPRIGHT gateway, ④ function startup with
+// SPROXY attachment and filter-rule configuration. Steps ①②④ happen inside
+// core.NewChain (pool creation, instance startup, filter configuration);
+// step ③ is the gateway construction.
+func (k *Kubelet) CreateChain(spec core.ChainSpec) (*Deployment, error) {
+	c, err := core.NewChain(k.node.Kernel, k.node.ShmMgr, spec)
+	if err != nil {
+		return nil, err
+	}
+	g, err := core.NewGateway(c)
+	if err != nil {
+		c.Close()
+		_ = k.node.ShmMgr.Release(spec.Name)
+		return nil, err
+	}
+	d := &Deployment{Node: k.node, Chain: c, Gateway: g}
+	k.node.mu.Lock()
+	k.node.chains[spec.Name] = d
+	k.node.mu.Unlock()
+	return d, nil
+}
+
+// ProbeResult is one instance's health state.
+type ProbeResult struct {
+	Function string
+	Instance uint32
+	Healthy  bool
+}
+
+// Probe performs the §3.3 health checks: SPRIGHT dispenses with the queue
+// proxy's probing and instead asks each function's socket directly (the
+// "minimal change of opening an additional socket" — here the descriptor
+// socket doubles as the probe target).
+func (k *Kubelet) Probe(d *Deployment) []ProbeResult {
+	var out []ProbeResult
+	for _, in := range d.Chain.Instances() {
+		healthy := in.ResidualCapacity() > -1 // socket alive and not wedged
+		out = append(out, ProbeResult{Function: in.Function(), Instance: in.ID(), Healthy: healthy})
+	}
+	return out
+}
+
+// Scheduler places chains onto nodes. SPRIGHT's deployment constraint
+// (§3.8) is chain-granular: every function of a chain lands on one node.
+type Scheduler struct {
+	mu    sync.Mutex
+	nodes []*WorkerNode
+}
+
+// ErrNoNodes is returned when the cluster has no workers.
+var ErrNoNodes = errors.New("orchestrator: no worker nodes")
+
+// Place picks the least-loaded node (fewest chains) for a new chain.
+func (s *Scheduler) Place() (*WorkerNode, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.nodes) == 0 {
+		return nil, ErrNoNodes
+	}
+	best := s.nodes[0]
+	for _, n := range s.nodes[1:] {
+		if n.Chains() < best.Chains() {
+			best = n
+		}
+	}
+	return best, nil
+}
+
+// Controller is the cluster-wide SPRIGHT controller (Fig. 3): it receives
+// chain creation requests, drives placement, and instructs the selected
+// node's kubelet.
+type Controller struct {
+	sched *Scheduler
+
+	mu      sync.Mutex
+	deploys map[string]*Deployment
+}
+
+// Cluster bundles the control plane with its worker nodes.
+type Cluster struct {
+	Controller *Controller
+	Ingress    *IngressGateway
+	nodes      []*WorkerNode
+}
+
+// NewCluster provisions n worker nodes with a controller and a cluster-
+// wide ingress gateway.
+func NewCluster(n int) *Cluster {
+	if n <= 0 {
+		n = 1
+	}
+	nodes := make([]*WorkerNode, n)
+	for i := range nodes {
+		nodes[i] = NewWorkerNode(fmt.Sprintf("worker-%d", i+1))
+	}
+	ctrl := &Controller{
+		sched:   &Scheduler{nodes: nodes},
+		deploys: make(map[string]*Deployment),
+	}
+	return &Cluster{
+		Controller: ctrl,
+		Ingress:    &IngressGateway{controller: ctrl},
+		nodes:      nodes,
+	}
+}
+
+// Nodes returns the cluster's worker nodes.
+func (c *Cluster) Nodes() []*WorkerNode { return c.nodes }
+
+// DeployChain places and creates a chain, returning its deployment.
+func (ctl *Controller) DeployChain(spec core.ChainSpec) (*Deployment, error) {
+	ctl.mu.Lock()
+	if _, dup := ctl.deploys[spec.Name]; dup {
+		ctl.mu.Unlock()
+		return nil, fmt.Errorf("orchestrator: chain %q already deployed", spec.Name)
+	}
+	ctl.mu.Unlock()
+
+	node, err := ctl.sched.Place()
+	if err != nil {
+		return nil, err
+	}
+	d, err := node.Kubelet.CreateChain(spec)
+	if err != nil {
+		return nil, err
+	}
+	ctl.mu.Lock()
+	ctl.deploys[spec.Name] = d
+	ctl.mu.Unlock()
+	return d, nil
+}
+
+// DeleteChain tears down a chain.
+func (ctl *Controller) DeleteChain(name string) error {
+	ctl.mu.Lock()
+	d, ok := ctl.deploys[name]
+	delete(ctl.deploys, name)
+	ctl.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("orchestrator: chain %q not deployed", name)
+	}
+	d.Close()
+	return nil
+}
+
+// Deployment looks a chain up by name.
+func (ctl *Controller) Deployment(name string) (*Deployment, bool) {
+	ctl.mu.Lock()
+	defer ctl.mu.Unlock()
+	d, ok := ctl.deploys[name]
+	return d, ok
+}
+
+// Deployments returns all deployments.
+func (ctl *Controller) Deployments() []*Deployment {
+	ctl.mu.Lock()
+	defer ctl.mu.Unlock()
+	out := make([]*Deployment, 0, len(ctl.deploys))
+	for _, d := range ctl.deploys {
+		out = append(out, d)
+	}
+	return out
+}
+
+// IngressGateway is the cluster-wide ingress (Fig. 3) distributing
+// external requests to the SPRIGHT gateways of different chains. Requests
+// address a chain by the first path segment: /<chain>/rest-of-path.
+type IngressGateway struct {
+	controller *Controller
+}
+
+// ServeHTTP implements http.Handler.
+func (ig *IngressGateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	chain, rest, _ := strings.Cut(strings.TrimPrefix(r.URL.Path, "/"), "/")
+	d, ok := ig.controller.Deployment(chain)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	r2 := r.Clone(r.Context())
+	r2.URL.Path = "/" + rest
+	d.Gateway.ServeHTTP(w, r2)
+}

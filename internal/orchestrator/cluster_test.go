@@ -1,0 +1,255 @@
+package orchestrator
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/spright-go/spright/internal/core"
+)
+
+func upperSpec(name string) core.ChainSpec {
+	return core.ChainSpec{
+		Name: name,
+		Functions: []core.FunctionSpec{{
+			Name: "up",
+			Handler: func(ctx *core.Ctx) error {
+				b := ctx.Payload()
+				for i := range b {
+					if b[i] >= 'a' && b[i] <= 'z' {
+						b[i] -= 32
+					}
+				}
+				return nil
+			},
+		}},
+		Routes: []core.RouteSpec{{From: "", To: []string{"up"}}},
+	}
+}
+
+func TestDeployAndInvokeThroughController(t *testing.T) {
+	cl := NewCluster(2)
+	d, err := cl.Controller.DeployChain(upperSpec("c1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	out, err := d.Gateway.Invoke(context.Background(), "", []byte("hi"))
+	if err != nil || string(out) != "HI" {
+		t.Fatalf("got %q, %v", out, err)
+	}
+}
+
+func TestDuplicateChainRejected(t *testing.T) {
+	cl := NewCluster(1)
+	d, err := cl.Controller.DeployChain(upperSpec("c1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := cl.Controller.DeployChain(upperSpec("c1")); err == nil {
+		t.Fatal("duplicate deploy must fail")
+	}
+}
+
+func TestSchedulerBalancesChains(t *testing.T) {
+	cl := NewCluster(3)
+	for i := 0; i < 6; i++ {
+		name := "chain-" + string(rune('a'+i))
+		if _, err := cl.Controller.DeployChain(upperSpec(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range cl.Nodes() {
+		if n.Chains() != 2 {
+			t.Fatalf("node %s has %d chains, want 2 (balanced placement)", n.Name, n.Chains())
+		}
+	}
+}
+
+func TestChainLevelPlacement(t *testing.T) {
+	// All instances of a chain share one node's kernel: scale-ups must
+	// not cross nodes.
+	cl := NewCluster(2)
+	d, err := cl.Controller.DeployChain(upperSpec("c1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Chain.ScaleUp("up"); err != nil {
+		t.Fatal(err)
+	}
+	// both instances answer through the same gateway/kernel
+	out, err := d.Gateway.Invoke(context.Background(), "", []byte("x"))
+	if err != nil || string(out) != "X" {
+		t.Fatalf("%q %v", out, err)
+	}
+}
+
+func TestDeleteChainReleasesPrefix(t *testing.T) {
+	cl := NewCluster(1)
+	d, err := cl.Controller.DeployChain(upperSpec("c1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := d.Node
+	if err := cl.Controller.DeleteChain("c1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Controller.DeleteChain("c1"); err == nil {
+		t.Fatal("double delete must fail")
+	}
+	// prefix is reusable: redeploy on the same node
+	if _, err := node.Kubelet.CreateChain(upperSpec("c1")); err != nil {
+		t.Fatalf("prefix not released: %v", err)
+	}
+}
+
+func TestIngressGatewayRoutesByChain(t *testing.T) {
+	cl := NewCluster(1)
+	d1, err := cl.Controller.DeployChain(upperSpec("alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d1.Close()
+	srv := httptest.NewServer(cl.Ingress)
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/alpha/do", "text/plain", strings.NewReader("abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "ABC" {
+		t.Fatalf("got %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Post(srv.URL+"/ghost/do", "text/plain", strings.NewReader("abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown chain must 404, got %d", resp.StatusCode)
+	}
+}
+
+func TestKubeletProbe(t *testing.T) {
+	cl := NewCluster(1)
+	d, err := cl.Controller.DeployChain(upperSpec("c1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	res := d.Node.Kubelet.Probe(d)
+	if len(res) != 1 || !res[0].Healthy {
+		t.Fatalf("probe results %+v", res)
+	}
+}
+
+func TestAutoscalerScalesUpUnderLoad(t *testing.T) {
+	cl := NewCluster(1)
+	block := make(chan struct{})
+	spec := core.ChainSpec{
+		Name: "busy",
+		Functions: []core.FunctionSpec{{
+			Name:        "slow",
+			Concurrency: 4,
+			Handler: func(ctx *core.Ctx) error {
+				<-block
+				return nil
+			},
+		}},
+		Routes: []core.RouteSpec{{From: "", To: []string{"slow"}}},
+	}
+	d, err := cl.Controller.DeployChain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	blockOnce := sync.Once{}
+	unblock := func() { blockOnce.Do(func() { close(block) }) }
+	defer unblock()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			d.Gateway.Invoke(ctx, "", []byte("x"))
+		}()
+	}
+	// wait for inflight to accumulate
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		total := 0
+		for _, in := range d.Chain.Instances() {
+			total += in.Inflight()
+		}
+		if total >= 4 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	as := NewAutoscaler(d, 2)
+	decisions := as.Evaluate()
+	if len(decisions) == 0 || decisions[0].To <= decisions[0].From {
+		t.Fatalf("autoscaler must scale up, got %+v", decisions)
+	}
+	if len(d.Chain.Instances()) < 2 {
+		t.Fatal("instances must increase")
+	}
+	unblock()
+	wg.Wait()
+
+	// idle: wait for handlers to drain, then scale back to MinReplicas
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		total := 0
+		for _, in := range d.Chain.Instances() {
+			total += in.Inflight()
+		}
+		if total == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	as.Evaluate()
+	if got := len(d.Chain.Instances()); got != 1 {
+		t.Fatalf("idle chain must return to 1 warm instance, has %d", got)
+	}
+	if len(as.Decisions()) < 2 {
+		t.Fatalf("decision history incomplete: %+v", as.Decisions())
+	}
+}
+
+func TestAutoscalerStartStop(t *testing.T) {
+	cl := NewCluster(1)
+	d, err := cl.Controller.DeployChain(upperSpec("c1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	as := NewAutoscaler(d, 0) // default target
+	as.Start(time.Millisecond)
+	as.Start(time.Millisecond) // idempotent
+	time.Sleep(10 * time.Millisecond)
+	as.Stop()
+	as.Stop() // idempotent
+}
+
+func TestEmptySchedulerFails(t *testing.T) {
+	s := &Scheduler{}
+	if _, err := s.Place(); err != ErrNoNodes {
+		t.Fatalf("want ErrNoNodes, got %v", err)
+	}
+}

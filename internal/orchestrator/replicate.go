@@ -1,0 +1,106 @@
+package orchestrator
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/spright-go/spright/internal/core"
+)
+
+// Multi-node scaling (§3.8): because shared memory only works within a
+// node, SPRIGHT scales across nodes by replicating the *whole chain* as a
+// unit onto each node and load-balancing between the chain units. This
+// trades resource fragmentation for the intra-node zero-copy property —
+// the paper's stated deployment constraint.
+
+// ReplicatedChain is a chain deployed as one unit per node.
+type ReplicatedChain struct {
+	Name  string
+	Units []*Deployment
+
+	next atomic.Uint64
+}
+
+// DeployChainReplicated deploys spec as a chain unit on each of n distinct
+// nodes. Fails (and rolls back) if fewer than n nodes exist.
+func (ctl *Controller) DeployChainReplicated(spec core.ChainSpec, n int) (*ReplicatedChain, error) {
+	if n <= 0 {
+		n = 1
+	}
+	ctl.sched.mu.Lock()
+	nodes := append([]*WorkerNode(nil), ctl.sched.nodes...)
+	ctl.sched.mu.Unlock()
+	if len(nodes) < n {
+		return nil, fmt.Errorf("orchestrator: need %d nodes, cluster has %d", n, len(nodes))
+	}
+
+	rc := &ReplicatedChain{Name: spec.Name}
+	for i := 0; i < n; i++ {
+		unitSpec := spec
+		unitSpec.Name = fmt.Sprintf("%s-unit%d", spec.Name, i)
+		d, err := nodes[i].Kubelet.CreateChain(unitSpec)
+		if err != nil {
+			rc.Close()
+			return nil, fmt.Errorf("unit %d: %w", i, err)
+		}
+		rc.Units = append(rc.Units, d)
+	}
+	return rc, nil
+}
+
+// pick selects a unit: least in-flight first (residual capacity at chain
+// granularity), with round-robin tie-breaking.
+func (rc *ReplicatedChain) pick() *Deployment {
+	best := -1
+	bestLoad := int(^uint(0) >> 1)
+	start := int(rc.next.Add(1))
+	for i := range rc.Units {
+		u := rc.Units[(start+i)%len(rc.Units)]
+		load := 0
+		for _, in := range u.Chain.Instances() {
+			load += in.Inflight()
+		}
+		if load < bestLoad {
+			best, bestLoad = (start+i)%len(rc.Units), load
+		}
+	}
+	return rc.Units[best]
+}
+
+// Invoke load-balances one request across the chain units.
+func (rc *ReplicatedChain) Invoke(ctx context.Context, topic string, payload []byte) ([]byte, error) {
+	if len(rc.Units) == 0 {
+		return nil, fmt.Errorf("orchestrator: replicated chain %q has no units", rc.Name)
+	}
+	return rc.pick().Gateway.Invoke(ctx, topic, payload)
+}
+
+// Stats aggregates gateway stats across units.
+func (rc *ReplicatedChain) Stats() core.GatewayStats {
+	var out core.GatewayStats
+	for _, u := range rc.Units {
+		s := u.Gateway.Stats()
+		out.Admitted += s.Admitted
+		out.Completed += s.Completed
+		out.Rejected += s.Rejected
+	}
+	return out
+}
+
+// Close tears down every unit.
+func (rc *ReplicatedChain) Close() {
+	var wg sync.WaitGroup
+	for _, u := range rc.Units {
+		if u == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(u *Deployment) {
+			defer wg.Done()
+			u.Close()
+		}(u)
+	}
+	wg.Wait()
+}

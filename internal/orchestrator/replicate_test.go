@@ -1,0 +1,102 @@
+package orchestrator
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/spright-go/spright/internal/core"
+)
+
+func TestReplicatedChainSpansNodes(t *testing.T) {
+	cl := NewCluster(3)
+	rc, err := cl.Controller.DeployChainReplicated(upperSpec("multi"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if len(rc.Units) != 3 {
+		t.Fatalf("%d units, want 3", len(rc.Units))
+	}
+	nodes := map[string]bool{}
+	for _, u := range rc.Units {
+		nodes[u.Node.Name] = true
+	}
+	if len(nodes) != 3 {
+		t.Fatalf("units must land on distinct nodes, got %v", nodes)
+	}
+	out, err := rc.Invoke(context.Background(), "", []byte("hi"))
+	if err != nil || string(out) != "HI" {
+		t.Fatalf("%q %v", out, err)
+	}
+}
+
+func TestReplicatedChainInsufficientNodes(t *testing.T) {
+	cl := NewCluster(1)
+	if _, err := cl.Controller.DeployChainReplicated(upperSpec("multi"), 2); err == nil {
+		t.Fatal("must fail with too few nodes")
+	}
+}
+
+func TestReplicatedChainBalancesLoad(t *testing.T) {
+	cl := NewCluster(2)
+	spec := core.ChainSpec{
+		Name: "lb",
+		Functions: []core.FunctionSpec{{
+			Name: "work",
+			Handler: func(ctx *core.Ctx) error {
+				time.Sleep(5 * time.Millisecond)
+				return nil
+			},
+		}},
+		Routes: []core.RouteSpec{{From: "", To: []string{"work"}}},
+	}
+	rc, err := cl.Controller.DeployChainReplicated(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if _, err := rc.Invoke(ctx, "", []byte("x")); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	// both units must have served traffic
+	for i, u := range rc.Units {
+		if u.Gateway.Stats().Completed == 0 {
+			t.Fatalf("unit %d served nothing — load balancing broken", i)
+		}
+	}
+	agg := rc.Stats()
+	if agg.Completed != 16 {
+		t.Fatalf("aggregate completed %d, want 16", agg.Completed)
+	}
+}
+
+func TestReplicatedChainRollbackOnFailure(t *testing.T) {
+	cl := NewCluster(2)
+	// occupy the prefix "dup-unit1" on node 2 to force the second unit
+	// deployment to fail
+	if _, err := cl.Nodes()[1].ShmMgr.CreatePool("dup-unit1", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Controller.DeployChainReplicated(upperSpec("dup"), 2); err == nil {
+		t.Fatal("expected failure from prefix collision")
+	}
+	// unit 0 must have been rolled back: redeploying works
+	rc, err := cl.Controller.DeployChainReplicated(upperSpec("dup2"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Close()
+}

@@ -1,0 +1,186 @@
+package platform
+
+import (
+	"fmt"
+
+	"github.com/spright-go/spright/internal/cost"
+	"github.com/spright-go/spright/internal/netstack"
+)
+
+// StepAudit is one audited pipeline step (the ①…⑤ columns of Tables 1/2).
+type StepAudit struct {
+	Label string
+	Audit cost.Audit
+}
+
+// AuditResult is a full per-request audit of one pipeline.
+type AuditResult struct {
+	Pipeline string
+	Steps    []StepAudit
+	External cost.Audit // steps ①② (outside the chain)
+	Within   cost.Audit // steps ③… (within the chain)
+	Total    cost.Audit
+}
+
+// auditNode assembles a worker node with an ingress pod, a broker/gateway
+// pod and n function pods, with routes installed, and returns the pieces.
+type auditNode struct {
+	node    *netstack.Node
+	nic     *netstack.Device
+	ingress *netstack.Device // host-side veth of the ingress pod
+	broker  *netstack.Device // host-side veth of the broker / SPRIGHT gateway
+	fns     []*netstack.Device
+}
+
+const (
+	addrIngress = 0x0a000001
+	addrBroker  = 0x0a000002
+	addrFnBase  = 0x0a000010
+)
+
+func newAuditNode(nFns int) *auditNode {
+	a := &auditNode{node: netstack.NewNode("audit")}
+	a.nic = a.node.AddNIC("eth0")
+	sink := netstack.EndpointFunc(func(*netstack.Packet) {})
+
+	host, pod := a.node.AddVethPair("ingress")
+	pod.SetEndpoint(sink)
+	a.ingress = host
+	a.node.FIB.AddRoute(addrIngress, host.Ifindex)
+
+	host, pod = a.node.AddVethPair("broker")
+	pod.SetEndpoint(sink)
+	a.broker = host
+	a.node.FIB.AddRoute(addrBroker, host.Ifindex)
+
+	for i := 0; i < nFns; i++ {
+		host, pod = a.node.AddVethPair(fmt.Sprintf("fn%d", i+1))
+		pod.SetEndpoint(sink)
+		a.fns = append(a.fns, host)
+		a.node.FIB.AddRoute(uint32(addrFnBase+i), host.Ifindex)
+	}
+	return a
+}
+
+// send runs one traversal on the audit node and returns the step's audit.
+func send(a *auditNode, from *netstack.Device, dst uint32, size int, external bool) cost.Audit {
+	p := netstack.NewPacket(0xc0a80001, dst, make([]byte, size))
+	var err error
+	if external {
+		err = a.node.ExternalIn(a.nic, p)
+	} else {
+		err = a.node.PodToPod(from, p)
+	}
+	if err != nil {
+		panic("platform: audit traversal failed: " + err.Error())
+	}
+	return *p.Audit
+}
+
+// sidecarCrossing audits the loopback hop between a pod's sidecar and its
+// user container.
+func sidecarCrossing(a *auditNode, size int) cost.Audit {
+	p := netstack.NewPacket(0, 0, make([]byte, size))
+	sink := netstack.EndpointFunc(func(*netstack.Packet) {})
+	if err := a.node.Localhost(p, sink); err != nil {
+		panic("platform: localhost traversal failed: " + err.Error())
+	}
+	return *p.Audit
+}
+
+// Serde attribution (DESIGN.md §5): serialization belongs to the component
+// that produces a message, deserialization to the one that parses it. The
+// ingress L7 proxy's re-serialization of the forwarded request is audited
+// in step ① (hence ser=1, deser=0 there — the paper's Table 1 row); the
+// broker parses and the ingress serializes in ②; and each within-chain
+// Knative step crosses one proxy endpoint pair and one sidecar, adding two
+// serializations and two deserializations. SPRIGHT's descriptor hops touch
+// no L7 bytes at all.
+func addSerde(a *cost.Audit, ser, deser int) {
+	a.Serialize += ser
+	a.Deserialize += deser
+}
+
+// KnativeAudit reproduces Table 1 structurally for a broker + n-function
+// chain at the given payload size: ① client→ingress, ② ingress→broker,
+// then alternating broker→fn_i and fn_i→broker steps (2n−1 within-chain
+// steps for n functions; the final response leg is excluded as in §2).
+func KnativeAudit(nFns, size int) AuditResult {
+	a := newAuditNode(nFns)
+	res := AuditResult{Pipeline: "knative"}
+
+	s1 := send(a, nil, addrIngress, size, true)
+	addSerde(&s1, 1, 0)
+	res.Steps = append(res.Steps, StepAudit{"①", s1})
+
+	s2 := send(a, a.ingress, addrBroker, size, false)
+	addSerde(&s2, 1, 1)
+	res.Steps = append(res.Steps, StepAudit{"②", s2})
+
+	label := '③'
+	for i := 0; i < 2*nFns-1; i++ {
+		var st cost.Audit
+		if i%2 == 0 {
+			// broker → fn(i/2): cross-pod then into the sidecar
+			st = send(a, a.broker, uint32(addrFnBase+i/2), size, false)
+			st.Add(sidecarCrossing(a, size))
+		} else {
+			// fn → broker: out through the sidecar then cross-pod
+			st = sidecarCrossing(a, size)
+			st.Add(send(a, a.fns[i/2], addrBroker, size, false))
+		}
+		addSerde(&st, 2, 2)
+		res.Steps = append(res.Steps, StepAudit{string(label), st})
+		label++
+	}
+	res.finalize(2)
+	return res
+}
+
+// SprightAudit reproduces Table 2: the same external steps, then n
+// zero-copy SPROXY descriptor deliveries (gateway→fn1, fn1→fn2, …: DFR
+// means no returns to the gateway between functions).
+func SprightAudit(nFns, size int) AuditResult {
+	a := newAuditNode(nFns)
+	res := AuditResult{Pipeline: "spright"}
+
+	s1 := send(a, nil, addrIngress, size, true)
+	addSerde(&s1, 1, 0)
+	res.Steps = append(res.Steps, StepAudit{"①", s1})
+
+	s2 := send(a, a.ingress, addrBroker, size, false) // ingress → SPRIGHT gateway
+	addSerde(&s2, 1, 1)
+	res.Steps = append(res.Steps, StepAudit{"②", s2})
+
+	label := '③'
+	for i := 0; i < nFns; i++ {
+		st := cost.HopSockmapRedirect.Profile() // 16-byte descriptor: no payload copies
+		res.Steps = append(res.Steps, StepAudit{string(label), st})
+		label++
+	}
+	res.finalize(2)
+	return res
+}
+
+// finalize computes the external/within/total partitions; nExternal is the
+// number of leading external steps.
+func (r *AuditResult) finalize(nExternal int) {
+	for i, s := range r.Steps {
+		if i < nExternal {
+			r.External.Add(s.Audit)
+		} else {
+			r.Within.Add(s.Audit)
+		}
+		r.Total.Add(s.Audit)
+	}
+}
+
+// WithinShare returns the fraction of a counter incurred within the chain
+// (the paper's "80% of overhead comes from networking within the chain").
+func (r *AuditResult) WithinShare(get func(cost.Audit) int) float64 {
+	t := get(r.Total)
+	if t == 0 {
+		return 0
+	}
+	return float64(get(r.Within)) / float64(t)
+}

@@ -1,0 +1,136 @@
+package platform
+
+import (
+	"testing"
+
+	"github.com/spright-go/spright/internal/cost"
+)
+
+// TestKnativeAuditMatchesTable1 is the repository's anchor test: the
+// structural audit of the '1 broker + 2 functions' Knative pipeline must
+// reproduce the paper's Table 1 exactly.
+func TestKnativeAuditMatchesTable1(t *testing.T) {
+	r := KnativeAudit(2, 100)
+	type row struct {
+		name string
+		get  func(cost.Audit) int
+		ext  int
+		with int
+		tot  int
+	}
+	rows := []row{
+		{"copies", func(a cost.Audit) int { return a.Copies }, 3, 12, 15},
+		{"ctx switches", func(a cost.Audit) int { return a.CtxSwitches }, 3, 12, 15},
+		{"interrupts", func(a cost.Audit) int { return a.Interrupts }, 7, 18, 25},
+		{"protocol tasks", func(a cost.Audit) int { return a.ProtoTasks }, 3, 9, 12},
+		{"serializations", func(a cost.Audit) int { return a.Serialize }, 2, 6, 8},
+		{"deserializations", func(a cost.Audit) int { return a.Deserialize }, 1, 6, 7},
+	}
+	for _, row := range rows {
+		if got := row.get(r.External); got != row.ext {
+			t.Errorf("%s external: got %d want %d", row.name, got, row.ext)
+		}
+		if got := row.get(r.Within); got != row.with {
+			t.Errorf("%s within-chain: got %d want %d", row.name, got, row.with)
+		}
+		if got := row.get(r.Total); got != row.tot {
+			t.Errorf("%s total: got %d want %d", row.name, got, row.tot)
+		}
+	}
+}
+
+// TestSprightAuditMatchesTable2 anchors Table 2.
+func TestSprightAuditMatchesTable2(t *testing.T) {
+	r := SprightAudit(2, 100)
+	check := func(name string, get func(cost.Audit) int, ext, with, tot int) {
+		t.Helper()
+		if got := get(r.External); got != ext {
+			t.Errorf("%s external: got %d want %d", name, got, ext)
+		}
+		if got := get(r.Within); got != with {
+			t.Errorf("%s within: got %d want %d", name, got, with)
+		}
+		if got := get(r.Total); got != tot {
+			t.Errorf("%s total: got %d want %d", name, got, tot)
+		}
+	}
+	check("copies", func(a cost.Audit) int { return a.Copies }, 3, 0, 3)
+	check("ctx switches", func(a cost.Audit) int { return a.CtxSwitches }, 3, 4, 7)
+	check("interrupts", func(a cost.Audit) int { return a.Interrupts }, 7, 4, 11)
+	check("protocol tasks", func(a cost.Audit) int { return a.ProtoTasks }, 3, 0, 3)
+	check("serializations", func(a cost.Audit) int { return a.Serialize }, 2, 0, 2)
+	check("deserializations", func(a cost.Audit) int { return a.Deserialize }, 1, 0, 1)
+}
+
+// TestTable1StepProfiles verifies the per-step columns, not just totals.
+func TestTable1StepProfiles(t *testing.T) {
+	r := KnativeAudit(2, 100)
+	if len(r.Steps) != 5 {
+		t.Fatalf("%d steps, want 5 (①-⑤)", len(r.Steps))
+	}
+	// steps ③④⑤ each: 4 copies, 4 ctx, 6 interrupts, 3 proto, 2 ser, 2 deser
+	for _, s := range r.Steps[2:] {
+		a := s.Audit
+		if a.Copies != 4 || a.CtxSwitches != 4 || a.Interrupts != 6 || a.ProtoTasks != 3 ||
+			a.Serialize != 2 || a.Deserialize != 2 {
+			t.Errorf("step %s: %+v", s.Label, a)
+		}
+	}
+}
+
+// TestChainLengthScaling checks the §2 claim that within-chain overheads
+// grow linearly with chain length — and that SPRIGHT's do not involve
+// copies or protocol work at any length.
+func TestChainLengthScaling(t *testing.T) {
+	prevKn, prevSp := 0, 0
+	for n := 1; n <= 8; n++ {
+		kn := KnativeAudit(n, 100)
+		sp := SprightAudit(n, 100)
+		if kn.Within.Copies <= prevKn && n > 1 {
+			t.Fatalf("n=%d: Knative copies must grow with chain length", n)
+		}
+		if sp.Within.Copies != 0 || sp.Within.ProtoTasks != 0 {
+			t.Fatalf("n=%d: SPRIGHT within-chain must stay zero-copy: %+v", n, sp.Within)
+		}
+		// linearity: Knative adds exactly 8 copies per extra function
+		// (two 4-copy steps)
+		if n > 1 && kn.Within.Copies-prevKn != 8 {
+			t.Fatalf("n=%d: copies grew by %d, want 8", n, kn.Within.Copies-prevKn)
+		}
+		if n > 1 && sp.Within.CtxSwitches-prevSp != 2 {
+			t.Fatalf("n=%d: SPRIGHT ctx grew by %d, want 2", n, sp.Within.CtxSwitches-prevSp)
+		}
+		prevKn, prevSp = kn.Within.Copies, sp.Within.CtxSwitches
+	}
+}
+
+// TestWithinChainShare checks Takeaway #1/2: ~80% of Knative's copies and
+// 75% of its protocol processing happen within the chain.
+func TestWithinChainShare(t *testing.T) {
+	r := KnativeAudit(2, 100)
+	if share := r.WithinShare(func(a cost.Audit) int { return a.Copies }); share != 0.8 {
+		t.Fatalf("within-chain copy share %.2f, want 0.80", share)
+	}
+	if share := r.WithinShare(func(a cost.Audit) int { return a.ProtoTasks }); share != 0.75 {
+		t.Fatalf("within-chain protocol share %.2f, want 0.75", share)
+	}
+}
+
+func TestAuditCycleOrdering(t *testing.T) {
+	// Under the cycle model, SPRIGHT's audited request must be several
+	// times cheaper than Knative's (the basis of every comparison).
+	m := cost.DefaultModel()
+	kn := KnativeAudit(2, 1024)
+	sp := SprightAudit(2, 1024)
+	ratio := m.Cycles(kn.Total) / m.Cycles(sp.Total)
+	if ratio < 2 {
+		t.Fatalf("Knative/SPRIGHT cycle ratio %.1f too small", ratio)
+	}
+}
+
+func TestWithinShareEmptyAudit(t *testing.T) {
+	var r AuditResult
+	if r.WithinShare(func(a cost.Audit) int { return a.Copies }) != 0 {
+		t.Fatal("empty audit share must be 0")
+	}
+}

@@ -1,0 +1,308 @@
+package platform
+
+import (
+	"testing"
+
+	"github.com/spright-go/spright/internal/sim"
+	"github.com/spright-go/spright/internal/workload"
+)
+
+// twoFnSeq is the fig5 chain: two generic functions.
+var twoFnSeq = []int{1, 2}
+
+func sprightParams(v SprightVariant) SprightParams {
+	return SprightParams{
+		Variant:       v,
+		GatewayCycles: 30e3,
+		AppCycles:     ConstFnCost(40e3),
+		Concurrency:   32,
+	}
+}
+
+func runFig5Style(t *testing.T, mk func(eng *sim.Engine) Pipeline, conc int, dur sim.Time) *Result {
+	t.Helper()
+	eng := sim.NewEngine()
+	p := mk(eng)
+	return RunClosedLoop(eng, p, RunOptions{
+		Concurrency: conc,
+		Duration:    dur,
+		Seq:         twoFnSeq,
+		Seed:        7,
+	})
+}
+
+func mkS(eng *sim.Engine) Pipeline {
+	return NewSpright("t", eng, DefaultConfig(), twoFnSeq, sprightParams(SVariant))
+}
+func mkD(eng *sim.Engine) Pipeline {
+	return NewSpright("t", eng, DefaultConfig(), twoFnSeq, sprightParams(DVariant))
+}
+func mkKn(eng *sim.Engine) Pipeline {
+	return NewKnative("t", eng, DefaultConfig(), twoFnSeq, DefaultKnativeFig5())
+}
+func mkG(eng *sim.Engine) Pipeline {
+	return NewGRPC("t", eng, DefaultConfig(), twoFnSeq, GRPCParams{
+		FnRuntimeCycles: 150e3, AppCycles: ConstFnCost(40e3), Concurrency: 32,
+	})
+}
+
+// TestFig5Shape verifies the headline comparison of §3.2.2 at concurrency
+// 32: RPS(D) ≳ RPS(S) ≫ RPS(Kn); latency(Kn) ≫ latency(S) ≳ latency(D);
+// CPU(D) > CPU(S) due to polling.
+func TestFig5Shape(t *testing.T) {
+	dur := sim.Time(20e9)
+	s := runFig5Style(t, mkS, 32, dur)
+	d := runFig5Style(t, mkD, 32, dur)
+	kn := runFig5Style(t, mkKn, 32, dur)
+
+	rps := func(r *Result) float64 { return float64(r.Completed) / dur.Seconds() }
+
+	if rps(s) < 4*rps(kn) {
+		t.Errorf("S-SPRIGHT RPS %.0f should be ≫ Knative %.0f (paper: ~5.7x)", rps(s), rps(kn))
+	}
+	if rps(d) < rps(s) {
+		t.Errorf("D-SPRIGHT RPS %.0f should be ≥ S-SPRIGHT %.0f", rps(d), rps(s))
+	}
+	if rps(d) > 2*rps(s) {
+		t.Errorf("D/S RPS gap too large: %.0f vs %.0f (paper: 1.2x)", rps(d), rps(s))
+	}
+	if kn.Latency.Mean() < 3*s.Latency.Mean() {
+		t.Errorf("Knative latency %.3fms should be ≫ S-SPRIGHT %.3fms",
+			kn.Latency.Mean()*1e3, s.Latency.Mean()*1e3)
+	}
+	if d.Latency.Mean() > s.Latency.Mean()*1.5 {
+		t.Errorf("D-SPRIGHT latency %.3fms should not exceed S-SPRIGHT %.3fms",
+			d.Latency.Mean()*1e3, s.Latency.Mean()*1e3)
+	}
+	// CPU: D is polling-flat (gateway 2 + 2 fn cores = 4); S is load-
+	// proportional and must be lower; Knative far higher than S.
+	if got := d.TotalMeanCPU(); got < 3.5 {
+		t.Errorf("D-SPRIGHT CPU %.1f cores, want ~4 (pollers)", got)
+	}
+	if s.TotalMeanCPU() >= d.TotalMeanCPU() {
+		t.Errorf("S CPU %.1f must be below D %.1f", s.TotalMeanCPU(), d.TotalMeanCPU())
+	}
+	if kn.TotalMeanCPU() < 2*s.TotalMeanCPU() {
+		t.Errorf("Knative CPU %.1f should be ≫ S-SPRIGHT %.1f", kn.TotalMeanCPU(), s.TotalMeanCPU())
+	}
+}
+
+// TestSSprightIdleCPUZero: the load-proportionality property — no traffic,
+// no S-SPRIGHT CPU; D-SPRIGHT still burns its poller cores (§3.2.2).
+func TestSSprightIdleCPUZero(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewSpright("t", eng, DefaultConfig(), twoFnSeq, sprightParams(SVariant))
+	eng.Run(sim.Time(10e9))
+	res := NewResult("idle", 1.0)
+	s.Collect(res)
+	if res.TotalMeanCPU() > 0.001 {
+		t.Fatalf("idle S-SPRIGHT CPU %.3f cores, want 0", res.TotalMeanCPU())
+	}
+
+	eng2 := sim.NewEngine()
+	d := NewSpright("t", eng2, DefaultConfig(), twoFnSeq, sprightParams(DVariant))
+	eng2.Run(sim.Time(10e9))
+	res2 := NewResult("idle", 1.0)
+	d.Collect(res2)
+	if res2.TotalMeanCPU() < 3.5 {
+		t.Fatalf("idle D-SPRIGHT CPU %.3f cores, want ~4 (pollers burn regardless)", res2.TotalMeanCPU())
+	}
+}
+
+// TestGRPCBetweenKnativeAndSpright: under boutique-like per-visit costs
+// (a heavy Go gRPC stack vs SPRIGHT's C functions), gRPC removes sidecars
+// and the broker so it beats Knative, but it still pays kernel + gRPC
+// serde per hop so it loses to SPRIGHT in latency and burns far more CPU
+// (the Fig. 10 ordering).
+func TestGRPCBetweenKnativeAndSpright(t *testing.T) {
+	dur := sim.Time(20e9)
+	app := ConstFnCost(220e3) // ~0.1ms per visit
+	run := func(mk func(eng *sim.Engine) Pipeline) *Result {
+		eng := sim.NewEngine()
+		return RunClosedLoop(eng, mk(eng), RunOptions{
+			Concurrency: 2000,
+			Duration:    dur,
+			Seq:         twoFnSeq,
+			Think:       func(r *sim.Rand) sim.Time { return sim.Time(100e6) },
+			Seed:        7,
+		})
+	}
+	s := run(func(eng *sim.Engine) Pipeline {
+		p := sprightParams(SVariant)
+		p.AppCycles = app
+		return NewSpright("t", eng, DefaultConfig(), twoFnSeq, p)
+	})
+	g := run(func(eng *sim.Engine) Pipeline {
+		return NewGRPC("t", eng, DefaultConfig(), twoFnSeq, GRPCParams{
+			FnRuntimeCycles: 1.2e6, AppCycles: app, Concurrency: 32, Replicas: 4,
+		})
+	})
+	kn := run(func(eng *sim.Engine) Pipeline {
+		p := DefaultKnativeFig5()
+		p.BrokerCycles = 700e3 // Istio ingress mediation
+		p.FnRuntimeCycles = 1.2e6
+		p.AppCycles = app
+		p.Replicas = 4
+		return NewKnative("t", eng, DefaultConfig(), twoFnSeq, p)
+	})
+	if g.Latency.Mean() <= s.Latency.Mean() {
+		t.Errorf("gRPC latency %.3fms should exceed S-SPRIGHT %.3fms",
+			g.Latency.Mean()*1e3, s.Latency.Mean()*1e3)
+	}
+	if g.Latency.Mean() >= kn.Latency.Mean() {
+		t.Errorf("gRPC latency %.3fms should be below Knative %.3fms",
+			g.Latency.Mean()*1e3, kn.Latency.Mean()*1e3)
+	}
+	if g.TotalMeanCPU() < 2*s.TotalMeanCPU() {
+		t.Errorf("gRPC CPU %.1f cores should be ≫ S-SPRIGHT %.1f", g.TotalMeanCPU(), s.TotalMeanCPU())
+	}
+}
+
+// TestConcurrencySweepLatencyGrows: latency grows and RPS saturates as
+// closed-loop concurrency rises (the fig5a curves).
+func TestConcurrencySweepLatencyGrows(t *testing.T) {
+	var prevRPS float64
+	var lat1, lat128 float64
+	for _, conc := range []int{1, 32, 128} {
+		r := runFig5Style(t, mkS, conc, sim.Time(10e9))
+		rps := float64(r.Completed) / 10
+		if rps+1 < prevRPS*0.7 {
+			t.Fatalf("RPS collapsed at conc %d: %.0f after %.0f", conc, rps, prevRPS)
+		}
+		prevRPS = rps
+		if conc == 1 {
+			lat1 = r.Latency.Mean()
+		}
+		if conc == 128 {
+			lat128 = r.Latency.Mean()
+		}
+	}
+	if lat128 <= lat1 {
+		t.Fatalf("latency must grow with concurrency: %.4f vs %.4f", lat1, lat128)
+	}
+}
+
+// TestKnativeColdStart: a request arriving at a zero-scaled chain pays the
+// cold-start cascade; subsequent requests within the grace window do not.
+func TestKnativeColdStart(t *testing.T) {
+	eng := sim.NewEngine()
+	p := DefaultKnativeFig5()
+	p.ZeroScale = &ZeroScaleParams{
+		Grace:           sim.Time(30e9),
+		ColdStart:       sim.Time(2500e6),
+		TerminatingHold: sim.Time(80e9),
+		StartupCycles:   2e9,
+		TerminatingRate: 0.3,
+	}
+	kn := NewKnative("t", eng, DefaultConfig(), twoFnSeq, p)
+
+	var first, second sim.Time
+	kn.Submit(twoFnSeq, 128, func(lat sim.Time) { first = lat })
+	eng.Run(sim.Time(20e9))
+	// warm now: second request inside the grace period
+	kn.Submit(twoFnSeq, 128, func(lat sim.Time) { second = lat })
+	eng.Run(sim.Time(40e9))
+
+	if first < sim.Time(5e9) {
+		t.Fatalf("cold-start latency %.2fs too low: the 2-fn cascade must pay ≥ 2 cold starts", first.Seconds())
+	}
+	if second > sim.Time(1e9) {
+		t.Fatalf("warm latency %.3fs too high", second.Seconds())
+	}
+	if kn.ColdStarts() != 2 {
+		t.Fatalf("cold starts %d, want 2 (one per function, cascading)", kn.ColdStarts())
+	}
+}
+
+// TestKnativeScaleToZeroAfterGrace: pods scale down after the grace period
+// and the next request is cold again.
+func TestKnativeScaleToZeroAfterGrace(t *testing.T) {
+	eng := sim.NewEngine()
+	p := DefaultKnativeFig5()
+	p.ZeroScale = &ZeroScaleParams{
+		Grace:     sim.Time(30e9),
+		ColdStart: sim.Time(2e9),
+	}
+	kn := NewKnative("t", eng, DefaultConfig(), twoFnSeq, p)
+	kn.Submit(twoFnSeq, 128, func(sim.Time) {})
+	eng.Run(sim.Time(100e9)) // run far past the grace period
+
+	var lat sim.Time
+	kn.Submit(twoFnSeq, 128, func(l sim.Time) { lat = l })
+	eng.Run(sim.Time(200e9))
+	if lat < sim.Time(2e9) {
+		t.Fatalf("request after grace expiry must cold start again, lat=%.2fs", lat.Seconds())
+	}
+	if kn.ColdStarts() != 4 {
+		t.Fatalf("cold starts %d, want 4", kn.ColdStarts())
+	}
+}
+
+// TestKnativePrewarmAvoidsColdStart: pre-warming before a known burst
+// eliminates the cold-start latency at CPU cost (§4.2.2 / Fig. 12).
+func TestKnativePrewarmAvoidsColdStart(t *testing.T) {
+	eng := sim.NewEngine()
+	p := DefaultKnativeFig5()
+	p.ZeroScale = &ZeroScaleParams{
+		Grace:         sim.Time(30e9),
+		ColdStart:     sim.Time(2e9),
+		StartupCycles: 4e9,
+		PrewarmAt:     []sim.Time{sim.Time(220e9)}, // 20s before a burst at 240s
+	}
+	kn := NewKnative("t", eng, DefaultConfig(), twoFnSeq, p)
+	var lat sim.Time
+	eng.At(sim.Time(240e9), func() {
+		kn.Submit(twoFnSeq, 3072, func(l sim.Time) { lat = l })
+	})
+	eng.Run(sim.Time(300e9))
+	if lat == 0 || lat > sim.Time(500e6) {
+		t.Fatalf("pre-warmed burst must avoid cold start, lat=%.3fs", lat.Seconds())
+	}
+	if kn.ColdStarts() != 0 {
+		t.Fatalf("prewarm counts as cold start? got %d", kn.ColdStarts())
+	}
+}
+
+// TestSprightTraceIdleCPU: with the intermittent motion trace, S-SPRIGHT's
+// CPU is negligible while Knative pays cold starts (Fig. 11's contrast).
+func TestMotionTraceContrast(t *testing.T) {
+	events := workload.MotionTrace(workload.MotionTraceConfig{
+		Duration: sim.Time(600e9), MeanIdle: sim.Time(90e9),
+		BurstEvents: 6, IntraBurst: sim.Time(3e9), Size: 128, Seed: 5,
+	})
+	if len(events) == 0 {
+		t.Skip("empty trace")
+	}
+	seq := []int{1, 2}
+	appCost := ConstFnCost(2.2e6) // 1ms service time per fn (§4.1)
+
+	engS := sim.NewEngine()
+	sp := sprightParams(SVariant)
+	sp.AppCycles = appCost
+	s := NewSpright("motion", engS, DefaultConfig(), seq, sp)
+	resS := RunTrace(engS, s, events, seq, sim.Time(600e9))
+
+	engK := sim.NewEngine()
+	kp := DefaultKnativeFig5()
+	kp.AppCycles = appCost
+	kp.ZeroScale = &ZeroScaleParams{
+		Grace: sim.Time(30e9), ColdStart: sim.Time(2500e6),
+		StartupCycles: 2e9, TerminatingHold: sim.Time(80e9), TerminatingRate: 0.2,
+	}
+	kn := NewKnative("motion", engK, DefaultConfig(), seq, kp)
+	resK := RunTrace(engK, kn, events, seq, sim.Time(600e9))
+
+	if resS.Completed != uint64(len(events)) {
+		t.Fatalf("SPRIGHT completed %d of %d", resS.Completed, len(events))
+	}
+	if kn.ColdStarts() == 0 {
+		t.Fatal("intermittent trace must trigger Knative cold starts")
+	}
+	if resK.Latency.Quantile(0.99) < 50*resS.Latency.Quantile(0.99) {
+		t.Errorf("Knative p99 %.3fs vs SPRIGHT %.4fs: cold-start tail missing",
+			resK.Latency.Quantile(0.99), resS.Latency.Quantile(0.99))
+	}
+	if resS.Latency.Max() > 0.1 {
+		t.Errorf("SPRIGHT (warm) max latency %.3fs too high", resS.Latency.Max())
+	}
+}

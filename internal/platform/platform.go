@@ -1,0 +1,180 @@
+// Package platform contains discrete-event models of the four compared
+// dataplanes — Knative, gRPC direct-call, D-SPRIGHT (polling rings) and
+// S-SPRIGHT (event-driven SPROXY) — that regenerate the paper's
+// comparative evaluation (Figs. 2, 5, 9–12, Tables 1, 2, 5).
+//
+// Every pipeline is a sequence of stages executing on modeled CPU
+// resources; stage costs come from the shared cost.Model and the same
+// structural hop profiles the netstack audits produce, so throughput,
+// latency and CPU usage all derive from one calibrated currency
+// (CPU cycles at 2.2 GHz) and the pipelines differ only in structure —
+// exactly the paper's argument.
+package platform
+
+import (
+	"github.com/spright-go/spright/internal/cost"
+	"github.com/spright-go/spright/internal/metrics"
+	"github.com/spright-go/spright/internal/sim"
+)
+
+// Config is the shared testbed model: a c220g5-like worker node.
+type Config struct {
+	Model          cost.Model
+	NodeCores      int      // shared cores for functions/sidecars (paper: 40)
+	GatewayCores   int      // dedicated front-end / SPRIGHT-gateway cores (paper: 2)
+	SampleInterval sim.Time // CPU usage sampling window
+}
+
+// DefaultConfig mirrors the paper's testbed.
+func DefaultConfig() Config {
+	return Config{
+		Model:          cost.DefaultModel(),
+		NodeCores:      40,
+		GatewayCores:   2,
+		SampleInterval: sim.Time(1e9),
+	}
+}
+
+// cyclesToTime converts cycles to virtual duration under the model.
+func (c Config) cyclesToTime(cycles float64) sim.Time {
+	return sim.Time(cycles / c.Model.HzPerCore * 1e9)
+}
+
+// Component is one schedulable entity (a function deployment, a gateway, a
+// broker): work runs on its CPU set under its accounting group, optionally
+// bounded by a concurrency limit (requests beyond it wait in the
+// component's queue — Knative's container concurrency).
+type Component struct {
+	eng   *sim.Engine
+	cfg   Config
+	cpu   *sim.CPUSet
+	group string
+
+	conc     int // concurrency limit (0 = unbounded)
+	inflight int
+	waitq    []queued
+
+	// Polling marks DPDK-style components whose cores are always busy;
+	// usage reporting returns their full core count.
+	Polling      bool
+	PollingCores int
+}
+
+type queued struct {
+	cycles float64
+	then   func()
+}
+
+// NewComponent binds a component to a CPU set and accounting group.
+func NewComponent(eng *sim.Engine, cfg Config, cpu *sim.CPUSet, group string, conc int) *Component {
+	return &Component{eng: eng, cfg: cfg, cpu: cpu, group: group, conc: conc}
+}
+
+// Do schedules `cycles` of work; then runs at completion. Honors the
+// concurrency limit.
+func (c *Component) Do(cycles float64, then func()) {
+	if c.conc > 0 && c.inflight >= c.conc {
+		c.waitq = append(c.waitq, queued{cycles, then})
+		return
+	}
+	c.start(cycles, then)
+}
+
+func (c *Component) start(cycles float64, then func()) {
+	c.inflight++
+	c.cpu.Exec(c.group, c.cfg.cyclesToTime(cycles), func() {
+		c.inflight--
+		if len(c.waitq) > 0 {
+			next := c.waitq[0]
+			c.waitq = c.waitq[1:]
+			c.start(next.cycles, next.then)
+		}
+		then()
+	})
+}
+
+// Inflight returns current inflight work (including queued).
+func (c *Component) Inflight() int { return c.inflight + len(c.waitq) }
+
+// Result is one experiment run's measured outputs.
+type Result struct {
+	Name      string
+	Latency   *metrics.Histogram
+	RPS       *metrics.TimeSeries
+	Resp      *metrics.TimeSeries            // mean response time series
+	CPU       map[string]*metrics.TimeSeries // usage (cores) by group
+	PerClass  map[int]*metrics.Histogram     // per request class (e.g. per chain)
+	Completed uint64
+}
+
+// NewResult allocates the standard collectors.
+func NewResult(name string, window float64) *Result {
+	return &Result{
+		Name:    name,
+		Latency: metrics.NewHistogram(),
+		RPS:     metrics.NewTimeSeries(window, metrics.ModeRate),
+		Resp:    metrics.NewTimeSeries(window, metrics.ModeMean),
+		CPU:     map[string]*metrics.TimeSeries{},
+	}
+}
+
+// Observe records one completed request.
+func (r *Result) Observe(at sim.Time, latency sim.Time) {
+	sec := at.Seconds()
+	r.RPS.Observe(sec, 1)
+	r.Resp.Observe(sec, latency.Seconds())
+	r.Latency.Observe(latency.Seconds())
+	r.Completed++
+}
+
+// ObserveClass records one completed request of a class (per-chain CDFs).
+func (r *Result) ObserveClass(class int, at sim.Time, latency sim.Time) {
+	r.Observe(at, latency)
+	if r.PerClass == nil {
+		r.PerClass = make(map[int]*metrics.Histogram)
+	}
+	h, ok := r.PerClass[class]
+	if !ok {
+		h = metrics.NewHistogram()
+		r.PerClass[class] = h
+	}
+	h.Observe(latency.Seconds())
+}
+
+// ObserveCPU appends one CPU usage sample for a group.
+func (r *Result) ObserveCPU(group string, at sim.Time, cores float64) {
+	ts, ok := r.CPU[group]
+	if !ok {
+		ts = metrics.NewTimeSeries(1.0, metrics.ModeMean)
+		r.CPU[group] = ts
+	}
+	ts.Observe(at.Seconds(), cores)
+}
+
+// CollectGroupCPU copies a CPU set's sampled usage for selected groups
+// into the result, honoring polling components' always-busy semantics.
+func (r *Result) CollectGroupCPU(cpu *sim.CPUSet, groups map[string]string) {
+	for src, dst := range groups {
+		for _, s := range cpu.GroupSamples(src) {
+			r.ObserveCPU(dst, s.At, s.Busy)
+		}
+	}
+}
+
+// MeanCPU returns the time-averaged usage (cores) of a group.
+func (r *Result) MeanCPU(group string) float64 {
+	ts, ok := r.CPU[group]
+	if !ok {
+		return 0
+	}
+	return ts.Mean()
+}
+
+// TotalMeanCPU sums mean usage across all groups.
+func (r *Result) TotalMeanCPU() float64 {
+	var sum float64
+	for g := range r.CPU {
+		sum += r.MeanCPU(g)
+	}
+	return sum
+}

@@ -1,0 +1,82 @@
+package platform
+
+import (
+	"github.com/spright-go/spright/internal/sim"
+	"github.com/spright-go/spright/internal/workload"
+)
+
+// RunClosedLoop drives a pipeline with an ab/Locust-style closed loop for
+// the given virtual duration and returns the measured result. warmup
+// seconds at the start are excluded from latency/RPS collection.
+type RunOptions struct {
+	Concurrency int
+	SpawnPerSec float64
+	Think       func(*sim.Rand) sim.Time
+	Duration    sim.Time
+	Warmup      sim.Time
+	Seed        uint64
+
+	// Seq is the fixed visit sequence per request; alternatively set
+	// Seqs (the request classes) with PickClass choosing one per issue.
+	Seq       []int
+	Seqs      [][]int
+	PickClass func(r *sim.Rand) int
+	// Size selects the payload size per request (nil = fixed 100 B).
+	PickSize func(r *sim.Rand) int
+}
+
+// RunClosedLoop executes the workload against the pipeline on eng.
+func RunClosedLoop(eng *sim.Engine, p Pipeline, opt RunOptions) *Result {
+	res := NewResult(p.Name(), 1.0)
+	rng := sim.NewRand(opt.Seed + 1)
+	size := func() int {
+		if opt.PickSize != nil {
+			return opt.PickSize(rng)
+		}
+		return 100
+	}
+	pick := func() (int, []int) {
+		if len(opt.Seqs) > 0 {
+			class := 0
+			if opt.PickClass != nil {
+				class = opt.PickClass(rng)
+			}
+			return class, opt.Seqs[class]
+		}
+		return 0, opt.Seq
+	}
+	cl := &workload.ClosedLoop{
+		Eng:         eng,
+		Concurrency: opt.Concurrency,
+		SpawnPerSec: opt.SpawnPerSec,
+		ThinkTime:   opt.Think,
+		Seed:        opt.Seed,
+		Issue: func(_ int, done func()) {
+			issueAt := eng.Now()
+			class, seq := pick()
+			p.Submit(seq, size(), func(lat sim.Time) {
+				if issueAt >= opt.Warmup {
+					res.ObserveClass(class, eng.Now(), lat)
+				}
+				done()
+			})
+		},
+	}
+	cl.Start()
+	eng.Run(opt.Duration)
+	p.Collect(res)
+	return res
+}
+
+// RunTrace drives a pipeline with an open-loop event trace (Figs. 11–12).
+func RunTrace(eng *sim.Engine, p Pipeline, events []workload.Event, seq []int, duration sim.Time) *Result {
+	res := NewResult(p.Name(), 1.0)
+	workload.Replay(eng, events, func(ev workload.Event) {
+		p.Submit(seq, ev.Size, func(lat sim.Time) {
+			res.Observe(eng.Now(), lat)
+		})
+	})
+	eng.Run(duration)
+	p.Collect(res)
+	return res
+}

@@ -1,0 +1,49 @@
+package proto
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// CloudEvent is the interoperability envelope (§3.6) the protocol adapters
+// normalize application-specific messages into, per the CloudEvents 1.0
+// spec's required attributes.
+type CloudEvent struct {
+	SpecVersion string `json:"specversion"`
+	ID          string `json:"id"`
+	Source      string `json:"source"`
+	Type        string `json:"type"`
+	Subject     string `json:"subject,omitempty"`
+	Data        []byte `json:"data,omitempty"`
+}
+
+// Validate checks the required attributes.
+func (e *CloudEvent) Validate() error {
+	if e.SpecVersion != "1.0" {
+		return fmt.Errorf("%w: cloudevent specversion %q", ErrMalformed, e.SpecVersion)
+	}
+	if e.ID == "" || e.Source == "" || e.Type == "" {
+		return fmt.Errorf("%w: cloudevent missing required attribute", ErrMalformed)
+	}
+	return nil
+}
+
+// MarshalCloudEvent serializes the event in JSON structured mode.
+func MarshalCloudEvent(e *CloudEvent) ([]byte, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(e)
+}
+
+// UnmarshalCloudEvent parses and validates a structured-mode event.
+func UnmarshalCloudEvent(data []byte) (*CloudEvent, error) {
+	var e CloudEvent
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}

@@ -1,0 +1,46 @@
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// gRPC-style framing: the 5-byte message prefix (1-byte compressed flag +
+// 4-byte big-endian length) used on every gRPC data frame, preceded here by
+// a length-prefixed method path so a frame is self-describing. This is the
+// transport of the online-boutique baseline (§4.1): its
+// serialization/deserialization cost is what the gRPC mode pays on every
+// inter-function call.
+
+// MarshalGRPC frames a call to `fullMethod` with the given message bytes.
+func MarshalGRPC(fullMethod string, msg []byte) []byte {
+	out := make([]byte, 2+len(fullMethod)+5+len(msg))
+	binary.BigEndian.PutUint16(out[0:2], uint16(len(fullMethod)))
+	copy(out[2:], fullMethod)
+	p := 2 + len(fullMethod)
+	out[p] = 0 // uncompressed
+	binary.BigEndian.PutUint32(out[p+1:p+5], uint32(len(msg)))
+	copy(out[p+5:], msg)
+	return out
+}
+
+// UnmarshalGRPC parses a frame produced by MarshalGRPC.
+func UnmarshalGRPC(data []byte) (fullMethod string, msg []byte, err error) {
+	if len(data) < 2 {
+		return "", nil, fmt.Errorf("%w: short gRPC frame", ErrMalformed)
+	}
+	ml := int(binary.BigEndian.Uint16(data[0:2]))
+	if len(data) < 2+ml+5 {
+		return "", nil, fmt.Errorf("%w: truncated gRPC method", ErrMalformed)
+	}
+	fullMethod = string(data[2 : 2+ml])
+	p := 2 + ml
+	if data[p] != 0 {
+		return "", nil, fmt.Errorf("%w: compressed gRPC frames unsupported", ErrMalformed)
+	}
+	n := int(binary.BigEndian.Uint32(data[p+1 : p+5]))
+	if len(data) < p+5+n {
+		return "", nil, fmt.Errorf("%w: truncated gRPC body: have %d want %d", ErrMalformed, len(data)-p-5, n)
+	}
+	return fullMethod, append([]byte(nil), data[p+5:p+5+n]...), nil
+}

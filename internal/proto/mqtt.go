@@ -1,0 +1,115 @@
+package proto
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// MQTT-lite: the subset of MQTT 5.0 the motion-detection workload needs —
+// CONNECT/CONNACK for the stateful L7 session (handled by the SPRIGHT
+// gateway per §3.6) and PUBLISH carrying sensor events. Wire format follows
+// the MQTT fixed-header scheme: packet type in the top nibble and a varint
+// "remaining length".
+
+// MQTT packet types (high nibble of the first byte).
+const (
+	MQTTConnect  byte = 0x10
+	MQTTConnAck  byte = 0x20
+	MQTTPublish  byte = 0x30
+	MQTTDisconnect byte = 0xE0
+)
+
+func mqttEncodeVarint(n int) []byte {
+	var out []byte
+	for {
+		b := byte(n % 128)
+		n /= 128
+		if n > 0 {
+			b |= 0x80
+		}
+		out = append(out, b)
+		if n == 0 {
+			return out
+		}
+	}
+}
+
+func mqttDecodeVarint(data []byte) (n, used int, err error) {
+	mult := 1
+	for i := 0; i < len(data) && i < 4; i++ {
+		n += int(data[i]&0x7f) * mult
+		if data[i]&0x80 == 0 {
+			return n, i + 1, nil
+		}
+		mult *= 128
+	}
+	return 0, 0, fmt.Errorf("%w: bad MQTT varint", ErrMalformed)
+}
+
+// MarshalMQTTPublish builds a PUBLISH packet (QoS 0).
+func MarshalMQTTPublish(topic string, payload []byte) []byte {
+	var body bytes.Buffer
+	body.WriteByte(byte(len(topic) >> 8))
+	body.WriteByte(byte(len(topic)))
+	body.WriteString(topic)
+	body.Write(payload)
+
+	var out bytes.Buffer
+	out.WriteByte(MQTTPublish)
+	out.Write(mqttEncodeVarint(body.Len()))
+	out.Write(body.Bytes())
+	return out.Bytes()
+}
+
+// UnmarshalMQTTPublish parses a PUBLISH packet into topic and payload.
+func UnmarshalMQTTPublish(data []byte) (topic string, payload []byte, err error) {
+	if len(data) < 2 || data[0]&0xF0 != MQTTPublish {
+		return "", nil, fmt.Errorf("%w: not an MQTT PUBLISH", ErrMalformed)
+	}
+	rem, used, err := mqttDecodeVarint(data[1:])
+	if err != nil {
+		return "", nil, err
+	}
+	body := data[1+used:]
+	if len(body) < rem {
+		return "", nil, fmt.Errorf("%w: truncated MQTT packet", ErrMalformed)
+	}
+	body = body[:rem]
+	if len(body) < 2 {
+		return "", nil, fmt.Errorf("%w: missing MQTT topic", ErrMalformed)
+	}
+	tl := int(body[0])<<8 | int(body[1])
+	if len(body) < 2+tl {
+		return "", nil, fmt.Errorf("%w: truncated MQTT topic", ErrMalformed)
+	}
+	topic = string(body[2 : 2+tl])
+	payload = append([]byte(nil), body[2+tl:]...)
+	return topic, payload, nil
+}
+
+// MarshalMQTTConnect builds a minimal CONNECT packet with a client ID.
+func MarshalMQTTConnect(clientID string) []byte {
+	var body bytes.Buffer
+	body.WriteString("\x00\x04MQTT\x05\x02\x00\x00") // protocol name, level 5, clean start
+	body.WriteByte(0)                                // no properties
+	body.WriteByte(byte(len(clientID) >> 8))
+	body.WriteByte(byte(len(clientID)))
+	body.WriteString(clientID)
+
+	var out bytes.Buffer
+	out.WriteByte(MQTTConnect)
+	out.Write(mqttEncodeVarint(body.Len()))
+	out.Write(body.Bytes())
+	return out.Bytes()
+}
+
+// IsMQTTConnect reports whether data starts a CONNECT packet.
+func IsMQTTConnect(data []byte) bool {
+	return len(data) > 0 && data[0]&0xF0 == MQTTConnect
+}
+
+// MarshalMQTTConnAck builds the CONNACK reply the gateway sends when
+// terminating the stateful L7 session on behalf of the adapter.
+func MarshalMQTTConnAck() []byte {
+	return []byte{MQTTConnAck, 3, 0x00, 0x00, 0x00} // flags, reason success, no props
+}

@@ -1,0 +1,291 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHTTPRequestRoundTrip(t *testing.T) {
+	m := &Message{
+		Method:  "POST",
+		Path:    "/cart/checkout",
+		Headers: map[string]string{"Host": "boutique", "X-Trace": "abc"},
+		Body:    []byte(`{"user":"u1"}`),
+	}
+	wire := MarshalHTTPRequest(m)
+	got, err := UnmarshalHTTPRequest(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Method != "POST" || got.Path != "/cart/checkout" {
+		t.Fatalf("request line mismatch: %+v", got)
+	}
+	if got.Headers["Host"] != "boutique" || got.Headers["X-Trace"] != "abc" {
+		t.Fatalf("headers mismatch: %+v", got.Headers)
+	}
+	if !bytes.Equal(got.Body, m.Body) {
+		t.Fatalf("body mismatch: %q", got.Body)
+	}
+}
+
+func TestHTTPRequestDefaults(t *testing.T) {
+	wire := MarshalHTTPRequest(&Message{})
+	if !strings.HasPrefix(string(wire), "GET / HTTP/1.1\r\n") {
+		t.Fatalf("defaults wrong: %q", wire)
+	}
+}
+
+func TestHTTPRequestBinaryBodyRoundTrip(t *testing.T) {
+	f := func(body []byte) bool {
+		m := &Message{Method: "POST", Path: "/x", Body: body}
+		got, err := UnmarshalHTTPRequest(MarshalHTTPRequest(m))
+		return err == nil && bytes.Equal(got.Body, body)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPRequestMalformed(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("GET /"),
+		[]byte("GET / HTTP/1.1\r\nbadheader\r\n\r\n"),
+		[]byte("NOT-HTTP\r\n\r\n"),
+		[]byte("GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n"),
+		[]byte("GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+	}
+	for i, c := range cases {
+		if _, err := UnmarshalHTTPRequest(c); !errors.Is(err, ErrMalformed) {
+			t.Errorf("case %d: want ErrMalformed, got %v", i, err)
+		}
+	}
+}
+
+func TestHTTPResponseRoundTrip(t *testing.T) {
+	wire := MarshalHTTPResponse(200, []byte("hello"))
+	status, body, err := UnmarshalHTTPResponse(wire)
+	if err != nil || status != 200 || string(body) != "hello" {
+		t.Fatalf("got %d %q %v", status, body, err)
+	}
+	wire = MarshalHTTPResponse(503, nil)
+	status, body, err = UnmarshalHTTPResponse(wire)
+	if err != nil || status != 503 || len(body) != 0 {
+		t.Fatalf("got %d %q %v", status, body, err)
+	}
+}
+
+func TestHTTPResponseMalformed(t *testing.T) {
+	if _, _, err := UnmarshalHTTPResponse([]byte("garbage")); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("want ErrMalformed, got %v", err)
+	}
+	if _, _, err := UnmarshalHTTPResponse([]byte("WAT 200 OK\r\n\r\n")); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("want ErrMalformed, got %v", err)
+	}
+}
+
+func TestGRPCRoundTrip(t *testing.T) {
+	method := "/hipstershop.CartService/AddItem"
+	msg := []byte{1, 2, 3, 4, 5}
+	wire := MarshalGRPC(method, msg)
+	gm, gb, err := UnmarshalGRPC(wire)
+	if err != nil || gm != method || !bytes.Equal(gb, msg) {
+		t.Fatalf("got %q %v %v", gm, gb, err)
+	}
+}
+
+func TestGRPCRoundTripProperty(t *testing.T) {
+	f := func(method string, msg []byte) bool {
+		if len(method) > 1000 {
+			method = method[:1000]
+		}
+		gm, gb, err := UnmarshalGRPC(MarshalGRPC(method, msg))
+		return err == nil && gm == method && bytes.Equal(gb, msg)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGRPCMalformed(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0},
+		{0, 10, 'a'},                      // method length beyond data
+		{0, 1, 'a', 1, 0, 0, 0, 0},        // compressed flag set
+		{0, 1, 'a', 0, 0, 0, 0, 9, 1, 2},  // body length beyond data
+	}
+	for i, c := range cases {
+		if _, _, err := UnmarshalGRPC(c); !errors.Is(err, ErrMalformed) {
+			t.Errorf("case %d: want ErrMalformed, got %v", i, err)
+		}
+	}
+}
+
+func TestMQTTPublishRoundTrip(t *testing.T) {
+	topic := "sensors/motion/hall-3"
+	payload := []byte(`{"state":"ON"}`)
+	wire := MarshalMQTTPublish(topic, payload)
+	gt, gp, err := UnmarshalMQTTPublish(wire)
+	if err != nil || gt != topic || !bytes.Equal(gp, payload) {
+		t.Fatalf("got %q %q %v", gt, gp, err)
+	}
+}
+
+func TestMQTTPublishLargePayloadVarint(t *testing.T) {
+	// payload large enough to need a 2-byte remaining-length varint
+	payload := bytes.Repeat([]byte{0xAB}, 300)
+	wire := MarshalMQTTPublish("t", payload)
+	_, gp, err := UnmarshalMQTTPublish(wire)
+	if err != nil || !bytes.Equal(gp, payload) {
+		t.Fatalf("varint round trip failed: %v", err)
+	}
+}
+
+func TestMQTTPublishProperty(t *testing.T) {
+	f := func(topicRaw []byte, payload []byte) bool {
+		if len(topicRaw) > 200 {
+			topicRaw = topicRaw[:200]
+		}
+		topic := string(topicRaw)
+		gt, gp, err := UnmarshalMQTTPublish(MarshalMQTTPublish(topic, payload))
+		return err == nil && gt == topic && bytes.Equal(gp, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMQTTMalformed(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x20, 0},              // wrong packet type
+		{0x30, 5, 0},           // truncated
+		{0x30, 1, 9},           // body shorter than topic header
+		{0x30, 3, 0, 9, 'a'},   // topic length beyond body
+	}
+	for i, c := range cases {
+		if _, _, err := UnmarshalMQTTPublish(c); !errors.Is(err, ErrMalformed) {
+			t.Errorf("case %d: want ErrMalformed, got %v", i, err)
+		}
+	}
+}
+
+func TestMQTTConnectHandshake(t *testing.T) {
+	c := MarshalMQTTConnect("camera-7")
+	if !IsMQTTConnect(c) {
+		t.Fatal("CONNECT not recognized")
+	}
+	if IsMQTTConnect(MarshalMQTTPublish("t", nil)) {
+		t.Fatal("PUBLISH misdetected as CONNECT")
+	}
+	ack := MarshalMQTTConnAck()
+	if ack[0] != MQTTConnAck {
+		t.Fatal("CONNACK type wrong")
+	}
+}
+
+func TestCoAPRoundTrip(t *testing.T) {
+	payload := bytes.Repeat([]byte{1}, 3000) // ~3KB snapshot
+	wire := MarshalCoAP(CoAPPost, 42, "parking/spot/17", payload)
+	code, mid, path, body, err := UnmarshalCoAP(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != CoAPPost || mid != 42 || path != "parking/spot/17" || !bytes.Equal(body, payload) {
+		t.Fatalf("got code=%d mid=%d path=%q body=%dB", code, mid, path, len(body))
+	}
+}
+
+func TestCoAPNoPayload(t *testing.T) {
+	wire := MarshalCoAP(CoAPGet, 1, "status", nil)
+	code, _, path, body, err := UnmarshalCoAP(wire)
+	if err != nil || code != CoAPGet || path != "status" || body != nil {
+		t.Fatalf("got %d %q %v %v", code, path, body, err)
+	}
+}
+
+func TestCoAPLongUriPathExtendedOption(t *testing.T) {
+	long := strings.Repeat("a", 300) // forces 14-nibble extended length
+	wire := MarshalCoAP(CoAPPost, 9, long, []byte("x"))
+	_, _, path, _, err := UnmarshalCoAP(wire)
+	if err != nil || path != long {
+		t.Fatalf("extended option round trip failed: %v", err)
+	}
+}
+
+func TestCoAPMalformed(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		{0xC0, 1, 0, 0},       // bad version (3)
+		{0x40, 1, 0, 0, 0xFF}, // payload marker with empty payload
+		{0x40, 1, 0, 0, 0xD0}, // option ext byte missing
+	}
+	for i, c := range cases {
+		if _, _, _, _, err := UnmarshalCoAP(c); !errors.Is(err, ErrMalformed) {
+			t.Errorf("case %d: want ErrMalformed, got %v", i, err)
+		}
+	}
+}
+
+func TestCloudEventRoundTrip(t *testing.T) {
+	e := &CloudEvent{
+		SpecVersion: "1.0",
+		ID:          "evt-1",
+		Source:      "spright/gateway",
+		Type:        "com.example.motion",
+		Subject:     "hall-3",
+		Data:        []byte(`{"state":"ON"}`),
+	}
+	wire, err := MarshalCloudEvent(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalCloudEvent(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != e.ID || got.Source != e.Source || got.Type != e.Type || !bytes.Equal(got.Data, e.Data) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestCloudEventValidation(t *testing.T) {
+	bad := []*CloudEvent{
+		{SpecVersion: "0.3", ID: "x", Source: "s", Type: "t"},
+		{SpecVersion: "1.0", Source: "s", Type: "t"},
+		{SpecVersion: "1.0", ID: "x", Type: "t"},
+		{SpecVersion: "1.0", ID: "x", Source: "s"},
+	}
+	for i, e := range bad {
+		if _, err := MarshalCloudEvent(e); !errors.Is(err, ErrMalformed) {
+			t.Errorf("case %d: want ErrMalformed, got %v", i, err)
+		}
+	}
+	if _, err := UnmarshalCloudEvent([]byte("{not json")); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("want ErrMalformed, got %v", err)
+	}
+}
+
+func TestMessageClone(t *testing.T) {
+	m := &Message{
+		Method:  "GET",
+		Path:    "/p",
+		Headers: map[string]string{"a": "1"},
+		Body:    []byte("body"),
+		Topic:   "t",
+	}
+	c := m.Clone()
+	c.Headers["a"] = "2"
+	c.Body[0] = 'X'
+	if m.Headers["a"] != "1" || m.Body[0] != 'b' {
+		t.Fatal("clone must not alias the original")
+	}
+	if c.Topic != "t" || c.Method != "GET" {
+		t.Fatal("clone must copy fields")
+	}
+}

@@ -1,0 +1,181 @@
+// Package ring implements a DPDK-style lock-free ring buffer (rte_ring) for
+// passing packet descriptors between a producer and a busy-polling consumer.
+// It is the transport behind D-SPRIGHT, the paper's polling-based
+// shared-memory baseline (§3.2.2, Appendix A Fig. 14).
+//
+// The ring is a power-of-two circular buffer of uint64 slots with separate
+// producer and consumer head/tail indices, supporting single- and
+// multi-producer/consumer modes like rte_ring_create's flags parameter.
+package ring
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// Mode selects the synchronization discipline of one side of the ring.
+type Mode int
+
+const (
+	// MP is multi-producer / multi-consumer (rte_ring flags = 0, the
+	// configuration used by the paper).
+	MP Mode = iota
+	// SP is single-producer / single-consumer.
+	SP
+)
+
+// Common ring errors.
+var (
+	ErrFull  = errors.New("ring: full")
+	ErrEmpty = errors.New("ring: empty")
+)
+
+// Ring is a fixed-capacity lock-free FIFO of uint64 items (descriptor
+// words; a 16-byte descriptor is enqueued as its buffer handle with the
+// metadata kept in shared memory, or as two words by the caller).
+type Ring struct {
+	mask  uint64
+	slots []atomic.Uint64
+	seq   []atomic.Uint64 // per-slot sequence numbers (Vyukov MPMC scheme)
+
+	_    [8]uint64 // pad to keep head/tail on separate cache lines
+	head atomic.Uint64
+	_    [8]uint64
+	tail atomic.Uint64
+
+	mode Mode
+}
+
+// New creates a ring with capacity rounded up to the next power of two.
+// Capacity must be at least 2.
+func New(capacity int, mode Mode) (*Ring, error) {
+	if capacity < 2 {
+		return nil, fmt.Errorf("ring: capacity %d too small", capacity)
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	r := &Ring{
+		mask:  uint64(n - 1),
+		slots: make([]atomic.Uint64, n),
+		seq:   make([]atomic.Uint64, n),
+		mode:  mode,
+	}
+	for i := range r.seq {
+		r.seq[i].Store(uint64(i))
+	}
+	return r, nil
+}
+
+// Capacity returns the usable capacity of the ring.
+func (r *Ring) Capacity() int { return len(r.slots) }
+
+// Enqueue inserts one item; it fails with ErrFull when the ring is full
+// (rte_ring_enqueue semantics — non-blocking).
+func (r *Ring) Enqueue(v uint64) error {
+	for {
+		pos := r.head.Load()
+		slot := &r.seq[pos&r.mask]
+		seq := slot.Load()
+		switch {
+		case seq == pos:
+			if r.head.CompareAndSwap(pos, pos+1) {
+				r.slots[pos&r.mask].Store(v)
+				slot.Store(pos + 1)
+				return nil
+			}
+		case seq < pos:
+			return ErrFull
+		}
+		// another producer claimed the slot; retry.
+	}
+}
+
+// Dequeue removes one item; it fails with ErrEmpty when none is available
+// (rte_ring_dequeue semantics — the poller spins around this call).
+func (r *Ring) Dequeue() (uint64, error) {
+	for {
+		pos := r.tail.Load()
+		slot := &r.seq[pos&r.mask]
+		seq := slot.Load()
+		switch {
+		case seq == pos+1:
+			if r.tail.CompareAndSwap(pos, pos+1) {
+				v := r.slots[pos&r.mask].Load()
+				slot.Store(pos + r.mask + 1)
+				return v, nil
+			}
+		case seq <= pos:
+			return 0, ErrEmpty
+		}
+	}
+}
+
+// EnqueueBulk inserts all items or none, returning the number inserted
+// (0 or len(vs)), mirroring rte_ring_enqueue_bulk.
+func (r *Ring) EnqueueBulk(vs []uint64) int {
+	if len(vs) == 0 {
+		return 0
+	}
+	if r.Free() < len(vs) {
+		return 0
+	}
+	for _, v := range vs {
+		if r.Enqueue(v) != nil {
+			// Lost the race against another producer filling the
+			// ring; report partial progress as burst semantics.
+			return 0
+		}
+	}
+	return len(vs)
+}
+
+// DequeueBurst removes up to max items, returning how many were taken
+// (rte_ring_dequeue_burst).
+func (r *Ring) DequeueBurst(out []uint64) int {
+	n := 0
+	for n < len(out) {
+		v, err := r.Dequeue()
+		if err != nil {
+			break
+		}
+		out[n] = v
+		n++
+	}
+	return n
+}
+
+// Len returns the number of items currently queued (approximate under
+// concurrency).
+func (r *Ring) Len() int {
+	h := r.head.Load()
+	t := r.tail.Load()
+	if h < t {
+		return 0
+	}
+	return int(h - t)
+}
+
+// Free returns the approximate free capacity.
+func (r *Ring) Free() int { return len(r.slots) - r.Len() }
+
+// PollDequeue spins until an item arrives or stop returns true. This is the
+// D-SPRIGHT consumer loop: the spin burns CPU whether or not traffic
+// arrives, which is exactly the overhead S-SPRIGHT's event-driven SPROXY
+// eliminates.
+func (r *Ring) PollDequeue(stop func() bool) (uint64, bool) {
+	for spins := 0; ; spins++ {
+		if v, err := r.Dequeue(); err == nil {
+			return v, true
+		}
+		if stop != nil && stop() {
+			return 0, false
+		}
+		if spins%64 == 63 {
+			runtime.Gosched() // keep the host responsive in tests
+		}
+	}
+}

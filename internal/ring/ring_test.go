@@ -1,0 +1,207 @@
+package ring
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	r, err := New(8, SP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 8; i++ {
+		if err := r.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(1); i <= 8; i++ {
+		v, err := r.Dequeue()
+		if err != nil || v != i {
+			t.Fatalf("got %d,%v want %d", v, err, i)
+		}
+	}
+}
+
+func TestFullAndEmpty(t *testing.T) {
+	r, _ := New(2, MP)
+	if _, err := r.Dequeue(); err != ErrEmpty {
+		t.Fatalf("want ErrEmpty, got %v", err)
+	}
+	r.Enqueue(1)
+	r.Enqueue(2)
+	if err := r.Enqueue(3); err != ErrFull {
+		t.Fatalf("want ErrFull, got %v", err)
+	}
+	r.Dequeue()
+	if err := r.Enqueue(3); err != nil {
+		t.Fatalf("space freed, enqueue should work: %v", err)
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	r, _ := New(5, MP)
+	if r.Capacity() != 8 {
+		t.Fatalf("capacity %d want 8 (next power of two)", r.Capacity())
+	}
+	if _, err := New(1, MP); err == nil {
+		t.Fatal("capacity 1 must be rejected")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	r, _ := New(4, MP)
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 3; i++ {
+			if err := r.Enqueue(uint64(round*10 + i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, err := r.Dequeue()
+			if err != nil || v != uint64(round*10+i) {
+				t.Fatalf("round %d: got %d,%v", round, v, err)
+			}
+		}
+	}
+}
+
+func TestLenAndFree(t *testing.T) {
+	r, _ := New(8, MP)
+	for i := 0; i < 5; i++ {
+		r.Enqueue(uint64(i))
+	}
+	if r.Len() != 5 || r.Free() != 3 {
+		t.Fatalf("len=%d free=%d want 5,3", r.Len(), r.Free())
+	}
+}
+
+func TestEnqueueBulkAllOrNothing(t *testing.T) {
+	r, _ := New(4, MP)
+	if n := r.EnqueueBulk([]uint64{1, 2, 3}); n != 3 {
+		t.Fatalf("bulk of 3 into empty 4-ring: got %d", n)
+	}
+	if n := r.EnqueueBulk([]uint64{4, 5}); n != 0 {
+		t.Fatalf("bulk of 2 into ring with 1 free must be all-or-nothing: got %d", n)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("failed bulk must not partially insert: len=%d", r.Len())
+	}
+}
+
+func TestDequeueBurst(t *testing.T) {
+	r, _ := New(8, MP)
+	for i := 0; i < 5; i++ {
+		r.Enqueue(uint64(i))
+	}
+	out := make([]uint64, 8)
+	if n := r.DequeueBurst(out); n != 5 {
+		t.Fatalf("burst got %d want 5", n)
+	}
+	for i := 0; i < 5; i++ {
+		if out[i] != uint64(i) {
+			t.Fatalf("burst order wrong: %v", out[:5])
+		}
+	}
+}
+
+func TestMPMCNoLossNoDuplication(t *testing.T) {
+	r, _ := New(64, MP)
+	const producers, perProducer = 4, 1000
+	const consumers = 4
+	var seen sync.Map
+	var got atomic.Int64
+	var wg sync.WaitGroup
+
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for got.Load() < producers*perProducer {
+				v, err := r.Dequeue()
+				if err != nil {
+					runtime.Gosched()
+					continue
+				}
+				if _, dup := seen.LoadOrStore(v, true); dup {
+					t.Errorf("duplicate item %d", v)
+					return
+				}
+				got.Add(1)
+			}
+		}()
+	}
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				v := uint64(p*perProducer + i)
+				for r.Enqueue(v) != nil {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got.Load() != producers*perProducer {
+		t.Fatalf("received %d items, want %d", got.Load(), producers*perProducer)
+	}
+}
+
+func TestPollDequeueStops(t *testing.T) {
+	r, _ := New(4, MP)
+	stop := atomic.Bool{}
+	done := make(chan bool)
+	go func() {
+		_, ok := r.PollDequeue(stop.Load)
+		done <- ok
+	}()
+	stop.Store(true)
+	if ok := <-done; ok {
+		t.Fatal("poller must report stop, not success")
+	}
+}
+
+func TestPollDequeueReceives(t *testing.T) {
+	r, _ := New(4, MP)
+	done := make(chan uint64)
+	go func() {
+		v, _ := r.PollDequeue(nil)
+		done <- v
+	}()
+	r.Enqueue(42)
+	if v := <-done; v != 42 {
+		t.Fatalf("poller got %d want 42", v)
+	}
+}
+
+// Property: for any operation sequence on a single goroutine, items come
+// out in the order they went in.
+func TestFIFOProperty(t *testing.T) {
+	f := func(vals []uint64) bool {
+		if len(vals) > 64 {
+			vals = vals[:64]
+		}
+		r, _ := New(128, SP)
+		for _, v := range vals {
+			if r.Enqueue(v) != nil {
+				return false
+			}
+		}
+		for _, v := range vals {
+			got, err := r.Dequeue()
+			if err != nil || got != v {
+				return false
+			}
+		}
+		_, err := r.Dequeue()
+		return err == ErrEmpty
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,239 @@
+package shm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Common pool errors.
+var (
+	ErrPoolExhausted = errors.New("shm: pool exhausted")
+	ErrBadHandle     = errors.New("shm: invalid buffer handle")
+	ErrNotOwned      = errors.New("shm: buffer not allocated")
+	ErrClosed        = errors.New("shm: pool closed")
+)
+
+// PoolStats reports allocation behaviour, used by tests and by the metrics
+// agent in the SPRIGHT gateway.
+type PoolStats struct {
+	Capacity  int
+	BufSize   int
+	InUse     int
+	Allocs    uint64
+	Frees     uint64
+	Failures  uint64
+	HighWater int
+}
+
+// Pool is a fixed-capacity slab of equally sized buffers. It is safe for
+// concurrent use. The backing slab is allocated in one piece, mirroring a
+// HugePages-backed DPDK mempool: buffer i is slab[i*bufSize:(i+1)*bufSize].
+type Pool struct {
+	prefix  string
+	bufSize int
+	slab    []byte
+	refs    []atomic.Int32 // 0 = free, >0 = live references
+	lens    []atomic.Int32 // valid payload length per buffer
+
+	mu     sync.Mutex
+	free   []uint32 // LIFO freelist for cache locality
+	closed bool
+
+	allocs    atomic.Uint64
+	frees     atomic.Uint64
+	failures  atomic.Uint64
+	inUse     atomic.Int64
+	highWater atomic.Int64
+}
+
+// NewPool creates a pool of n buffers of bufSize bytes each under the given
+// shared-data file prefix. Prefer Manager.CreatePool, which enforces the
+// primary-process creation rule.
+func NewPool(prefix string, n, bufSize int) (*Pool, error) {
+	if n <= 0 || bufSize <= 0 {
+		return nil, fmt.Errorf("shm: invalid pool geometry n=%d bufSize=%d", n, bufSize)
+	}
+	p := &Pool{
+		prefix:  prefix,
+		bufSize: bufSize,
+		slab:    make([]byte, n*bufSize),
+		refs:    make([]atomic.Int32, n),
+		lens:    make([]atomic.Int32, n),
+		free:    make([]uint32, 0, n),
+	}
+	for i := n - 1; i >= 0; i-- {
+		p.free = append(p.free, uint32(i))
+	}
+	return p, nil
+}
+
+// Prefix returns the pool's shared-data file prefix (its isolation key).
+func (p *Pool) Prefix() string { return p.prefix }
+
+// BufSize returns the fixed buffer size.
+func (p *Pool) BufSize() int { return p.bufSize }
+
+// Capacity returns the number of buffers in the pool.
+func (p *Pool) Capacity() int { return len(p.refs) }
+
+// Get allocates a buffer with reference count 1. It fails with
+// ErrPoolExhausted when no buffer is free — the chain's queueing capacity
+// (§3.2.1) is exactly the pool capacity, so exhaustion is the backpressure
+// signal.
+func (p *Pool) Get() (uint32, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if len(p.free) == 0 {
+		p.mu.Unlock()
+		p.failures.Add(1)
+		return 0, ErrPoolExhausted
+	}
+	h := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	p.mu.Unlock()
+
+	p.refs[h].Store(1)
+	p.lens[h].Store(0)
+	p.allocs.Add(1)
+	in := p.inUse.Add(1)
+	for {
+		hw := p.highWater.Load()
+		if in <= hw || p.highWater.CompareAndSwap(hw, in) {
+			break
+		}
+	}
+	return h, nil
+}
+
+// Ref increments the reference count of a live buffer (multi-consumer
+// fan-out in DFR pub/sub routing).
+func (p *Pool) Ref(h uint32) error {
+	if int(h) >= len(p.refs) {
+		return ErrBadHandle
+	}
+	for {
+		r := p.refs[h].Load()
+		if r <= 0 {
+			return ErrNotOwned
+		}
+		if p.refs[h].CompareAndSwap(r, r+1) {
+			return nil
+		}
+	}
+}
+
+// Put releases one reference; the buffer returns to the freelist when the
+// count reaches zero.
+func (p *Pool) Put(h uint32) error {
+	if int(h) >= len(p.refs) {
+		return ErrBadHandle
+	}
+	for {
+		r := p.refs[h].Load()
+		if r <= 0 {
+			return ErrNotOwned
+		}
+		if !p.refs[h].CompareAndSwap(r, r-1) {
+			continue
+		}
+		if r == 1 {
+			p.frees.Add(1)
+			p.inUse.Add(-1)
+			p.mu.Lock()
+			if !p.closed {
+				p.free = append(p.free, h)
+			}
+			p.mu.Unlock()
+		}
+		return nil
+	}
+}
+
+// Bytes returns the full buffer backing slice for handle h. The returned
+// slice aliases the pool slab: writes are zero-copy visible to every
+// reference holder.
+func (p *Pool) Bytes(h uint32) ([]byte, error) {
+	if int(h) >= len(p.refs) {
+		return nil, ErrBadHandle
+	}
+	if p.refs[h].Load() <= 0 {
+		return nil, ErrNotOwned
+	}
+	off := int(h) * p.bufSize
+	return p.slab[off : off+p.bufSize : off+p.bufSize], nil
+}
+
+// Write copies payload into buffer h and records its length. This is the
+// single copy the SPRIGHT gateway performs when admitting an external
+// request into the chain.
+func (p *Pool) Write(h uint32, payload []byte) (int, error) {
+	b, err := p.Bytes(h)
+	if err != nil {
+		return 0, err
+	}
+	if len(payload) > len(b) {
+		return 0, fmt.Errorf("shm: payload %d exceeds buffer size %d", len(payload), len(b))
+	}
+	n := copy(b, payload)
+	p.lens[h].Store(int32(n))
+	return n, nil
+}
+
+// Payload returns the valid payload slice of buffer h (zero-copy view).
+func (p *Pool) Payload(h uint32) ([]byte, error) {
+	b, err := p.Bytes(h)
+	if err != nil {
+		return nil, err
+	}
+	return b[:p.lens[h].Load()], nil
+}
+
+// SetLen adjusts the valid payload length after in-place mutation.
+func (p *Pool) SetLen(h uint32, n int) error {
+	b, err := p.Bytes(h)
+	if err != nil {
+		return err
+	}
+	if n < 0 || n > len(b) {
+		return fmt.Errorf("shm: length %d out of range [0,%d]", n, len(b))
+	}
+	p.lens[h].Store(int32(n))
+	return nil
+}
+
+// Len returns the valid payload length of buffer h.
+func (p *Pool) Len(h uint32) (int, error) {
+	if int(h) >= len(p.refs) {
+		return 0, ErrBadHandle
+	}
+	if p.refs[h].Load() <= 0 {
+		return 0, ErrNotOwned
+	}
+	return int(p.lens[h].Load()), nil
+}
+
+// Stats returns a snapshot of allocation statistics.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Capacity:  len(p.refs),
+		BufSize:   p.bufSize,
+		InUse:     int(p.inUse.Load()),
+		Allocs:    p.allocs.Load(),
+		Frees:     p.frees.Load(),
+		Failures:  p.failures.Load(),
+		HighWater: int(p.highWater.Load()),
+	}
+}
+
+// Close marks the pool closed; outstanding buffers stay readable until
+// released but no new allocations succeed.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+}

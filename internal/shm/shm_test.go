@@ -1,0 +1,283 @@
+package shm
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestDescriptorRoundTrip(t *testing.T) {
+	f := func(fn, buf, ln, caller uint32) bool {
+		d := Descriptor{NextFn: fn, Buf: buf, Len: ln, Caller: caller}
+		w := d.Marshal()
+		got, err := UnmarshalDescriptor(w[:])
+		return err == nil && got == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescriptorWireSize(t *testing.T) {
+	d := Descriptor{NextFn: 1, Buf: 2, Len: 3, Caller: 4}
+	w := d.Marshal()
+	if len(w) != 16 {
+		t.Fatalf("descriptor must be exactly 16 bytes (paper §3.2.1), got %d", len(w))
+	}
+}
+
+func TestDescriptorShortBuffer(t *testing.T) {
+	if _, err := UnmarshalDescriptor(make([]byte, 15)); err == nil {
+		t.Fatal("short buffer must fail")
+	}
+}
+
+func TestPoolGetPut(t *testing.T) {
+	p, err := NewPool("chain-a", 4, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Write(h, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Payload(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("payload mismatch: %q", got)
+	}
+	if err := p.Put(h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Payload(h); err != ErrNotOwned {
+		t.Fatalf("released buffer must not be readable, got %v", err)
+	}
+}
+
+func TestPoolExhaustionIsBackpressure(t *testing.T) {
+	p, _ := NewPool("x", 2, 64)
+	a, _ := p.Get()
+	b, _ := p.Get()
+	if _, err := p.Get(); err != ErrPoolExhausted {
+		t.Fatalf("want ErrPoolExhausted, got %v", err)
+	}
+	if p.Stats().Failures != 1 {
+		t.Fatal("failure must be counted")
+	}
+	p.Put(a)
+	if _, err := p.Get(); err != nil {
+		t.Fatalf("freed buffer must be reusable: %v", err)
+	}
+	_ = b
+}
+
+func TestPoolZeroCopyAliasing(t *testing.T) {
+	p, _ := NewPool("x", 1, 64)
+	h, _ := p.Get()
+	p.Write(h, []byte("abc"))
+	b1, _ := p.Payload(h)
+	b2, _ := p.Payload(h)
+	b1[0] = 'Z'
+	if b2[0] != 'Z' {
+		t.Fatal("payload views must alias the same slab (zero-copy)")
+	}
+}
+
+func TestPoolRefCounting(t *testing.T) {
+	p, _ := NewPool("x", 1, 64)
+	h, _ := p.Get()
+	if err := p.Ref(h); err != nil {
+		t.Fatal(err)
+	}
+	p.Put(h)
+	if _, err := p.Payload(h); err != nil {
+		t.Fatal("buffer must stay live with one reference remaining")
+	}
+	p.Put(h)
+	if _, err := p.Payload(h); err != ErrNotOwned {
+		t.Fatal("buffer must be freed when last reference drops")
+	}
+	if err := p.Ref(h); err != ErrNotOwned {
+		t.Fatal("Ref on a free buffer must fail")
+	}
+}
+
+func TestPoolWriteOverflow(t *testing.T) {
+	p, _ := NewPool("x", 1, 8)
+	h, _ := p.Get()
+	if _, err := p.Write(h, make([]byte, 9)); err == nil {
+		t.Fatal("oversized write must fail")
+	}
+}
+
+func TestPoolSetLenBounds(t *testing.T) {
+	p, _ := NewPool("x", 1, 8)
+	h, _ := p.Get()
+	if err := p.SetLen(h, 9); err == nil {
+		t.Fatal("SetLen beyond buffer must fail")
+	}
+	if err := p.SetLen(h, -1); err == nil {
+		t.Fatal("negative SetLen must fail")
+	}
+	if err := p.SetLen(h, 8); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := p.Len(h); n != 8 {
+		t.Fatalf("len=%d want 8", n)
+	}
+}
+
+func TestPoolBadHandle(t *testing.T) {
+	p, _ := NewPool("x", 1, 8)
+	if _, err := p.Bytes(99); err != ErrBadHandle {
+		t.Fatalf("want ErrBadHandle, got %v", err)
+	}
+	if err := p.Put(99); err != ErrBadHandle {
+		t.Fatalf("want ErrBadHandle, got %v", err)
+	}
+}
+
+func TestPoolStatsHighWater(t *testing.T) {
+	p, _ := NewPool("x", 8, 16)
+	var hs []uint32
+	for i := 0; i < 5; i++ {
+		h, _ := p.Get()
+		hs = append(hs, h)
+	}
+	for _, h := range hs {
+		p.Put(h)
+	}
+	s := p.Stats()
+	if s.HighWater != 5 {
+		t.Fatalf("high water %d want 5", s.HighWater)
+	}
+	if s.InUse != 0 || s.Allocs != 5 || s.Frees != 5 {
+		t.Fatalf("stats wrong: %+v", s)
+	}
+}
+
+func TestPoolInvalidGeometry(t *testing.T) {
+	if _, err := NewPool("x", 0, 8); err == nil {
+		t.Fatal("zero capacity must fail")
+	}
+	if _, err := NewPool("x", 8, 0); err == nil {
+		t.Fatal("zero buffer size must fail")
+	}
+}
+
+func TestPoolClosedRejectsGet(t *testing.T) {
+	p, _ := NewPool("x", 1, 8)
+	p.Close()
+	if _, err := p.Get(); err != ErrClosed {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestPoolConcurrentGetPut(t *testing.T) {
+	p, _ := NewPool("x", 64, 32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed byte) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h, err := p.Get()
+				if err != nil {
+					continue // exhaustion is legal under contention
+				}
+				if _, err := p.Write(h, []byte{seed}); err != nil {
+					t.Error(err)
+				}
+				b, err := p.Payload(h)
+				if err != nil || b[0] != seed {
+					t.Errorf("corrupted buffer: %v %v", b, err)
+				}
+				if err := p.Put(h); err != nil {
+					t.Error(err)
+				}
+			}
+		}(byte(g))
+	}
+	wg.Wait()
+	if p.Stats().InUse != 0 {
+		t.Fatalf("leaked buffers: %d in use", p.Stats().InUse)
+	}
+}
+
+// Property: under any sequence of get/put operations the number of live
+// buffers never exceeds capacity and frees never exceed allocs.
+func TestPoolAccountingInvariant(t *testing.T) {
+	f := func(ops []bool) bool {
+		p, _ := NewPool("x", 4, 8)
+		var live []uint32
+		for _, get := range ops {
+			if get {
+				if h, err := p.Get(); err == nil {
+					live = append(live, h)
+				}
+			} else if len(live) > 0 {
+				p.Put(live[len(live)-1])
+				live = live[:len(live)-1]
+			}
+			s := p.Stats()
+			if s.InUse != len(live) || s.InUse > s.Capacity || s.Frees > s.Allocs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManagerPrimarySecondary(t *testing.T) {
+	m := NewManager()
+	p, err := m.CreatePool("chain-1", 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Attach("chain-1")
+	if err != nil || got != p {
+		t.Fatalf("secondary attach must return the primary's pool: %v", err)
+	}
+}
+
+func TestManagerIsolationByPrefix(t *testing.T) {
+	m := NewManager()
+	m.CreatePool("chain-1", 8, 64)
+	if _, err := m.Attach("chain-2"); err != ErrUnknownPrefix {
+		t.Fatalf("attaching with a foreign prefix must fail, got %v", err)
+	}
+}
+
+func TestManagerDuplicatePrefixRejected(t *testing.T) {
+	m := NewManager()
+	m.CreatePool("chain-1", 8, 64)
+	if _, err := m.CreatePool("chain-1", 8, 64); err == nil {
+		t.Fatal("duplicate prefix must be rejected")
+	}
+}
+
+func TestManagerRelease(t *testing.T) {
+	m := NewManager()
+	m.CreatePool("chain-1", 8, 64)
+	if err := m.Release("chain-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Attach("chain-1"); err != ErrUnknownPrefix {
+		t.Fatal("released prefix must be unknown")
+	}
+	if err := m.Release("chain-1"); err != ErrUnknownPrefix {
+		t.Fatal("double release must fail")
+	}
+	if m.Pools() != 0 {
+		t.Fatal("pool count should be zero")
+	}
+}

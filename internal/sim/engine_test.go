@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	if n := e.Run(100); n != 3 {
+		t.Fatalf("ran %d events, want 3", n)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("wrong order: %v", order)
+	}
+}
+
+func TestEngineTieBreakIsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run(10)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events must run FIFO, got %v", order)
+		}
+	}
+}
+
+func TestEngineRunStopsAtUntil(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.At(100, func() { ran = true })
+	e.Run(50)
+	if ran {
+		t.Fatal("event past `until` must not run")
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock should advance to until=50, got %d", e.Now())
+	}
+	e.Run(200)
+	if !ran {
+		t.Fatal("event should run on the next window")
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			e.After(10, tick)
+		}
+	}
+	e.After(0, tick)
+	e.Run(1000)
+	if count != 5 {
+		t.Fatalf("tick ran %d times, want 5", count)
+	}
+	if e.Now() != 1000 {
+		t.Fatalf("now=%d want 1000", e.Now())
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past must panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run(200)
+}
+
+func TestEngineHalt(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.At(1, func() { n++; e.Halt() })
+	e.At(2, func() { n++ })
+	e.Run(10)
+	if n != 1 {
+		t.Fatalf("halt should stop after first event, ran %d", n)
+	}
+}
+
+func TestDurationConversion(t *testing.T) {
+	if Duration(time.Millisecond) != 1e6 {
+		t.Fatal("1ms must be 1e6 ticks")
+	}
+	if Time(2e9).Seconds() != 2.0 {
+		t.Fatal("2e9 ticks must be 2 seconds")
+	}
+}
+
+func TestCPUSetSerializesWorkOnOneCore(t *testing.T) {
+	e := NewEngine()
+	c := NewCPUSet(e, "node", 1, 0)
+	var done []Time
+	for i := 0; i < 3; i++ {
+		c.Exec("g", 100, func() { done = append(done, e.Now()) })
+	}
+	e.Run(1000)
+	want := []Time{100, 200, 300}
+	for i, w := range want {
+		if done[i] != w {
+			t.Fatalf("completion %d at %d, want %d (FIFO on one core)", i, done[i], w)
+		}
+	}
+}
+
+func TestCPUSetParallelismAcrossCores(t *testing.T) {
+	e := NewEngine()
+	c := NewCPUSet(e, "node", 4, 0)
+	var last Time
+	for i := 0; i < 4; i++ {
+		c.Exec("g", 100, func() { last = e.Now() })
+	}
+	e.Run(1000)
+	if last != 100 {
+		t.Fatalf("4 items on 4 cores should all finish at 100, last=%d", last)
+	}
+}
+
+func TestCPUSetQueueDelay(t *testing.T) {
+	e := NewEngine()
+	c := NewCPUSet(e, "node", 1, 0)
+	c.Exec("g", 500, nil)
+	if d := c.QueueDelay(); d != 500 {
+		t.Fatalf("queue delay %d, want 500", d)
+	}
+}
+
+func TestCPUSetPollerOccupiesCore(t *testing.T) {
+	e := NewEngine()
+	c := NewCPUSet(e, "node", 2, 0)
+	if !c.AddPoller("dpdk") {
+		t.Fatal("AddPoller failed")
+	}
+	// only one shared core remains: two 100-tick items serialize.
+	var last Time
+	for i := 0; i < 2; i++ {
+		c.Exec("g", 100, func() { last = e.Now() })
+	}
+	e.Run(1000)
+	if last != 200 {
+		t.Fatalf("with a poller, work must serialize on remaining core: last=%d want 200", last)
+	}
+	if got := c.GroupBusy("dpdk"); got != Time(1000) {
+		t.Fatalf("poller busy time %d, want full 1000", got)
+	}
+}
+
+func TestCPUSetPollerExhaustionReturnsFalse(t *testing.T) {
+	e := NewEngine()
+	c := NewCPUSet(e, "node", 1, 0)
+	if !c.AddPoller("p1") {
+		t.Fatal("first poller should fit")
+	}
+	if c.AddPoller("p2") {
+		t.Fatal("second poller must not fit on a 1-core set")
+	}
+}
+
+func TestCPUSetUsageSampling(t *testing.T) {
+	e := NewEngine()
+	c := NewCPUSet(e, "node", 2, 1000)
+	// keep one core 100% busy for 10 windows
+	var feed func()
+	feed = func() {
+		if e.Now() < 10000 {
+			c.Exec("busy", 1000, feed)
+		}
+	}
+	feed()
+	e.Run(10000)
+	s := c.Samples()
+	if len(s) == 0 {
+		t.Fatal("no samples collected")
+	}
+	// one of two cores busy -> about 1.0 core busy per window
+	mid := s[len(s)/2]
+	if mid.Busy < 0.9 || mid.Busy > 1.1 {
+		t.Fatalf("expected ~1 core busy, got %v", mid.Busy)
+	}
+	gs := c.GroupSamples("busy")
+	if len(gs) == 0 {
+		t.Fatal("no group samples")
+	}
+}
+
+func TestCPUSetGroupBusyAccounting(t *testing.T) {
+	e := NewEngine()
+	c := NewCPUSet(e, "node", 2, 0)
+	c.Exec("a", 300, nil)
+	c.Exec("b", 200, nil)
+	e.Run(1000)
+	if c.GroupBusy("a") != 300 || c.GroupBusy("b") != 200 {
+		t.Fatalf("group accounting wrong: a=%d b=%d", c.GroupBusy("a"), c.GroupBusy("b"))
+	}
+	if c.TotalBusy() != 500 {
+		t.Fatalf("total busy %d want 500", c.TotalBusy())
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(7)
+	f := func(_ uint8) bool {
+		v := r.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestRandExpMean(t *testing.T) {
+	r := NewRand(11)
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(5.0)
+	}
+	mean := sum / float64(n)
+	if mean < 4.5 || mean > 5.5 {
+		t.Fatalf("exponential mean drifted: %v", mean)
+	}
+}
+
+func TestRandZeroSeedUsable(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed must be remapped to a usable state")
+	}
+}

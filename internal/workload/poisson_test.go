@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/spright-go/spright/internal/sim"
+)
+
+func TestPoissonOpenLoopRate(t *testing.T) {
+	eng := sim.NewEngine()
+	count := 0
+	p := &PoissonOpenLoop{
+		Eng:   eng,
+		Rate:  100,
+		Seed:  3,
+		Issue: func(done func()) { count++; done() },
+	}
+	p.Start()
+	eng.Run(sim.Time(100e9)) // 100 virtual seconds
+	// ~10000 arrivals expected; Poisson sd ~100
+	if count < 9500 || count > 10500 {
+		t.Fatalf("arrivals %d, want ~10000", count)
+	}
+	if p.Issued() != count {
+		t.Fatalf("issued %d != counted %d", p.Issued(), count)
+	}
+}
+
+func TestPoissonOpenLoopIsOpenLoop(t *testing.T) {
+	// arrivals must not slow down when requests never complete
+	eng := sim.NewEngine()
+	count := 0
+	p := &PoissonOpenLoop{
+		Eng:  eng,
+		Rate: 50,
+		Seed: 5,
+		Issue: func(done func()) {
+			count++ // never call done
+		},
+	}
+	p.Start()
+	eng.Run(sim.Time(10e9))
+	if count < 400 {
+		t.Fatalf("open loop stalled: %d arrivals in 10s at 50/s", count)
+	}
+}
+
+func TestPoissonOpenLoopStop(t *testing.T) {
+	eng := sim.NewEngine()
+	p := &PoissonOpenLoop{Eng: eng, Rate: 1000, Seed: 1, Issue: func(done func()) {}}
+	p.Start()
+	eng.Run(sim.Time(1e9))
+	at := p.Issued()
+	p.Stop()
+	eng.Run(sim.Time(2e9))
+	if p.Issued() != at {
+		t.Fatalf("arrivals continued after stop: %d -> %d", at, p.Issued())
+	}
+}
+
+func TestPoissonOpenLoopValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero rate must panic")
+		}
+	}()
+	(&PoissonOpenLoop{Eng: sim.NewEngine(), Issue: func(func()) {}}).Start()
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"github.com/spright-go/spright/internal/sim"
+)
+
+// Event is one open-loop trace arrival.
+type Event struct {
+	At   sim.Time
+	Size int // payload bytes
+}
+
+// MotionTraceConfig shapes the synthetic MERL-like motion-detector trace:
+// intermittent activity periods (someone walking through the corridor
+// triggers a burst of sensor events seconds apart) separated by long idle
+// gaps — the arrival pattern whose gaps exceed Knative's 30 s scale-down
+// grace period and provoke cold starts (§4.2.2, Fig. 11).
+type MotionTraceConfig struct {
+	Duration sim.Time
+	// MeanIdle is the mean gap between activity periods (exponential).
+	MeanIdle sim.Time
+	// BurstEvents is the mean number of events per activity period.
+	BurstEvents int
+	// IntraBurst is the mean inter-arrival within a burst (a few seconds:
+	// "a number of motion events occur one after another (inter-arrival
+	// time of a few seconds)").
+	IntraBurst sim.Time
+	Size       int
+	Seed       uint64
+}
+
+// DefaultMotionTrace is the Fig. 11 configuration: one hour with ~2-minute
+// mean idle gaps (long enough to trigger zero-scaling) and bursts of ~8
+// events a few seconds apart.
+func DefaultMotionTrace() MotionTraceConfig {
+	return MotionTraceConfig{
+		Duration:    sim.Time(3600e9),
+		MeanIdle:    sim.Time(120e9),
+		BurstEvents: 8,
+		IntraBurst:  sim.Time(3e9),
+		Size:        128,
+		Seed:        11,
+	}
+}
+
+// MotionTrace synthesizes the event sequence.
+func MotionTrace(cfg MotionTraceConfig) []Event {
+	rng := sim.NewRand(cfg.Seed)
+	var out []Event
+	t := sim.Time(rng.Exp(float64(cfg.MeanIdle)))
+	for t < cfg.Duration {
+		n := 1 + rng.Intn(cfg.BurstEvents*2) // ~uniform around the mean
+		for i := 0; i < n && t < cfg.Duration; i++ {
+			out = append(out, Event{At: t, Size: cfg.Size})
+			t += sim.Time(rng.Exp(float64(cfg.IntraBurst)))
+		}
+		t += sim.Time(rng.Exp(float64(cfg.MeanIdle)))
+	}
+	return out
+}
+
+// ParkingTraceConfig shapes the CNRPark-like camera trace of §4.1: every
+// Interval, Spots snapshots (~3 KB each) arrive back to back.
+type ParkingTraceConfig struct {
+	Duration sim.Time
+	Interval sim.Time
+	Spots    int
+	Size     int
+	// Spacing is the gap between successive snapshots within a burst
+	// (cameras upload sequentially).
+	Spacing sim.Time
+}
+
+// DefaultParkingTrace is the Fig. 12 configuration: 700 s, 164 snapshots
+// of ~3 KB every 240 s.
+func DefaultParkingTrace() ParkingTraceConfig {
+	return ParkingTraceConfig{
+		Duration: sim.Time(700e9),
+		Interval: sim.Time(240e9),
+		Spots:    164,
+		Size:     3 * 1024,
+		Spacing:  sim.Time(50e6), // 50 ms apart within the burst
+	}
+}
+
+// ParkingTrace synthesizes the burst sequence. Bursts start at t=Interval
+// ("every 240-second interval, 164 snapshots are sent").
+func ParkingTrace(cfg ParkingTraceConfig) []Event {
+	var out []Event
+	for start := cfg.Interval; start < cfg.Duration; start += cfg.Interval {
+		for i := 0; i < cfg.Spots; i++ {
+			at := start + sim.Time(i)*cfg.Spacing
+			if at >= cfg.Duration {
+				break
+			}
+			out = append(out, Event{At: at, Size: cfg.Size})
+		}
+	}
+	return out
+}
+
+// Replay schedules fire for every event on the engine (open-loop traffic).
+func Replay(eng *sim.Engine, events []Event, fire func(Event)) {
+	for _, ev := range events {
+		ev := ev
+		eng.At(ev.At, func() { fire(ev) })
+	}
+}
+
+// BurstStarts returns the burst start times of a parking trace — what the
+// §4.2.2 pre-warm controller knows ("a distinct periodic arrival pattern").
+func BurstStarts(cfg ParkingTraceConfig) []sim.Time {
+	var out []sim.Time
+	for start := cfg.Interval; start < cfg.Duration; start += cfg.Interval {
+		out = append(out, start)
+	}
+	return out
+}

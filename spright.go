@@ -1,0 +1,111 @@
+// Package spright is a Go implementation of SPRIGHT (SIGCOMM '22):
+// a high-performance, event-driven serverless dataplane that moves
+// function-chain traffic through shared memory instead of the kernel
+// network stack.
+//
+// A chain's messages are 16-byte packet descriptors referencing payloads
+// in a private shared-memory pool; an eBPF-style SK_MSG program (SPROXY,
+// executed by this repository's verifier-checked VM) redirects descriptors
+// between function sockets via a sockmap, enforcing the chain's security
+// domain and collecting L7 metrics in kernel maps along the way. Direct
+// Function Routing lets functions invoke each other without bouncing
+// through the gateway, and protocol adaptation (HTTP, MQTT, CoAP,
+// CloudEvents) runs as event-driven hooks inside the gateway.
+//
+// Quickstart:
+//
+//	cluster := spright.NewCluster(1)
+//	dep, err := cluster.Controller.DeployChain(spright.ChainSpec{
+//	    Name: "hello",
+//	    Functions: []spright.FunctionSpec{
+//	        {Name: "greet", Handler: func(ctx *spright.Ctx) error {
+//	            return ctx.SetPayload(append([]byte("hello, "), ctx.Payload()...))
+//	        }},
+//	    },
+//	    Routes: []spright.RouteSpec{{From: "", To: []string{"greet"}}},
+//	})
+//	// dep.Gateway.Invoke(...) or http.ListenAndServe(addr, dep.Gateway)
+//
+// The paper's evaluation (Tables 1–2, Figs. 2–12) regenerates via
+// cmd/spright-bench; see DESIGN.md and EXPERIMENTS.md.
+package spright
+
+import (
+	"github.com/spright-go/spright/internal/core"
+	"github.com/spright-go/spright/internal/orchestrator"
+)
+
+// Core dataplane types, re-exported as the public API surface.
+type (
+	// ChainSpec declares a function chain: its functions, its DFR
+	// routing table, its transport mode and its pool geometry.
+	ChainSpec = core.ChainSpec
+	// FunctionSpec declares one function of a chain.
+	FunctionSpec = core.FunctionSpec
+	// RouteSpec is one Direct-Function-Routing entry; From "" routes
+	// the gateway ingress to the chain's head function.
+	RouteSpec = core.RouteSpec
+	// Handler is a user function: run-to-completion, asynchronous,
+	// mutating its message in place (zero-copy).
+	Handler = core.Handler
+	// Ctx is one invocation's view of the in-flight message.
+	Ctx = core.Ctx
+	// Mode selects the descriptor transport (event-driven vs polling).
+	Mode = core.Mode
+	// Chain is a deployed function chain.
+	Chain = core.Chain
+	// Gateway is a chain's SPRIGHT gateway; it implements http.Handler.
+	Gateway = core.Gateway
+	// Instance is one running function pod.
+	Instance = core.Instance
+
+	// Adapter translates an application protocol to chain messages.
+	Adapter = core.Adapter
+	// MQTTAdapter handles MQTT CONNECT/PUBLISH at the gateway.
+	MQTTAdapter = core.MQTTAdapter
+	// CoAPAdapter handles CoAP requests at the gateway.
+	CoAPAdapter = core.CoAPAdapter
+	// CloudEventAdapter handles CloudEvents-structured JSON.
+	CloudEventAdapter = core.CloudEventAdapter
+	// HTTPAdapter handles raw HTTP/1.1 bytes (preloaded on gateways).
+	HTTPAdapter = core.HTTPAdapter
+
+	// Cluster is the control plane: controller, scheduler, ingress.
+	Cluster = orchestrator.Cluster
+	// Deployment is one placed chain with its gateway and node.
+	Deployment = orchestrator.Deployment
+	// WorkerNode is one node's kernels and shared-memory manager.
+	WorkerNode = orchestrator.WorkerNode
+	// Autoscaler scales a deployment's functions on concurrency.
+	Autoscaler = orchestrator.Autoscaler
+)
+
+// Transport modes.
+const (
+	// ModeEvent is S-SPRIGHT: eBPF SK_MSG + sockmap descriptor delivery,
+	// zero CPU when idle (the paper's recommended configuration).
+	ModeEvent = core.ModeEvent
+	// ModePolling is D-SPRIGHT: DPDK-style busy-polled rings — lower
+	// delivery latency, a dedicated core per consumer.
+	ModePolling = core.ModePolling
+)
+
+// NoReply is the caller sentinel for fire-and-forget invocations.
+const NoReply = core.NoReply
+
+// Re-exported sentinel errors for errors.Is checks.
+var (
+	// ErrBackpressure signals pool exhaustion: the chain is at capacity.
+	ErrBackpressure = core.ErrBackpressure
+	// ErrFiltered signals a descriptor rejected by the security domain.
+	ErrFiltered = core.ErrFiltered
+)
+
+// NewCluster provisions a cluster with n worker nodes, a controller, a
+// chain-level scheduler and a cluster-wide ingress gateway.
+func NewCluster(n int) *Cluster { return orchestrator.NewCluster(n) }
+
+// NewAutoscaler builds a concurrency-target autoscaler for a deployment.
+func NewAutoscaler(dep *Deployment, target int) *Autoscaler {
+	return orchestrator.NewAutoscaler(dep, target)
+}

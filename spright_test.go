@@ -1,0 +1,147 @@
+package spright_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	spright "github.com/spright-go/spright"
+)
+
+// TestPublicAPIQuickstart exercises exactly the flow the package doc
+// promises.
+func TestPublicAPIQuickstart(t *testing.T) {
+	cluster := spright.NewCluster(1)
+	dep, err := cluster.Controller.DeployChain(spright.ChainSpec{
+		Name: "hello",
+		Functions: []spright.FunctionSpec{
+			{Name: "greet", Handler: func(ctx *spright.Ctx) error {
+				return ctx.SetPayload(append([]byte("hello, "), ctx.Payload()...))
+			}},
+		},
+		Routes: []spright.RouteSpec{{From: "", To: []string{"greet"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	out, err := dep.Gateway.Invoke(context.Background(), "", []byte("world"))
+	if err != nil || string(out) != "hello, world" {
+		t.Fatalf("got %q, %v", out, err)
+	}
+}
+
+func TestPublicAPIHTTPServing(t *testing.T) {
+	cluster := spright.NewCluster(1)
+	dep, err := cluster.Controller.DeployChain(spright.ChainSpec{
+		Name: "rev",
+		Mode: spright.ModeEvent,
+		Functions: []spright.FunctionSpec{
+			{Name: "reverse", Handler: func(ctx *spright.Ctx) error {
+				b := ctx.Payload()
+				for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+					b[i], b[j] = b[j], b[i]
+				}
+				return nil
+			}},
+		},
+		Routes: []spright.RouteSpec{{From: "", To: []string{"reverse"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	srv := httptest.NewServer(dep.Gateway)
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/x", "text/plain", strings.NewReader("abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "fedcba" {
+		t.Fatalf("got %q", body)
+	}
+}
+
+func TestPublicAPIPollingMode(t *testing.T) {
+	cluster := spright.NewCluster(1)
+	dep, err := cluster.Controller.DeployChain(spright.ChainSpec{
+		Name: "dmode",
+		Mode: spright.ModePolling,
+		Functions: []spright.FunctionSpec{
+			{Name: "id", Handler: func(ctx *spright.Ctx) error { return nil }},
+		},
+		Routes: []spright.RouteSpec{{From: "", To: []string{"id"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	if _, err := dep.Gateway.Invoke(context.Background(), "", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIErrorSentinels(t *testing.T) {
+	cluster := spright.NewCluster(1)
+	block := make(chan struct{})
+	dep, err := cluster.Controller.DeployChain(spright.ChainSpec{
+		Name:        "tiny",
+		PoolBuffers: 1,
+		Functions: []spright.FunctionSpec{
+			{Name: "stall", Handler: func(ctx *spright.Ctx) error { <-block; return nil }},
+		},
+		Routes: []spright.RouteSpec{{From: "", To: []string{"stall"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	defer close(block) // LIFO: unblock the handler before Close waits on it
+
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		dep.Gateway.Invoke(ctx, "", []byte("a"))
+	}()
+	// wait until the first request holds the single pool buffer
+	deadline := time.Now().Add(5 * time.Second)
+	for dep.Chain.Pool().Stats().InUse == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never acquired the buffer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err = dep.Gateway.Invoke(ctx, "", []byte("b"))
+	if !errors.Is(err, spright.ErrBackpressure) {
+		t.Fatalf("expected ErrBackpressure, got %v", err)
+	}
+}
+
+func TestPublicAPIAutoscaler(t *testing.T) {
+	cluster := spright.NewCluster(1)
+	dep, err := cluster.Controller.DeployChain(spright.ChainSpec{
+		Name: "as",
+		Functions: []spright.FunctionSpec{
+			{Name: "f", Handler: func(ctx *spright.Ctx) error { return nil }},
+		},
+		Routes: []spright.RouteSpec{{From: "", To: []string{"f"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	as := spright.NewAutoscaler(dep, 8)
+	if d := as.Evaluate(); len(d) != 0 {
+		t.Fatalf("idle chain must not scale: %+v", d)
+	}
+}

@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race vet verify bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the gate for every change: static analysis plus the full test
+# suite (chaos tests included) under the race detector.
+verify: vet race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+clean:
+	$(GO) clean ./...

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/spright-go/spright/internal/core"
+	"github.com/spright-go/spright/internal/fault"
 )
 
 // Payload header: the first two bytes of every in-flight boutique message
@@ -72,6 +73,13 @@ type SpecOptions struct {
 	// (0 disables sleeping entirely — the default for tests).
 	TimeScale float64
 	Instances int
+
+	// Failure-recovery knobs, passed through to the chain spec (zero
+	// values leave the corresponding mechanism disabled).
+	Deadline time.Duration
+	Retry    core.RetryPolicy
+	Health   core.HealthPolicy
+	Injector *fault.Injector
 }
 
 // Spec builds a core.ChainSpec hosting all ten boutique services with the
@@ -120,5 +128,9 @@ func Spec(opt SpecOptions) core.ChainSpec {
 		Mode:      opt.Mode,
 		Functions: fns,
 		Routes:    routes,
+		Deadline:  opt.Deadline,
+		Retry:     opt.Retry,
+		Health:    opt.Health,
+		Injector:  opt.Injector,
 	}
 }

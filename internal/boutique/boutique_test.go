@@ -87,7 +87,17 @@ func deployBoutique(t *testing.T, mode core.Mode) (*core.Chain, *core.Gateway) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { g.Close(); c.Close() })
+	t.Cleanup(func() {
+		g.Close()
+		c.Close()
+		deadline := time.Now().Add(2 * time.Second)
+		for c.Pool().InUse() != 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if err := c.Pool().LeakCheck(); err != nil {
+			t.Error(err)
+		}
+	})
 	return c, g
 }
 

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/spright-go/spright/internal/ebpf"
+	"github.com/spright-go/spright/internal/fault"
 	"github.com/spright-go/spright/internal/shm"
 )
 
@@ -42,6 +44,37 @@ type ChainSpec struct {
 	// SocketDepth overrides per-socket queue depth (defaults to
 	// PoolBuffers: the pool is the real burst buffer).
 	SocketDepth int
+
+	// Deadline bounds each synchronous Gateway.Invoke; a request that
+	// outlives it fails with context.DeadlineExceeded and its buffer is
+	// reclaimed when (if ever) the late response returns. 0 disables
+	// the default deadline; callers may still pass bounded contexts.
+	Deadline time.Duration
+
+	// Retry governs re-sending descriptors on transient transport
+	// errors (socket queue full). The zero value disables retry.
+	Retry RetryPolicy
+
+	// Health configures circuit breaking of repeatedly failing
+	// instances. The zero value disables the breaker.
+	Health HealthPolicy
+
+	// Injector, when set, injects seeded faults into the dataplane
+	// (chaos testing). nil disables injection.
+	Injector *fault.Injector
+}
+
+// RetryPolicy bounds descriptor re-sends on transient transport errors —
+// exponential backoff with seeded jitter, the per-hop retry discipline
+// sidecar meshes apply to transient upstream failures.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of send attempts per hop;
+	// values <= 1 disable retry.
+	MaxAttempts int
+	// BaseBackoff is the sleep before the first retry (default 100µs).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff (default 5ms).
+	MaxBackoff time.Duration
 }
 
 // Chain is a deployed function chain: its private pool, its transport, its
@@ -71,8 +104,60 @@ type Chain struct {
 	traceMu sync.RWMutex
 	tracer  *Tracer
 
+	deadline   time.Duration
+	retry      RetryPolicy
+	health     HealthPolicy
+	injector   *fault.Injector
+	failures   failureCounters
+	jitterSeed atomic.Uint64
+
+	failCbMu sync.RWMutex
+	failCb   func(caller uint32, err error)
+
 	closed sync.Once
 }
+
+// failureCounters aggregates the chain's failure-path activity; the
+// gateway surfaces them through GatewayStats and the EPROXY metrics map.
+type failureCounters struct {
+	crashes          atomic.Uint64 // handler panics absorbed
+	retries          atomic.Uint64 // descriptor re-sends
+	retriesExhausted atomic.Uint64 // sends that failed after all attempts
+	circuitOpens     atomic.Uint64 // breaker closed→open transitions
+	reclaimed        atomic.Uint64 // orphaned buffers reclaimed
+	deadlines        atomic.Uint64 // invocations failed by deadline
+	terminal         atomic.Uint64 // requests completed with terminal errors
+	injected         atomic.Uint64 // faults fired by the injector
+}
+
+// FailureStats is a snapshot of the chain's failure-recovery activity.
+type FailureStats struct {
+	Crashes           uint64
+	Retries           uint64
+	RetriesExhausted  uint64
+	CircuitOpens      uint64
+	Reclaimed         uint64
+	DeadlinesExceeded uint64
+	TerminalFailures  uint64
+	FaultsInjected    uint64
+}
+
+// Failures returns a snapshot of the chain's failure counters.
+func (c *Chain) Failures() FailureStats {
+	return FailureStats{
+		Crashes:           c.failures.crashes.Load(),
+		Retries:           c.failures.retries.Load(),
+		RetriesExhausted:  c.failures.retriesExhausted.Load(),
+		CircuitOpens:      c.failures.circuitOpens.Load(),
+		Reclaimed:         c.failures.reclaimed.Load(),
+		DeadlinesExceeded: c.failures.deadlines.Load(),
+		TerminalFailures:  c.failures.terminal.Load(),
+		FaultsInjected:    c.failures.injected.Load(),
+	}
+}
+
+// Injector returns the chain's fault injector (nil when not injecting).
+func (c *Chain) Injector() *fault.Injector { return c.injector }
 
 // EnableTracing turns on per-request hop tracing (a debugging aid and the
 // source of §3.3's chain-level metrics), retaining up to limit traces.
@@ -132,13 +217,29 @@ func NewChain(kernel *ebpf.Kernel, manager *shm.Manager, spec ChainSpec) (*Chain
 	}()
 
 	c := &Chain{
-		name:   spec.Name,
-		mode:   spec.Mode,
-		pool:   pool,
-		router: NewRouter(),
-		byName: make(map[string]*FunctionSpec),
-		topics: make(map[uint32]string),
+		name:     spec.Name,
+		mode:     spec.Mode,
+		pool:     pool,
+		router:   NewRouter(),
+		byName:   make(map[string]*FunctionSpec),
+		topics:   make(map[uint32]string),
+		deadline: spec.Deadline,
+		retry:    spec.Retry,
+		health:   spec.Health,
+		injector: spec.Injector,
 	}
+	if c.retry.MaxAttempts > 1 {
+		if c.retry.BaseBackoff <= 0 {
+			c.retry.BaseBackoff = 100 * time.Microsecond
+		}
+		if c.retry.MaxBackoff <= 0 {
+			c.retry.MaxBackoff = 5 * time.Millisecond
+		}
+	}
+	if c.health.ConsecutiveFailures > 0 && c.health.OpenDuration <= 0 {
+		c.health.OpenDuration = 100 * time.Millisecond
+	}
+	c.jitterSeed.Store(0x9e3779b97f4a7c15)
 
 	switch spec.Mode {
 	case ModeEvent:
@@ -307,6 +408,93 @@ func (c *Chain) releaseBuffer(h uint32) {
 	}
 }
 
+// jitter draws a race-free pseudo-random duration in [0, d/2] (atomic
+// xorshift; determinism is not required here, only bounded spread).
+func (c *Chain) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	for {
+		old := c.jitterSeed.Load()
+		x := old
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if c.jitterSeed.CompareAndSwap(old, x) {
+			return time.Duration(x % uint64(d/2+1))
+		}
+	}
+}
+
+// send delivers d from src, retrying transient transport errors (socket
+// queue full) up to the chain's retry budget with exponential backoff and
+// jitter. srcFn/dstFn name the hop for fault-injection scoping; dstFn is
+// "gateway" for replies. Non-transient errors (filter rejection, unknown
+// destination) are returned immediately.
+func (c *Chain) send(src uint32, srcFn, dstFn string, d shm.Descriptor) error {
+	attempt := func() error {
+		if c.injector.DecideSend(srcFn, dstFn) {
+			c.failures.injected.Add(1)
+			return ErrSocketFull
+		}
+		return c.transport.Send(src, d)
+	}
+	err := attempt()
+	if err == nil || c.retry.MaxAttempts <= 1 || !errors.Is(err, ErrSocketFull) {
+		return err
+	}
+	backoff := c.retry.BaseBackoff
+	for n := 1; n < c.retry.MaxAttempts; n++ {
+		c.failures.retries.Add(1)
+		time.Sleep(backoff + c.jitter(backoff))
+		if backoff *= 2; backoff > c.retry.MaxBackoff {
+			backoff = c.retry.MaxBackoff
+		}
+		if err = attempt(); err == nil || !errors.Is(err, ErrSocketFull) {
+			return err
+		}
+	}
+	c.failures.retriesExhausted.Add(1)
+	return fmt.Errorf("core: %d send attempts: %w", c.retry.MaxAttempts, err)
+}
+
+// setFailureNotifier registers the gateway's terminal-failure callback.
+func (c *Chain) setFailureNotifier(fn func(caller uint32, err error)) {
+	c.failCbMu.Lock()
+	c.failCb = fn
+	c.failCbMu.Unlock()
+}
+
+// notifyFailure terminates a caller's wait with an error when the
+// dataplane knows no response descriptor will ever arrive — the request
+// fails fast instead of blackholing until its deadline. The buffer must
+// already have been released by the caller of notifyFailure.
+func (c *Chain) notifyFailure(caller uint32, err error) {
+	if caller == NoReply || err == nil {
+		return
+	}
+	c.failures.terminal.Add(1)
+	c.failCbMu.RLock()
+	cb := c.failCb
+	c.failCbMu.RUnlock()
+	if cb != nil {
+		cb(caller, err)
+	}
+}
+
+// ErrInstanceGone marks requests stranded in the socket queue of an
+// instance that was shut down or restarted.
+var ErrInstanceGone = errors.New("core: instance shut down with queued requests")
+
+// reclaimOrphan releases a descriptor stranded in a dead instance's
+// socket queue and fails its caller — the queue-drain half of the
+// guarantee that a crashed instance never leaks pool slabs.
+func (c *Chain) reclaimOrphan(d shm.Descriptor, fn string) {
+	c.failures.reclaimed.Add(1)
+	c.releaseBuffer(d.Buf)
+	c.notifyFailure(d.Caller, fmt.Errorf("%s: %w", fn, ErrInstanceGone))
+}
+
 func (c *Chain) noteError(where string, err error) {
 	if err == nil {
 		return
@@ -343,6 +531,12 @@ func (c *Chain) Close() {
 func (c *Chain) ScaleUp(fn string) (*Instance, error) {
 	c.instMu.Lock()
 	defer c.instMu.Unlock()
+	return c.startInstanceLocked(fn)
+}
+
+// startInstanceLocked creates, wires and starts one fresh instance of fn.
+// Callers hold instMu.
+func (c *Chain) startInstanceLocked(fn string) (*Instance, error) {
 	fs, ok := c.byName[fn]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown function %q", fn)
@@ -400,6 +594,54 @@ func (c *Chain) ScaleUp(fn string) (*Instance, error) {
 	c.instances = append(c.instances, inst)
 	inst.start()
 	return inst, nil
+}
+
+// RestartInstance replaces a crashed or circuit-broken instance with a
+// fresh one of the same function — the kubelet's repair action behind the
+// §3.3 health probes. The replacement is registered and routable before
+// the victim leaves the router, so the function never drops to zero
+// instances; the victim's socket queue is drained asynchronously, with
+// every stranded descriptor reclaimed and its caller failed. A handler
+// wedged inside the victim keeps its buffer until it returns (goroutines
+// cannot be killed); its caller is bounded by the invocation deadline.
+func (c *Chain) RestartInstance(id uint32) (*Instance, error) {
+	if id == GatewayID {
+		return nil, errors.New("core: cannot restart the gateway")
+	}
+	c.instMu.Lock()
+	var victim *Instance
+	for _, in := range c.instances {
+		if in.id == id {
+			victim = in
+			break
+		}
+	}
+	if victim == nil {
+		c.instMu.Unlock()
+		return nil, fmt.Errorf("core: no instance %d", id)
+	}
+	repl, err := c.startInstanceLocked(victim.fnName)
+	if err != nil {
+		c.instMu.Unlock()
+		return nil, err
+	}
+	for i, in := range c.instances {
+		if in == victim {
+			c.instances = append(c.instances[:i], c.instances[i+1:]...)
+			break
+		}
+	}
+	c.instMu.Unlock()
+
+	c.router.RemoveInstance(victim.fnName, id)
+	if err := c.transport.Unregister(id); err != nil {
+		c.noteError("restart", err)
+	}
+	// The victim may be wedged mid-handler; don't block the repair on it.
+	// shutdown waits out in-flight work, then drains and reclaims the
+	// socket queue.
+	go victim.shutdown()
+	return repl, nil
 }
 
 // ScaleDown stops one instance of fn (the one with the fewest in-flight

@@ -31,6 +31,16 @@ func testChain(t *testing.T, mode Mode, spec ChainSpec) (*Chain, *Gateway) {
 	t.Cleanup(func() {
 		g.Close()
 		c.Close()
+		// Zero-leak teardown invariant: every buffer a test put in flight
+		// must be back in the pool once the chain is down. In-flight work
+		// may still be releasing, so poll briefly before asserting.
+		deadline := time.Now().Add(2 * time.Second)
+		for c.Pool().InUse() != 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if err := c.Pool().LeakCheck(); err != nil {
+			t.Error(err)
+		}
 	})
 	return c, g
 }
@@ -434,6 +444,10 @@ func TestMultiInstanceSpreadsLoad(t *testing.T) {
 				t.Error(err)
 			}
 		}()
+		// stagger submissions: residual capacity is measured from running
+		// handlers, so back-to-back dispatches can all observe three idle
+		// instances and pile onto the first one
+		time.Sleep(2 * time.Millisecond)
 	}
 	wg.Wait()
 	used := 0

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Direct Function Routing (§3.2.3): a chain-specific userspace routing
@@ -98,8 +99,11 @@ func (r *Router) Instances(fn string) []*Instance {
 	return append([]*Instance(nil), r.instances[fn]...)
 }
 
-// PickInstance selects the active instance of fn with the maximum residual
-// service capacity (footnote 4: RC_i,t = MC_i − r_i,t).
+// PickInstance selects the routable instance of fn with the maximum
+// residual service capacity (footnote 4: RC_i,t = MC_i − r_i,t). Routing
+// is health-aware: instances whose circuit breaker is open are skipped;
+// if every instance is circuit-broken the caller gets ErrAllUnhealthy — a
+// terminal error — rather than a descriptor routed into a dead pod.
 func (r *Router) PickInstance(fn string) (*Instance, error) {
 	r.mu.RLock()
 	list := r.instances[fn]
@@ -107,12 +111,19 @@ func (r *Router) PickInstance(fn string) (*Instance, error) {
 	if len(list) == 0 {
 		return nil, fmt.Errorf("%w: %q", ErrNoInstance, fn)
 	}
-	best := list[0]
-	bestRC := best.ResidualCapacity()
-	for _, in := range list[1:] {
-		if rc := in.ResidualCapacity(); rc > bestRC {
+	now := time.Now().UnixNano()
+	var best *Instance
+	bestRC := 0
+	for _, in := range list {
+		if !in.routable(now) {
+			continue
+		}
+		if rc := in.ResidualCapacity(); best == nil || rc > bestRC {
 			best, bestRC = in, rc
 		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: %q", ErrAllUnhealthy, fn)
 	}
 	return best, nil
 }

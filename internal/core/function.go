@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/spright-go/spright/internal/fault"
 	"github.com/spright-go/spright/internal/shm"
 )
 
@@ -65,6 +66,10 @@ func (c *Ctx) SetTopic(topic string) { c.Topic = topic }
 // request/response decomposition of §3.8).
 func (c *Ctx) Caller() uint32 { return c.desc.Caller }
 
+// Instance returns the executing instance's ID (useful for tests that
+// fault a specific replica).
+func (c *Ctx) Instance() uint32 { return c.inst.id }
+
 // FunctionName returns the executing function's name.
 func (c *Ctx) FunctionName() string { return c.inst.fnName }
 
@@ -96,10 +101,12 @@ type Instance struct {
 	inflight atomic.Int64
 	handled  atomic.Uint64
 	errs     atomic.Uint64
+	health   health
 
-	wg   sync.WaitGroup
-	stop chan struct{}
-	once sync.Once
+	wg      sync.WaitGroup
+	stop    chan struct{}
+	once    sync.Once
+	drained sync.Once
 }
 
 // ID returns the instance ID (its sockmap key).
@@ -186,11 +193,25 @@ func (in *Instance) shutdown() {
 		in.sock.Close()
 	})
 	in.wg.Wait()
+	// Reclaim descriptors stranded in the (now closed) socket queue: the
+	// dispatcher is gone, so whatever is still buffered would leak its
+	// pool slab and blackhole its caller.
+	in.drained.Do(func() {
+		for d := range in.sock.Recv() {
+			in.chain.reclaimOrphan(d, in.fnName)
+		}
+	})
 }
+
+// ErrHandlerPanic marks a handler panic absorbed by panic isolation.
+var ErrHandlerPanic = errors.New("core: handler panicked")
 
 // handle executes the user handler and then performs the default DFR
 // action: forward to the routing table's next hop, or return the
-// descriptor to the caller when the chain ends here.
+// descriptor to the caller when the chain ends here. Handler failures —
+// errors and panics alike — release the descriptor's buffer, feed the
+// instance's health state, and fail the caller terminally instead of
+// blackholing the request.
 func (in *Instance) handle(d shm.Descriptor) {
 	in.inflight.Add(1)
 	defer in.inflight.Add(-1)
@@ -200,20 +221,20 @@ func (in *Instance) handle(d shm.Descriptor) {
 	if in.serviceTime > 0 {
 		time.Sleep(in.serviceTime)
 	}
-	var err error
-	if in.handler != nil {
-		err = in.handler(ctx)
-	}
+	err, panicked := in.invoke(ctx)
 	if tr := in.chain.currentTracer(); tr != nil {
 		tr.hop(d.Caller, in.fnName, in.id, time.Since(hopStart))
 	}
 	if err != nil {
 		in.errs.Add(1)
+		in.recordFailure(panicked)
 		in.chain.releaseBuffer(ctx.desc.Buf)
 		in.chain.noteError(in.fnName, err)
+		in.chain.notifyFailure(d.Caller, err)
 		return
 	}
 	in.handled.Add(1)
+	in.recordSuccess()
 
 	switch {
 	case ctx.dropped:
@@ -232,31 +253,80 @@ func (in *Instance) handle(d shm.Descriptor) {
 	}
 }
 
+// invoke runs fault injection and the user handler under panic isolation:
+// a panicking handler must never kill the instance's worker goroutine or
+// strand the descriptor. The recovered panic is converted into an error
+// so every failure flows through one cleanup path in handle.
+func (in *Instance) invoke(ctx *Ctx) (err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			in.chain.failures.crashes.Add(1)
+			err = fmt.Errorf("%w: %s: %v", ErrHandlerPanic, in.fnName, r)
+		}
+	}()
+	if dec, ok := in.chain.injector.Decide(in.fnName); ok {
+		in.chain.failures.injected.Add(1)
+		switch dec.Op {
+		case fault.OpPanic:
+			panic("injected panic")
+		case fault.OpError:
+			return fault.ErrInjected, false
+		case fault.OpDrop:
+			ctx.dropped = true
+			return nil, false
+		case fault.OpDelay:
+			time.Sleep(dec.Delay)
+		}
+	}
+	if in.handler != nil {
+		err = in.handler(ctx)
+	}
+	return err, false
+}
+
 // forward performs DFR delivery to each next-hop function, taking an extra
-// buffer reference per additional destination (pub/sub fan-out).
+// buffer reference per additional destination (pub/sub fan-out). Every
+// taken reference is balanced on every failure path, and a request none of
+// whose deliveries succeeded fails its caller terminally.
 func (in *Instance) forward(ctx *Ctx, next []string) {
 	d := ctx.desc
 	// extra references for fan-out beyond the first destination
+	refs := 1 // the reference this instance already owns
 	for i := 1; i < len(next); i++ {
 		if err := in.chain.pool.Ref(d.Buf); err != nil {
+			for ; refs > 0; refs-- {
+				in.chain.releaseBuffer(d.Buf)
+			}
 			in.chain.noteError(in.fnName, err)
+			in.chain.notifyFailure(d.Caller, err)
 			return
 		}
+		refs++
 	}
 	in.chain.setTopic(d, ctx.Topic)
+	delivered := 0
+	var lastErr error
 	for _, fn := range next {
 		target, err := in.chain.router.PickInstance(fn)
 		if err != nil {
 			in.chain.releaseBuffer(d.Buf)
 			in.chain.noteError(in.fnName, err)
+			lastErr = err
 			continue
 		}
 		nd := d
 		nd.NextFn = target.ID()
-		if err := in.chain.transport.Send(in.id, nd); err != nil {
+		if err := in.chain.send(in.id, in.fnName, fn, nd); err != nil {
 			in.chain.releaseBuffer(d.Buf)
 			in.chain.noteError(in.fnName, fmt.Errorf("forward to %s: %w", fn, err))
+			lastErr = err
+			continue
 		}
+		delivered++
+	}
+	if delivered == 0 && lastErr != nil {
+		in.chain.notifyFailure(d.Caller, lastErr)
 	}
 }
 
@@ -269,9 +339,10 @@ func (in *Instance) reply(ctx *Ctx) {
 		return
 	}
 	d.NextFn = GatewayID
-	if err := in.chain.transport.Send(in.id, d); err != nil {
+	if err := in.chain.send(in.id, in.fnName, "gateway", d); err != nil {
 		in.chain.releaseBuffer(d.Buf)
 		in.chain.noteError(in.fnName, fmt.Errorf("reply: %w", err))
+		in.chain.notifyFailure(d.Caller, err)
 	}
 }
 

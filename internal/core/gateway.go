@@ -32,6 +32,7 @@ type Gateway struct {
 	admitted  atomic.Uint64
 	rejected  atomic.Uint64
 	completed atomic.Uint64
+	failed    atomic.Uint64
 
 	latMu sync.Mutex
 	lat   *metrics.Histogram
@@ -74,9 +75,27 @@ func NewGateway(c *Chain) (*Gateway, error) {
 		}
 		g.eprox = ep
 	}
+	// Terminal dataplane failures (panics, exhausted retries, dead
+	// instances) complete the waiting caller with an error instead of
+	// letting it block until its deadline.
+	c.setFailureNotifier(g.fail)
 	g.wg.Add(1)
 	go g.run()
 	return g, nil
+}
+
+// fail completes a pending request with a terminal error: the dataplane
+// has determined no response descriptor will ever arrive.
+func (g *Gateway) fail(caller uint32, err error) {
+	g.pendMu.Lock()
+	ch, ok := g.pending[caller]
+	delete(g.pending, caller)
+	g.pendMu.Unlock()
+	if !ok {
+		return
+	}
+	g.failed.Add(1)
+	ch <- gwResult{err: err}
 }
 
 // run consumes response descriptors returning to the gateway.
@@ -102,7 +121,10 @@ func (g *Gateway) complete(d shm.Descriptor) {
 	g.pendMu.Unlock()
 
 	if !ok {
-		// late response after a cancelled request: just release.
+		// late response after a cancelled or timed-out request: reclaim
+		// the orphaned buffer (the abandoning waiter could not — the
+		// descriptor was still travelling the chain).
+		g.chain.failures.reclaimed.Add(1)
 		g.chain.releaseBuffer(d.Buf)
 		g.chain.noteError("gateway", fmt.Errorf("%w: %d", ErrNoWaiter, d.Caller))
 		return
@@ -164,7 +186,7 @@ func (g *Gateway) dispatch(topic string, d shm.Descriptor) error {
 		return err
 	}
 	d.NextFn = inst.ID()
-	if err := g.chain.transport.Send(GatewayID, d); err != nil {
+	if err := g.chain.send(GatewayID, "gateway", next[0], d); err != nil {
 		g.chain.releaseBuffer(d.Buf)
 		return err
 	}
@@ -172,9 +194,17 @@ func (g *Gateway) dispatch(topic string, d shm.Descriptor) error {
 }
 
 // Invoke synchronously processes one request through the chain and returns
-// the response payload.
+// the response payload. When the chain declares a Deadline, it bounds the
+// invocation even if the caller's context is unbounded: a hung or crashed
+// chain fails the request instead of pinning the caller (and its buffer
+// is reclaimed when the late response surfaces).
 func (g *Gateway) Invoke(ctx context.Context, topic string, payload []byte) ([]byte, error) {
 	start := time.Now()
+	if dl := g.chain.deadline; dl > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, dl)
+		defer cancel()
+	}
 	caller := g.nextID.Add(1)
 	if caller == NoReply {
 		caller = g.nextID.Add(1)
@@ -206,6 +236,9 @@ func (g *Gateway) Invoke(ctx context.Context, topic string, payload []byte) ([]b
 		return res.payload, res.err
 	case <-ctx.Done():
 		g.forget(caller)
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			g.chain.failures.deadlines.Add(1)
+		}
 		return nil, ctx.Err()
 	case <-g.stop:
 		return nil, ErrGatewayClosed
@@ -288,25 +321,55 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// Stats summarizes gateway activity.
+// Stats summarizes gateway activity, including the failure-recovery
+// counters of the chain behind it.
 type GatewayStats struct {
 	Admitted  uint64
 	Rejected  uint64
 	Completed uint64
-	P95       float64
-	Mean      float64
+	// Failed counts requests terminated with a dataplane error (handler
+	// panic/error, exhausted retries, dead instance) instead of a reply.
+	Failed uint64
+	// Crashes is the number of handler panics absorbed by isolation.
+	Crashes uint64
+	// Retries is the number of descriptor re-sends on transient errors.
+	Retries uint64
+	// CircuitOpens counts instance breaker closed→open transitions.
+	CircuitOpens uint64
+	// Reclaimed counts orphaned shared-memory buffers recovered from
+	// abandoned requests and dead instances' queues.
+	Reclaimed uint64
+	// DeadlinesExceeded counts invocations failed by the chain deadline.
+	DeadlinesExceeded uint64
+	// FaultsInjected counts faults fired by the chain's injector.
+	FaultsInjected uint64
+	P95            float64
+	Mean           float64
 }
 
-// Stats returns a snapshot.
+// Stats returns a snapshot and publishes the failure counters to the
+// EPROXY metrics map, so kernel-side observability follows the failure
+// paths (the metrics agent's scrape also serves as the publish tick).
 func (g *Gateway) Stats() GatewayStats {
+	fs := g.chain.Failures()
+	if g.eprox != nil {
+		g.eprox.PublishFailures(fs)
+	}
 	g.latMu.Lock()
 	defer g.latMu.Unlock()
 	return GatewayStats{
-		Admitted:  g.admitted.Load(),
-		Rejected:  g.rejected.Load(),
-		Completed: g.completed.Load(),
-		P95:       g.lat.Quantile(0.95),
-		Mean:      g.lat.Mean(),
+		Admitted:          g.admitted.Load(),
+		Rejected:          g.rejected.Load(),
+		Completed:         g.completed.Load(),
+		Failed:            g.failed.Load(),
+		Crashes:           fs.Crashes,
+		Retries:           fs.Retries,
+		CircuitOpens:      fs.CircuitOpens,
+		Reclaimed:         fs.Reclaimed,
+		DeadlinesExceeded: fs.DeadlinesExceeded,
+		FaultsInjected:    fs.FaultsInjected,
+		P95:               g.lat.Quantile(0.95),
+		Mean:              g.lat.Mean(),
 	}
 }
 
@@ -322,11 +385,16 @@ func (g *Gateway) Latency() *metrics.Histogram {
 // EProxy returns the gateway's EPROXY (nil in polling mode).
 func (g *Gateway) EProxy() *EProxy { return g.eprox }
 
-// Close stops the gateway.
+// Close stops the gateway and reclaims any response descriptors still
+// queued on its socket (their waiters get ErrGatewayClosed).
 func (g *Gateway) Close() {
 	g.once.Do(func() {
 		close(g.stop)
 		g.sock.Close()
 	})
 	g.wg.Wait()
+	for d := range g.sock.Recv() {
+		g.chain.failures.reclaimed.Add(1)
+		g.chain.releaseBuffer(d.Buf)
+	}
 }

@@ -63,6 +63,64 @@ func TestLateResponseReleasedNotLeaked(t *testing.T) {
 	if !found {
 		t.Fatalf("want ErrNoWaiter in %v", errs)
 	}
+	if g.Stats().Reclaimed == 0 {
+		t.Fatal("late response must be counted as a reclaimed orphan")
+	}
+}
+
+// TestCancellationForgetsCallerSlot: abandoning a request must remove its
+// entry from the gateway's pending-caller map immediately — a map that
+// grows with every cancelled request is a slot leak even if the buffers
+// are reclaimed.
+func TestCancellationForgetsCallerSlot(t *testing.T) {
+	release := make(chan struct{})
+	spec := ChainSpec{
+		Functions: []FunctionSpec{{
+			Name:    "slow",
+			Handler: func(ctx *Ctx) error { <-release; return nil },
+		}},
+		Routes: []RouteSpec{{From: "", To: []string{"slow"}}},
+	}
+	c, g := testChain(t, ModeEvent, spec)
+	defer close(release)
+
+	const abandoned = 8
+	for i := 0; i < abandoned; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		errCh := make(chan error, 1)
+		go func() {
+			_, err := g.Invoke(ctx, "", []byte("x"))
+			errCh <- err
+		}()
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			g.pendMu.Lock()
+			pending := len(g.pending)
+			g.pendMu.Unlock()
+			if pending == 1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("request never registered a pending slot")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+		if err := <-errCh; !errors.Is(err, context.Canceled) {
+			t.Fatalf("want Canceled, got %v", err)
+		}
+		g.pendMu.Lock()
+		pending := len(g.pending)
+		g.pendMu.Unlock()
+		if pending != 0 {
+			t.Fatalf("cancelled request left %d pending slot(s)", pending)
+		}
+	}
+	// handlers are still blocked holding the buffers: InUse > 0 here is
+	// expected; the testChain cleanup asserts they drain after release.
+	if c.Pool().InUse() == 0 {
+		t.Fatal("test expected abandoned requests to still be in flight")
+	}
 }
 
 func TestGatewayHTTPStatusCodes(t *testing.T) {

@@ -9,6 +9,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"github.com/spright-go/spright/internal/shm"
@@ -18,10 +19,15 @@ import (
 // socket interface SPROXY attaches to. Descriptors arrive on a buffered
 // channel; the instance's run loop consumes them. It implements
 // ebpf.SockRef so a sockmap can deliver to it from inside the VM.
+// Close may race with concurrent Deliver calls (instance restarts close
+// sockets while peers are still sending), so the closed flag and the
+// channel close are serialized under mu.
 type Socket struct {
-	id     uint32
+	id uint32
+
+	mu     sync.RWMutex
 	ch     chan shm.Descriptor
-	closed atomic.Bool
+	closed bool
 
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
@@ -58,7 +64,9 @@ func (s *Socket) DeliverDescriptor(wire []byte) error {
 
 // Deliver enqueues a parsed descriptor.
 func (s *Socket) Deliver(d shm.Descriptor) error {
-	if s.closed.Load() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
 		return ErrSocketClosed
 	}
 	select {
@@ -74,9 +82,14 @@ func (s *Socket) Deliver(d shm.Descriptor) error {
 // Recv returns the descriptor channel for the instance's run loop.
 func (s *Socket) Recv() <-chan shm.Descriptor { return s.ch }
 
-// Close marks the socket closed and wakes the consumer.
+// Close marks the socket closed and wakes the consumer. Descriptors still
+// buffered remain readable from Recv until drained (the instance reclaims
+// them at shutdown).
 func (s *Socket) Close() {
-	if s.closed.CompareAndSwap(false, true) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
 		close(s.ch)
 	}
 }

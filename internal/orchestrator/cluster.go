@@ -101,22 +101,52 @@ func (k *Kubelet) CreateChain(spec core.ChainSpec) (*Deployment, error) {
 
 // ProbeResult is one instance's health state.
 type ProbeResult struct {
-	Function string
-	Instance uint32
-	Healthy  bool
+	Function    string
+	Instance    uint32
+	Healthy     bool
+	Crashes     uint64
+	CircuitOpen bool
 }
 
 // Probe performs the §3.3 health checks: SPRIGHT dispenses with the queue
 // proxy's probing and instead asks each function's socket directly (the
 // "minimal change of opening an additional socket" — here the descriptor
-// socket doubles as the probe target).
+// socket doubles as the probe target). An instance whose circuit breaker
+// is open — the dataplane has stopped routing to it — is unhealthy.
 func (k *Kubelet) Probe(d *Deployment) []ProbeResult {
 	var out []ProbeResult
 	for _, in := range d.Chain.Instances() {
-		healthy := in.ResidualCapacity() > -1 // socket alive and not wedged
-		out = append(out, ProbeResult{Function: in.Function(), Instance: in.ID(), Healthy: healthy})
+		open := in.CircuitOpen()
+		healthy := in.ResidualCapacity() > -1 && !open // socket alive, not wedged, routable
+		out = append(out, ProbeResult{
+			Function:    in.Function(),
+			Instance:    in.ID(),
+			Healthy:     healthy,
+			Crashes:     in.Crashes(),
+			CircuitOpen: open,
+		})
 	}
 	return out
+}
+
+// Repair restarts every unhealthy instance found by Probe — the kubelet's
+// half of failure recovery: the dataplane's circuit breaker stops routing
+// to a crashing pod, and the kubelet replaces it with a fresh one. The
+// replacement is routable before the victim is removed, so the function
+// never drops to zero instances. Returns how many instances were
+// restarted; restart failures are joined into err.
+func (k *Kubelet) Repair(d *Deployment) (restarted int, err error) {
+	for _, pr := range k.Probe(d) {
+		if pr.Healthy {
+			continue
+		}
+		if _, rerr := d.Chain.RestartInstance(pr.Instance); rerr != nil {
+			err = errors.Join(err, fmt.Errorf("restart %s/%d: %w", pr.Function, pr.Instance, rerr))
+			continue
+		}
+		restarted++
+	}
+	return restarted, err
 }
 
 // Scheduler places chains onto nodes. SPRIGHT's deployment constraint

@@ -1,0 +1,116 @@
+package orchestrator
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/spright-go/spright/internal/core"
+)
+
+// TestProbeAndRepairRestartCrashedInstance is the control-plane half of
+// failure recovery: the dataplane's circuit breaker ejects a crashing
+// replica, the kubelet's probe reports it unhealthy, and Repair replaces
+// it with a fresh instance — after which the chain serves cleanly again.
+func TestProbeAndRepairRestartCrashedInstance(t *testing.T) {
+	var badID atomic.Uint32
+	spec := core.ChainSpec{
+		Name: "fragile",
+		Functions: []core.FunctionSpec{{
+			Name:      "w",
+			Instances: 2,
+			Handler: func(ctx *core.Ctx) error {
+				if ctx.Instance() == badID.Load() {
+					panic("replica corrupted")
+				}
+				return nil
+			},
+		}},
+		Routes: []core.RouteSpec{{From: "", To: []string{"w"}}},
+		Health: core.HealthPolicy{ConsecutiveFailures: 2, OpenDuration: time.Minute},
+	}
+	cl := NewCluster(1)
+	d, err := cl.Controller.DeployChain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	bad := d.Chain.Router().Instances("w")[0]
+	badID.Store(bad.ID())
+
+	// healthy deployment probes healthy
+	for _, pr := range d.Node.Kubelet.Probe(d) {
+		if !pr.Healthy || pr.CircuitOpen || pr.Crashes != 0 {
+			t.Fatalf("fresh deployment probed unhealthy: %+v", pr)
+		}
+	}
+	// nothing to repair yet
+	if n, err := d.Node.Kubelet.Repair(d); n != 0 || err != nil {
+		t.Fatalf("repair on healthy deployment did %d restarts, %v", n, err)
+	}
+
+	// crash the bad replica until its breaker opens
+	for i := 0; i < 100 && !bad.CircuitOpen(); i++ {
+		if _, err := d.Gateway.Invoke(context.Background(), "", []byte("x")); err != nil {
+			if !errors.Is(err, core.ErrHandlerPanic) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+		}
+	}
+	if !bad.CircuitOpen() {
+		t.Fatal("breaker never opened on the crashing replica")
+	}
+
+	// the probe surfaces the ejected replica
+	unhealthy := 0
+	for _, pr := range d.Node.Kubelet.Probe(d) {
+		if pr.Instance == bad.ID() {
+			if pr.Healthy || !pr.CircuitOpen || pr.Crashes == 0 {
+				t.Fatalf("crashed replica probed %+v", pr)
+			}
+			unhealthy++
+		} else if !pr.Healthy {
+			t.Fatalf("healthy replica probed unhealthy: %+v", pr)
+		}
+	}
+	if unhealthy != 1 {
+		t.Fatalf("probe saw %d unhealthy instances, want 1", unhealthy)
+	}
+
+	// repair replaces exactly the crashed replica
+	restarted, err := d.Node.Kubelet.Repair(d)
+	if err != nil || restarted != 1 {
+		t.Fatalf("repair restarted %d, %v; want 1, nil", restarted, err)
+	}
+	insts := d.Chain.Router().Instances("w")
+	if len(insts) != 2 {
+		t.Fatalf("function has %d routable instances after repair, want 2", len(insts))
+	}
+	for _, in := range insts {
+		if in.ID() == bad.ID() {
+			t.Fatal("crashed replica still routable after repair")
+		}
+	}
+	// fully healthy again, and serving
+	for _, pr := range d.Node.Kubelet.Probe(d) {
+		if !pr.Healthy {
+			t.Fatalf("post-repair probe unhealthy: %+v", pr)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := d.Gateway.Invoke(context.Background(), "", []byte("x")); err != nil {
+			t.Fatalf("invoke %d after repair: %v", i, err)
+		}
+	}
+	// no stranded buffers
+	deadline := time.Now().Add(2 * time.Second)
+	for d.Chain.Pool().InUse() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := d.Chain.Pool().LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,6 +3,7 @@ package shm
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -215,6 +216,29 @@ func (p *Pool) Len(h uint32) (int, error) {
 		return 0, ErrNotOwned
 	}
 	return int(p.lens[h].Load()), nil
+}
+
+// InUse returns the number of currently allocated buffers — the chain's
+// instantaneous queue occupancy, and the quantity that must reach zero at
+// teardown for the dataplane to be leak-free.
+func (p *Pool) InUse() int { return int(p.inUse.Load()) }
+
+// LeakCheck reports buffers still holding references: the invariant every
+// dataplane failure path must preserve is that LeakCheck returns nil once
+// all in-flight work has drained. The error names the leaked handles and
+// their residual reference counts.
+func (p *Pool) LeakCheck() error {
+	var leaked []string
+	for i := range p.refs {
+		if r := p.refs[i].Load(); r > 0 {
+			leaked = append(leaked, fmt.Sprintf("buf %d (refs=%d)", i, r))
+		}
+	}
+	if len(leaked) == 0 {
+		return nil
+	}
+	return fmt.Errorf("shm: pool %q leaked %d buffers: %s",
+		p.prefix, len(leaked), strings.Join(leaked, ", "))
 }
 
 // Stats returns a snapshot of allocation statistics.

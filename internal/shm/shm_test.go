@@ -281,3 +281,47 @@ func TestManagerRelease(t *testing.T) {
 		t.Fatal("pool count should be zero")
 	}
 }
+
+func TestPoolInUseAndLeakCheck(t *testing.T) {
+	p, err := NewPool("leak", 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.InUse() != 0 {
+		t.Fatalf("fresh pool InUse %d", p.InUse())
+	}
+	if err := p.LeakCheck(); err != nil {
+		t.Fatalf("fresh pool leaks: %v", err)
+	}
+	a, _ := p.Get()
+	b, _ := p.Get()
+	if err := p.Ref(b); err != nil { // b now holds 2 refs
+		t.Fatal(err)
+	}
+	if p.InUse() != 2 {
+		t.Fatalf("InUse %d want 2", p.InUse())
+	}
+	err = p.LeakCheck()
+	if err == nil {
+		t.Fatal("LeakCheck must report live buffers")
+	}
+	if err := p.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	// b still has one residual reference: still a leak
+	if err := p.LeakCheck(); err == nil {
+		t.Fatal("LeakCheck must see b's residual reference")
+	}
+	if err := p.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.LeakCheck(); err != nil {
+		t.Fatalf("balanced pool reported a leak: %v", err)
+	}
+	if p.InUse() != 0 {
+		t.Fatalf("InUse %d want 0", p.InUse())
+	}
+}

@@ -32,6 +32,7 @@ package spright
 
 import (
 	"github.com/spright-go/spright/internal/core"
+	"github.com/spright-go/spright/internal/fault"
 	"github.com/spright-go/spright/internal/orchestrator"
 )
 
@@ -58,6 +59,23 @@ type (
 	Gateway = core.Gateway
 	// Instance is one running function pod.
 	Instance = core.Instance
+	// RetryPolicy bounds transient-error retries on descriptor sends.
+	RetryPolicy = core.RetryPolicy
+	// HealthPolicy configures per-instance circuit breaking.
+	HealthPolicy = core.HealthPolicy
+	// FailureStats snapshots a chain's failure/recovery counters.
+	FailureStats = core.FailureStats
+	// GatewayStats snapshots a gateway's invocation counters.
+	GatewayStats = core.GatewayStats
+
+	// FaultInjector is a deterministic, seedable fault injector wired
+	// into a chain via ChainSpec.Injector (testing/chaos only).
+	FaultInjector = fault.Injector
+	// FaultRule scopes one injected fault (op, function, hop,
+	// probability, count bound).
+	FaultRule = fault.Rule
+	// FaultOp enumerates injectable fault kinds.
+	FaultOp = fault.Op
 
 	// Adapter translates an application protocol to chain messages.
 	Adapter = core.Adapter
@@ -93,13 +111,38 @@ const (
 // NoReply is the caller sentinel for fire-and-forget invocations.
 const NoReply = core.NoReply
 
+// Injectable fault operations (see FaultRule.Op).
+const (
+	// FaultPanic makes the target handler panic (tests panic isolation).
+	FaultPanic = fault.OpPanic
+	// FaultError makes the target handler return ErrInjected.
+	FaultError = fault.OpError
+	// FaultDelay stalls the target handler by the rule's Delay.
+	FaultDelay = fault.OpDelay
+	// FaultDrop silently discards the message at the target handler.
+	FaultDrop = fault.OpDrop
+	// FaultQueueFull fails descriptor sends on the rule's hop as if the
+	// destination socket queue were full (tests the retry path).
+	FaultQueueFull = fault.OpQueueFull
+)
+
 // Re-exported sentinel errors for errors.Is checks.
 var (
 	// ErrBackpressure signals pool exhaustion: the chain is at capacity.
 	ErrBackpressure = core.ErrBackpressure
 	// ErrFiltered signals a descriptor rejected by the security domain.
 	ErrFiltered = core.ErrFiltered
+	// ErrHandlerPanic wraps a handler panic absorbed by panic isolation.
+	ErrHandlerPanic = core.ErrHandlerPanic
+	// ErrAllUnhealthy signals every instance of a hop is circuit-broken.
+	ErrAllUnhealthy = core.ErrAllUnhealthy
+	// ErrInjected is the error returned by FaultError injections.
+	ErrInjected = fault.ErrInjected
 )
+
+// NewFaultInjector builds a deterministic injector from a seed; add rules
+// with Add and wire it into a chain via ChainSpec.Injector.
+func NewFaultInjector(seed uint64) *FaultInjector { return fault.New(seed) }
 
 // NewCluster provisions a cluster with n worker nodes, a controller, a
 // chain-level scheduler and a cluster-wide ingress gateway.

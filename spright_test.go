@@ -145,3 +145,46 @@ func TestPublicAPIAutoscaler(t *testing.T) {
 		t.Fatalf("idle chain must not scale: %+v", d)
 	}
 }
+
+// TestPublicAPIFaultTolerance exercises the failure-recovery knobs
+// exactly as the README documents them: seeded injection, panic
+// isolation, deadline, retry, and the failure counters in GatewayStats.
+func TestPublicAPIFaultTolerance(t *testing.T) {
+	cluster := spright.NewCluster(1)
+	dep, err := cluster.Controller.DeployChain(spright.ChainSpec{
+		Name: "chaos",
+		Functions: []spright.FunctionSpec{
+			{Name: "greet", Handler: func(ctx *spright.Ctx) error { return nil }},
+		},
+		Routes:   []spright.RouteSpec{{From: "", To: []string{"greet"}}},
+		Deadline: 2 * time.Second,
+		Retry:    spright.RetryPolicy{MaxAttempts: 3},
+		Health:   spright.HealthPolicy{ConsecutiveFailures: 5},
+		Injector: spright.NewFaultInjector(42).
+			Add(spright.FaultRule{Op: spright.FaultPanic, Function: "greet", MaxCount: 1}).
+			Add(spright.FaultRule{Op: spright.FaultError, Function: "greet", MaxCount: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	if _, err := dep.Gateway.Invoke(context.Background(), "", []byte("x")); !errors.Is(err, spright.ErrHandlerPanic) {
+		t.Fatalf("want ErrHandlerPanic, got %v", err)
+	}
+	if _, err := dep.Gateway.Invoke(context.Background(), "", []byte("x")); !errors.Is(err, spright.ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	// fault budget exhausted: clean service
+	if _, err := dep.Gateway.Invoke(context.Background(), "", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	s := dep.Gateway.Stats()
+	if s.Crashes != 1 || s.FaultsInjected != 2 || s.Failed != 2 {
+		t.Fatalf("stats crashes=%d injected=%d failed=%d, want 1/2/2",
+			s.Crashes, s.FaultsInjected, s.Failed)
+	}
+	if err := dep.Chain.Pool().LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+}

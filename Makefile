@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench clean
+BENCH_OUT ?= BENCH_1.json
+# the hot-path benchmarks tracked in BENCH_*.json snapshots
+BENCH_PAT ?= BenchmarkSProxySend$$|BenchmarkShmPool$$|BenchmarkEBPFInterpreter$$|BenchmarkE2E_
+
+.PHONY: build test race vet fmt-check verify bench clean
 
 build:
 	$(GO) build ./...
@@ -11,15 +15,27 @@ test:
 vet:
 	$(GO) vet ./...
 
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
 race:
 	$(GO) test -race ./...
 
-# verify is the gate for every change: static analysis plus the full test
-# suite (chaos tests included) under the race detector.
-verify: vet race
+# verify is the gate for every change: formatting, static analysis, and the
+# full test suite (chaos tests included) under the race detector.
+verify: fmt-check vet race
 
+# bench runs the tracked hot-path benchmarks with allocation reporting and
+# writes a machine-readable snapshot (ns/op, B/op, allocs/op) to
+# $(BENCH_OUT) via cmd/benchjson. Raw output stays in bench.out.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem . | tee bench.out
+	$(GO) run ./cmd/benchjson < bench.out > $(BENCH_OUT)
+	@rm -f bench.out
+	@echo "wrote $(BENCH_OUT)"
 
 clean:
 	$(GO) clean ./...
+	rm -f bench.out

@@ -195,11 +195,13 @@ func BenchmarkE2E_SSpright(b *testing.B) {
 		b.Run(sizeName(size), func(b *testing.B) {
 			dep := benchChain(b, spright.ModeEvent, 2)
 			payload := make([]byte, size)
+			resp := make([]byte, size)
 			ctx := context.Background()
 			b.SetBytes(int64(size))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := dep.Gateway.Invoke(ctx, "", payload); err != nil {
+				if _, err := dep.Gateway.InvokeInto(ctx, "", payload, resp); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -215,6 +217,7 @@ func BenchmarkE2E_DSpright(b *testing.B) {
 			payload := make([]byte, size)
 			ctx := context.Background()
 			b.SetBytes(int64(size))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := dep.Gateway.Invoke(ctx, "", payload); err != nil {
@@ -243,6 +246,7 @@ func BenchmarkE2E_GRPCBaseline(b *testing.B) {
 			payload := make([]byte, size)
 			chain := []string{"f0", "f1"}
 			b.SetBytes(int64(size))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := mesh.CallChain(chain, "/bench", payload); err != nil {
@@ -299,6 +303,7 @@ func BenchmarkSProxySend(b *testing.B) {
 		b.Fatal(err)
 	}
 	d := shm.Descriptor{NextFn: 7, Buf: 1, Len: 100, Caller: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := sp.Send(1, d); err != nil {
@@ -337,6 +342,7 @@ func BenchmarkShmPool(b *testing.B) {
 		b.Fatal(err)
 	}
 	payload := make([]byte, 1024)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h, err := pool.Get()
@@ -373,6 +379,7 @@ func BenchmarkEBPFInterpreter(b *testing.B) {
 		b.Fatal(err)
 	}
 	data := make([]byte, 64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := kernel.Run(prog, data, 0, nil); err != nil {

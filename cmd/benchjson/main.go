@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a JSON report on stdout, one record per benchmark with ns/op,
+// B/op, allocs/op and (when present) MB/s. `make bench` pipes through it
+// to produce the committed BENCH_*.json snapshots.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+}
+
+// Report is the full JSON document.
+type Report struct {
+	GoOS      string   `json:"goos,omitempty"`
+	GoArch    string   `json:"goarch,omitempty"`
+	CPU       string   `json:"cpu,omitempty"`
+	Pkg       []string `json:"packages,omitempty"`
+	Results   []Result `json:"results"`
+	FailCount int      `json:"parse_failures"`
+}
+
+func main() {
+	rep := Report{Results: []Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = append(rep.Pkg, strings.TrimSpace(strings.TrimPrefix(line, "pkg:")))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		r, err := parseBenchLine(line)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: skipping %q: %v\n", line, err)
+			rep.FailCount++
+			continue
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses a single benchmark result line, e.g.
+//
+//	BenchmarkSProxySend-4  4235170  256.1 ns/op  0 B/op  0 allocs/op
+func parseBenchLine(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, fmt.Errorf("too few fields (%d)", len(fields))
+	}
+	name := fields[0]
+	// strip the -GOMAXPROCS suffix so names are stable across machines
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("iterations: %w", err)
+	}
+	r := Result{Name: name, Iterations: iters}
+	// remaining fields come in "<value> <unit>" pairs
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			r.NsPerOp, err = strconv.ParseFloat(val, 64)
+		case "B/op":
+			r.BytesPerOp, err = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			r.AllocsPerOp, err = strconv.ParseInt(val, 10, 64)
+		case "MB/s":
+			r.MBPerSec, err = strconv.ParseFloat(val, 64)
+		default:
+			continue // custom metric; ignore
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("%s: %w", unit, err)
+		}
+	}
+	if r.NsPerOp == 0 && r.Iterations == 0 {
+		return Result{}, fmt.Errorf("no ns/op value")
+	}
+	return r, nil
+}

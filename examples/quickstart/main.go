@@ -41,7 +41,7 @@ func main() {
 			},
 		},
 		Routes: []spright.RouteSpec{
-			{From: "", To: []string{"tokenize"}},        // gateway → head
+			{From: "", To: []string{"tokenize"}},         // gateway → head
 			{From: "tokenize", To: []string{"annotate"}}, // DFR: direct, no gateway bounce
 		},
 	})

@@ -101,8 +101,7 @@ type Chain struct {
 	errs   []error
 	errCnt uint64
 
-	traceMu sync.RWMutex
-	tracer  *Tracer
+	tracer atomic.Pointer[Tracer] // nil when tracing is off
 
 	deadline   time.Duration
 	retry      RetryPolicy
@@ -162,23 +161,20 @@ func (c *Chain) Injector() *fault.Injector { return c.injector }
 // EnableTracing turns on per-request hop tracing (a debugging aid and the
 // source of §3.3's chain-level metrics), retaining up to limit traces.
 func (c *Chain) EnableTracing(limit int) *Tracer {
-	c.traceMu.Lock()
-	defer c.traceMu.Unlock()
-	c.tracer = NewTracer(limit)
-	return c.tracer
+	tr := NewTracer(limit)
+	c.tracer.Store(tr)
+	return tr
 }
 
 // DisableTracing stops trace collection.
 func (c *Chain) DisableTracing() {
-	c.traceMu.Lock()
-	defer c.traceMu.Unlock()
-	c.tracer = nil
+	c.tracer.Store(nil)
 }
 
+// currentTracer is read on every hop; the atomic pointer keeps the
+// tracing-off common case to a single load.
 func (c *Chain) currentTracer() *Tracer {
-	c.traceMu.RLock()
-	defer c.traceMu.RUnlock()
-	return c.tracer
+	return c.tracer.Load()
 }
 
 // Chain errors.

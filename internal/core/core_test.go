@@ -516,11 +516,11 @@ func TestChainSpecValidation(t *testing.T) {
 	kernel := ebpf.NewKernel()
 	mgr := shm.NewManager()
 	cases := []ChainSpec{
-		{},                              // no name
-		{Name: "x"},                     // no functions
-		{Name: "x", Functions: []FunctionSpec{{}}},                                                       // unnamed fn
-		{Name: "x", Functions: []FunctionSpec{{Name: "a"}, {Name: "a"}}},                                 // dup fn
-		{Name: "x", Functions: []FunctionSpec{{Name: "a"}}, Routes: []RouteSpec{{From: "", To: []string{"ghost"}}}}, // bad route target
+		{},          // no name
+		{Name: "x"}, // no functions
+		{Name: "x", Functions: []FunctionSpec{{}}},                                                                   // unnamed fn
+		{Name: "x", Functions: []FunctionSpec{{Name: "a"}, {Name: "a"}}},                                             // dup fn
+		{Name: "x", Functions: []FunctionSpec{{Name: "a"}}, Routes: []RouteSpec{{From: "", To: []string{"ghost"}}}},  // bad route target
 		{Name: "x", Functions: []FunctionSpec{{Name: "a"}}, Routes: []RouteSpec{{From: "ghost", To: []string{"a"}}}}, // bad route source
 	}
 	for i, spec := range cases {

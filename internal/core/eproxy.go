@@ -110,11 +110,11 @@ func buildEProxyProgram(chain string, l3FD int) (*ebpf.Program, error) {
 }
 
 // OnIngress fires the monitor program for an admitted request of the given
-// payload size. The program runs in the VM over a synthetic frame of that
-// length.
+// payload size. The monitor only reads frame bounds from the ctx, so the
+// program runs over frame metadata (RunMeta) — no synthetic frame is
+// allocated per request.
 func (e *EProxy) OnIngress(size int) {
-	frame := make([]byte, size)
-	_, _ = e.kernel.Run(e.prog, frame, 0, nil)
+	_, _ = e.kernel.RunMeta(e.prog, size, 0, nil)
 }
 
 // L3Stats reads the packet/byte counters maintained in the eBPF map.

@@ -25,6 +25,11 @@ const GatewayID uint32 = 0
 // the flow early with Ctx.Reply.
 type Handler func(ctx *Ctx) error
 
+// ctxPool recycles invocation contexts — one fewer heap allocation per
+// message hop. A Ctx is only valid for the duration of its handler call
+// and must not be retained after the handler returns.
+var ctxPool = sync.Pool{New: func() any { return new(Ctx) }}
+
 // Ctx is one invocation's view of the message and the chain.
 type Ctx struct {
 	inst *Instance
@@ -84,8 +89,8 @@ func (c *Ctx) Reply() { c.replied = true }
 // Drop discards the message (the buffer reference is released).
 func (c *Ctx) Drop() { c.dropped = true }
 
-// Instance is one running pod of a function: a socket, a run loop and a
-// concurrency limit.
+// Instance is one running pod of a function: a socket, a persistent worker
+// pool and a concurrency limit.
 type Instance struct {
 	chain  *Chain
 	fnName string
@@ -95,7 +100,7 @@ type Instance struct {
 	handler     Handler
 	concurrency int
 	concMu      sync.Mutex
-	sem         chan struct{}
+	workers     *workerSet
 	serviceTime time.Duration // optional simulated CPU service time
 
 	inflight atomic.Int64
@@ -132,37 +137,48 @@ func (in *Instance) ResidualCapacity() int {
 	return in.Concurrency() - int(in.inflight.Load())
 }
 
-// start launches the instance's run loop: one dispatcher goroutine feeding
-// a bounded worker pool of `concurrency` goroutines (the pod's concurrency
-// setting in §4.1).
+// workerSet is one generation of an instance's worker pool. Replacing the
+// generation (SetConcurrency) closes quit; workers of the old generation
+// finish their in-flight invocation and exit.
+type workerSet struct {
+	quit chan struct{}
+}
+
+// start launches the instance's run loop: a pool of `concurrency`
+// persistent worker goroutines consuming the socket directly (the pod's
+// concurrency setting in §4.1). Compared to a dispatcher spawning one
+// goroutine per message, the persistent pool removes a goroutine creation,
+// a semaphore handoff and a closure allocation from every delivery.
 func (in *Instance) start() {
 	in.concMu.Lock()
-	in.sem = make(chan struct{}, in.concurrency)
+	in.startWorkersLocked(in.concurrency)
 	in.concMu.Unlock()
-	in.wg.Add(1)
-	go func() {
-		defer in.wg.Done()
-		for {
-			select {
-			case <-in.stop:
-				return
-			case d, ok := <-in.sock.Recv():
-				if !ok {
+}
+
+// startWorkersLocked replaces the current worker generation. Callers hold
+// concMu.
+func (in *Instance) startWorkersLocked(n int) {
+	ws := &workerSet{quit: make(chan struct{})}
+	in.workers = ws
+	for i := 0; i < n; i++ {
+		in.wg.Add(1)
+		go func() {
+			defer in.wg.Done()
+			for {
+				select {
+				case <-in.stop:
 					return
-				}
-				in.concMu.Lock()
-				sem := in.sem
-				in.concMu.Unlock()
-				sem <- struct{}{}
-				in.wg.Add(1)
-				go func(d shm.Descriptor) {
-					defer in.wg.Done()
-					defer func() { <-sem }()
+				case <-ws.quit:
+					return
+				case d, ok := <-in.sock.Recv():
+					if !ok {
+						return
+					}
 					in.handle(d)
-				}(d)
+				}
 			}
-		}
-	}()
+		}()
+	}
 }
 
 // Concurrency returns the instance's current concurrency limit.
@@ -174,8 +190,8 @@ func (in *Instance) Concurrency() int {
 
 // SetConcurrency performs §3.7's vertical scaling: it resizes the pod's
 // worker pool in place ("adding more CPU cores for the function as
-// needed"). In-flight invocations finish under the old semaphore; new
-// dispatches use the new limit.
+// needed"). In-flight invocations finish on the old generation's workers;
+// new dispatches are served by the new pool.
 func (in *Instance) SetConcurrency(n int) error {
 	if n <= 0 {
 		return errors.New("core: concurrency must be positive")
@@ -183,7 +199,8 @@ func (in *Instance) SetConcurrency(n int) error {
 	in.concMu.Lock()
 	defer in.concMu.Unlock()
 	in.concurrency = n
-	in.sem = make(chan struct{}, n)
+	close(in.workers.quit)
+	in.startWorkersLocked(n)
 	return nil
 }
 
@@ -216,13 +233,19 @@ func (in *Instance) handle(d shm.Descriptor) {
 	in.inflight.Add(1)
 	defer in.inflight.Add(-1)
 
-	ctx := &Ctx{inst: in, desc: d, Topic: in.chain.topicOf(d)}
-	hopStart := time.Now()
+	ctx := ctxPool.Get().(*Ctx)
+	*ctx = Ctx{inst: in, desc: d, Topic: in.chain.topicOf(d)}
+	defer ctxPool.Put(ctx)
+	tr := in.chain.currentTracer()
+	var hopStart time.Time
+	if tr != nil {
+		hopStart = time.Now()
+	}
 	if in.serviceTime > 0 {
 		time.Sleep(in.serviceTime)
 	}
 	err, panicked := in.invoke(ctx)
-	if tr := in.chain.currentTracer(); tr != nil {
+	if tr != nil {
 		tr.hop(d.Caller, in.fnName, in.id, time.Since(hopStart))
 	}
 	if err != nil {

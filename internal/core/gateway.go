@@ -37,21 +37,55 @@ type Gateway struct {
 	latMu sync.Mutex
 	lat   *metrics.Histogram
 
+	bufPool    sync.Pool // *gwBuf response payload staging
+	waiterPool sync.Pool // chan gwResult, capacity 1
+
 	wg   sync.WaitGroup
 	stop chan struct{}
 	once sync.Once
 }
 
+// gwBuf is a pooled response-payload staging buffer. Pooling pointers (not
+// bare []byte) keeps sync.Pool from boxing the slice header on every Put.
+type gwBuf struct{ b []byte }
+
 type gwResult struct {
-	payload []byte
-	err     error
+	gb  *gwBuf // response bytes (nil when err is set)
+	n   int    // valid length within gb.b
+	err error
 }
 
 // Gateway errors.
 var (
 	ErrGatewayClosed = errors.New("core: gateway closed")
 	ErrNoWaiter      = errors.New("core: response for unknown caller")
+	ErrShortBuffer   = errors.New("core: response buffer too small")
 )
+
+func (g *Gateway) getBuf(n int) *gwBuf {
+	gb, _ := g.bufPool.Get().(*gwBuf)
+	if gb == nil {
+		gb = &gwBuf{}
+	}
+	if cap(gb.b) < n {
+		gb.b = make([]byte, n)
+	}
+	return gb
+}
+
+func (g *Gateway) putBuf(gb *gwBuf) {
+	if gb != nil {
+		g.bufPool.Put(gb)
+	}
+}
+
+func (g *Gateway) getWaiter() chan gwResult {
+	ch, _ := g.waiterPool.Get().(chan gwResult)
+	if ch == nil {
+		ch = make(chan gwResult, 1)
+	}
+	return ch
+}
 
 // NewGateway creates and starts the gateway for a chain, registering its
 // socket (instance ID 0) with the chain's transport and attaching the
@@ -130,15 +164,20 @@ func (g *Gateway) complete(d shm.Descriptor) {
 		return
 	}
 	// The single response copy out of shared memory: the gateway owns
-	// constructing the external HTTP response (§3.1).
+	// constructing the external HTTP response (§3.1). The copy lands in a
+	// pooled staging buffer the waiter returns after consuming it.
+	var res gwResult
 	payload, err := g.chain.pool.Payload(d.Buf)
-	var cp []byte
 	if err == nil {
-		cp = append([]byte(nil), payload[:min(int(d.Len), len(payload))]...)
+		n := min(int(d.Len), len(payload))
+		gb := g.getBuf(n)
+		res = gwResult{gb: gb, n: copy(gb.b[:n], payload)}
+	} else {
+		res.err = err
 	}
 	g.chain.releaseBuffer(d.Buf)
 	g.completed.Add(1)
-	ch <- gwResult{payload: cp, err: err}
+	ch <- res
 }
 
 func min(a, b int) int {
@@ -193,12 +232,9 @@ func (g *Gateway) dispatch(topic string, d shm.Descriptor) error {
 	return nil
 }
 
-// Invoke synchronously processes one request through the chain and returns
-// the response payload. When the chain declares a Deadline, it bounds the
-// invocation even if the caller's context is unbounded: a hung or crashed
-// chain fails the request instead of pinning the caller (and its buffer
-// is reclaimed when the late response surfaces).
-func (g *Gateway) Invoke(ctx context.Context, topic string, payload []byte) ([]byte, error) {
+// invoke drives one request through the chain and returns the raw result.
+// The caller owns res.gb (when set) and must return it to the buffer pool.
+func (g *Gateway) invoke(ctx context.Context, topic string, payload []byte) (gwResult, error) {
 	start := time.Now()
 	if dl := g.chain.deadline; dl > 0 {
 		var cancel context.CancelFunc
@@ -209,7 +245,7 @@ func (g *Gateway) Invoke(ctx context.Context, topic string, payload []byte) ([]b
 	if caller == NoReply {
 		caller = g.nextID.Add(1)
 	}
-	ch := make(chan gwResult, 1)
+	ch := g.getWaiter()
 	g.pendMu.Lock()
 	g.pending[caller] = ch
 	g.pendMu.Unlock()
@@ -220,29 +256,90 @@ func (g *Gateway) Invoke(ctx context.Context, topic string, payload []byte) ([]b
 
 	d, err := g.admit(topic, payload, caller)
 	if err != nil {
-		g.forget(caller)
-		return nil, err
+		g.recycleWaiter(caller, ch)
+		return gwResult{}, err
 	}
 	if err := g.dispatch(topic, d); err != nil {
-		g.forget(caller)
-		return nil, err
+		g.recycleWaiter(caller, ch)
+		return gwResult{}, err
 	}
 
 	select {
 	case res := <-ch:
+		g.waiterPool.Put(ch)
 		g.latMu.Lock()
 		g.lat.Observe(time.Since(start).Seconds())
 		g.latMu.Unlock()
-		return res.payload, res.err
+		return res, nil
 	case <-ctx.Done():
-		g.forget(caller)
+		g.recycleWaiter(caller, ch)
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 			g.chain.failures.deadlines.Add(1)
 		}
-		return nil, ctx.Err()
+		return gwResult{}, ctx.Err()
 	case <-g.stop:
-		return nil, ErrGatewayClosed
+		return gwResult{}, ErrGatewayClosed
 	}
+}
+
+// recycleWaiter abandons a pending request. If the pending entry was still
+// registered, no sender can hold the channel and it is returned to the
+// pool. Otherwise a completion already claimed it: drain the (possibly
+// in-flight) result so a stale response can never surface on a future
+// request that reuses the channel.
+func (g *Gateway) recycleWaiter(caller uint32, ch chan gwResult) {
+	if g.forget(caller) {
+		g.waiterPool.Put(ch)
+		return
+	}
+	select {
+	case res := <-ch:
+		g.putBuf(res.gb)
+		g.waiterPool.Put(ch)
+	default:
+		// The sender is between the pending-map delete and the send:
+		// abandon the channel rather than risk reuse.
+	}
+}
+
+// Invoke synchronously processes one request through the chain and returns
+// the response payload. When the chain declares a Deadline, it bounds the
+// invocation even if the caller's context is unbounded: a hung or crashed
+// chain fails the request instead of pinning the caller (and its buffer
+// is reclaimed when the late response surfaces).
+func (g *Gateway) Invoke(ctx context.Context, topic string, payload []byte) ([]byte, error) {
+	res, err := g.invoke(ctx, topic, payload)
+	if err != nil {
+		return nil, err
+	}
+	if res.err != nil || res.gb == nil {
+		return nil, res.err
+	}
+	out := append([]byte(nil), res.gb.b[:res.n]...)
+	g.putBuf(res.gb)
+	return out, nil
+}
+
+// InvokeInto is the allocation-free variant of Invoke: the response payload
+// is copied into dst and its length returned. If dst is too small the
+// response is discarded and ErrShortBuffer returned. Callers that reuse dst
+// across requests observe zero per-invocation heap allocation in steady
+// state.
+func (g *Gateway) InvokeInto(ctx context.Context, topic string, payload, dst []byte) (int, error) {
+	res, err := g.invoke(ctx, topic, payload)
+	if err != nil {
+		return 0, err
+	}
+	if res.err != nil || res.gb == nil {
+		return 0, res.err
+	}
+	if len(dst) < res.n {
+		g.putBuf(res.gb)
+		return 0, ErrShortBuffer
+	}
+	n := copy(dst, res.gb.b[:res.n])
+	g.putBuf(res.gb)
+	return n, nil
 }
 
 // InvokeAsync fires an event into the chain with no response expected
@@ -255,10 +352,14 @@ func (g *Gateway) InvokeAsync(topic string, payload []byte) error {
 	return g.dispatch(topic, d)
 }
 
-func (g *Gateway) forget(caller uint32) {
+// forget removes a pending entry, reporting whether it was still present
+// (false means a completion already claimed the waiter).
+func (g *Gateway) forget(caller uint32) bool {
 	g.pendMu.Lock()
+	_, ok := g.pending[caller]
 	delete(g.pending, caller)
 	g.pendMu.Unlock()
+	return ok
 }
 
 // Adapters exposes the protocol-adaptation hook registry (§3.6).

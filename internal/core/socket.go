@@ -9,7 +9,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync"
+	"runtime"
 	"sync/atomic"
 
 	"github.com/spright-go/spright/internal/shm"
@@ -19,15 +19,23 @@ import (
 // socket interface SPROXY attaches to. Descriptors arrive on a buffered
 // channel; the instance's run loop consumes them. It implements
 // ebpf.SockRef so a sockmap can deliver to it from inside the VM.
+//
 // Close may race with concurrent Deliver calls (instance restarts close
-// sockets while peers are still sending), so the closed flag and the
-// channel close are serialized under mu.
+// sockets while peers are still sending). Rather than serializing every
+// delivery behind a lock, the race is handled with a drain-token protocol:
+// each Deliver registers in the senders count before checking the closed
+// flag, and Close sets the flag first, then waits for the senders count to
+// drain before closing the channel. A Deliver that saw the flag clear
+// completes its (non-blocking) send before the channel can close; one that
+// arrives later sees the flag and returns ErrSocketClosed without touching
+// the channel — the same guarantees the lock-based protocol gave, with
+// zero locking on the hot path.
 type Socket struct {
 	id uint32
 
-	mu     sync.RWMutex
-	ch     chan shm.Descriptor
-	closed bool
+	ch      chan shm.Descriptor
+	closed  atomic.Bool
+	senders atomic.Int64 // Deliver calls between registration and send
 
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
@@ -62,11 +70,13 @@ func (s *Socket) DeliverDescriptor(wire []byte) error {
 	return s.Deliver(d)
 }
 
-// Deliver enqueues a parsed descriptor.
+// Deliver enqueues a parsed descriptor. The sender registration must
+// precede the closed check (see the type comment): Close observes either
+// our registration or our completed send.
 func (s *Socket) Deliver(d shm.Descriptor) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
+	s.senders.Add(1)
+	defer s.senders.Add(-1)
+	if s.closed.Load() {
 		return ErrSocketClosed
 	}
 	select {
@@ -84,14 +94,16 @@ func (s *Socket) Recv() <-chan shm.Descriptor { return s.ch }
 
 // Close marks the socket closed and wakes the consumer. Descriptors still
 // buffered remain readable from Recv until drained (the instance reclaims
-// them at shutdown).
+// them at shutdown). The senders wait is bounded: in-flight Delivers are
+// non-blocking, so the spin lasts at most a few enqueue attempts.
 func (s *Socket) Close() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.closed {
-		s.closed = true
-		close(s.ch)
+	if !s.closed.CompareAndSwap(false, true) {
+		return
 	}
+	for s.senders.Load() != 0 {
+		runtime.Gosched()
+	}
+	close(s.ch)
 }
 
 // Stats reports delivery counters.

@@ -30,8 +30,8 @@ type SProxy struct {
 
 // Send errors.
 var (
-	ErrFiltered  = errors.New("core: descriptor rejected by SPROXY filter")
-	ErrNoSuchFn  = errors.New("core: destination not in sockmap")
+	ErrFiltered = errors.New("core: descriptor rejected by SPROXY filter")
+	ErrNoSuchFn = errors.New("core: destination not in sockmap")
 )
 
 // NewSProxy creates the chain's maps and loads the SPROXY program into the
@@ -75,7 +75,7 @@ func NewSProxy(kernel *ebpf.Kernel, chain string) (*SProxy, error) {
 func buildSProxyProgram(chain string, sockmapFD, filterFD, metricsFD int) (*ebpf.Program, error) {
 	b := ebpf.NewBuilder("sproxy_"+chain, ebpf.ProgTypeSKMsg)
 	b.Ins(
-		ebpf.Mov64Reg(ebpf.R6, ebpf.R1), // save ctx
+		ebpf.Mov64Reg(ebpf.R6, ebpf.R1),            // save ctx
 		ebpf.LoadMem(ebpf.R7, ebpf.R6, 0, ebpf.DW), // data
 		ebpf.LoadMem(ebpf.R2, ebpf.R6, 8, ebpf.DW), // data_end
 		ebpf.Mov64Reg(ebpf.R3, ebpf.R7),
@@ -131,26 +131,31 @@ func (sp *SProxy) RegisterSocket(s *Socket) error {
 
 // UnregisterSocket removes an instance from the sockmap.
 func (sp *SProxy) UnregisterSocket(id uint32) error {
-	return sp.sockmap.Delete(ebpf.U32Key(id))
+	return sp.sockmap.DeleteU32(id)
 }
 
-func filterKey(src, dst uint32) []byte {
-	k := make([]byte, 8)
+func filterKey(src, dst uint32) [8]byte {
+	var k [8]byte
 	// little-endian u64 of src<<32|dst
 	k[0], k[1], k[2], k[3] = byte(dst), byte(dst>>8), byte(dst>>16), byte(dst>>24)
 	k[4], k[5], k[6], k[7] = byte(src), byte(src>>8), byte(src>>16), byte(src>>24)
 	return k
 }
 
+// filterAllowed is the shared "authorized" filter value.
+var filterAllowed = []byte{1}
+
 // Allow authorizes descriptors from src to dst (kubelet-configured filter
 // rules; §3.4 supports runtime updates).
 func (sp *SProxy) Allow(src, dst uint32) error {
-	return sp.filter.Update(filterKey(src, dst), []byte{1})
+	k := filterKey(src, dst)
+	return sp.filter.Update(k[:], filterAllowed)
 }
 
 // Revoke removes an authorization at runtime.
 func (sp *SProxy) Revoke(src, dst uint32) error {
-	err := sp.filter.Delete(filterKey(src, dst))
+	k := filterKey(src, dst)
+	err := sp.filter.Delete(k[:])
 	if errors.Is(err, ebpf.ErrKeyNotFound) {
 		return nil
 	}
@@ -159,9 +164,13 @@ func (sp *SProxy) Revoke(src, dst uint32) error {
 
 // Send runs the SPROXY program for a descriptor sent by instance src and,
 // on a pass verdict, delivers it to the socket the program selected.
+//
+// The descriptor is marshaled once into the VM's inline staging buffer
+// (RunCopy) and the already-parsed value is handed to the destination
+// socket directly — one parse per hop, no per-send heap allocation.
 func (sp *SProxy) Send(src uint32, d shm.Descriptor) error {
 	wire := d.Marshal()
-	res, err := sp.kernel.Run(sp.prog, wire[:], src, nil)
+	res, err := sp.kernel.RunCopy(sp.prog, wire[:], src, nil)
 	if err != nil {
 		return fmt.Errorf("sproxy: %w", err)
 	}
@@ -171,18 +180,25 @@ func (sp *SProxy) Send(src uint32, d shm.Descriptor) error {
 		}
 		return fmt.Errorf("%w: %d -> %d", ErrFiltered, src, d.NextFn)
 	}
-	if res.RedirectSock == nil {
+	switch sink := res.RedirectSock.(type) {
+	case *Socket:
+		// Fast path: in-process socket takes the parsed descriptor.
+		return sink.Deliver(d)
+	case nil:
 		return fmt.Errorf("%w: instance %d", ErrNoSuchFn, d.NextFn)
+	default:
+		// Foreign SockRef implementations still get the wire form.
+		w := d.Marshal()
+		return sink.DeliverDescriptor(w[:])
 	}
-	return res.RedirectSock.DeliverDescriptor(wire[:])
 }
 
 // RequestCount reads the L7 per-instance request counter maintained by the
 // in-kernel program (the metric the autoscaler scrapes, §3.3).
 func (sp *SProxy) RequestCount(instance uint32) uint64 {
-	v, err := sp.metrics.Lookup(ebpf.U32Key(instance))
-	if err != nil {
+	var v [8]byte
+	if err := sp.metrics.LookupU32Into(instance, v[:]); err != nil {
 		return 0
 	}
-	return ebpf.U64FromValue(v)
+	return ebpf.U64FromValue(v[:])
 }

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/spright-go/spright/internal/ebpf"
+	"github.com/spright-go/spright/internal/shm"
+)
+
+// TestSproxyMetricIncrementsNotLost is the regression test for replacing
+// the interpreter's global atomic mutex with per-word atomics: two chains
+// on one shared kernel hammer their SPROXY L7 counters from G goroutines
+// each, and every increment must land. Lost updates here would mean the
+// VM's OpAtomicAdd stopped being atomic on shared array-map storage.
+func TestSproxyMetricIncrementsNotLost(t *testing.T) {
+	const (
+		goroutines = 8
+		perWorker  = 50
+	)
+	kernel := ebpf.NewKernel()
+	mgr := shm.NewManager()
+
+	var chains []*Chain
+	var gws []*Gateway
+	for i := 0; i < 2; i++ {
+		spec := echoSpec()
+		spec.Mode = ModeEvent
+		spec.Name = fmt.Sprintf("metric-race-%d", i)
+		c, err := NewChain(kernel, mgr, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := NewGateway(c)
+		if err != nil {
+			c.Close()
+			t.Fatal(err)
+		}
+		chains = append(chains, c)
+		gws = append(gws, g)
+	}
+	defer func() {
+		for i := range chains {
+			gws[i].Close()
+			chains[i].Close()
+			if err := chains[i].Pool().LeakCheck(); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := range chains {
+		g := gws[i]
+		for w := 0; w < goroutines; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for n := 0; n < perWorker; n++ {
+					if _, err := g.Invoke(context.Background(), "", []byte("ping")); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+
+	const want = goroutines * perWorker
+	for i, c := range chains {
+		sp := c.SProxy()
+		inst := c.Router().Instances("echo")[0]
+		if got := sp.RequestCount(inst.ID()); got != want {
+			t.Errorf("chain %d: echo L7 count %d, want %d (lost increments)", i, got, want)
+		}
+		if got := sp.RequestCount(GatewayID); got != want {
+			t.Errorf("chain %d: gateway reply count %d, want %d (lost increments)", i, got, want)
+		}
+	}
+}

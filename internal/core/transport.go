@@ -53,11 +53,11 @@ type eventTransport struct {
 // NewEventTransport wraps a SPROXY as a Transport.
 func NewEventTransport(sp *SProxy) Transport { return &eventTransport{sp: sp} }
 
-func (t *eventTransport) Register(s *Socket) error        { return t.sp.RegisterSocket(s) }
-func (t *eventTransport) Unregister(id uint32) error      { return t.sp.UnregisterSocket(id) }
+func (t *eventTransport) Register(s *Socket) error                { return t.sp.RegisterSocket(s) }
+func (t *eventTransport) Unregister(id uint32) error              { return t.sp.UnregisterSocket(id) }
 func (t *eventTransport) Send(src uint32, d shm.Descriptor) error { return t.sp.Send(src, d) }
-func (t *eventTransport) Allow(src, dst uint32) error     { return t.sp.Allow(src, dst) }
-func (t *eventTransport) Close()                          {}
+func (t *eventTransport) Allow(src, dst uint32) error             { return t.sp.Allow(src, dst) }
+func (t *eventTransport) Close()                                  {}
 
 // ringTransport is the D-SPRIGHT path: every socket owns an RTE ring; a
 // dedicated poller goroutine spins on rte_ring_dequeue and pushes into the

@@ -166,16 +166,16 @@ type Model struct {
 func DefaultModel() Model {
 	return Model{
 		HzPerCore:         2.2e9,
-		CtxSwitchCycles:   4400,  // ~2 µs
-		InterruptCycles:   2200,  // ~1 µs
-		ProtoBaseCycles:   4400,  // ~2 µs per stack traversal task
-		ProtoPerByte:      1.0,   // software checksum & friends
-		CopyPerByte:       0.5,   // ~4.4 GB/s effective copy bandwidth
-		CopyBaseCycles:    1100,  // ~0.5 µs syscall/copy setup
-		SerdePerByte:      3.0,   // HTTP/JSON-ish marshal cost
-		SerdeBaseCycles:   2200,  // ~1 µs
-		IptablesPerRule:   150,   // per-rule match cost
-		DescriptorCycles:  660,   // ~0.3 µs descriptor parse+map lookup
+		CtxSwitchCycles:   4400, // ~2 µs
+		InterruptCycles:   2200, // ~1 µs
+		ProtoBaseCycles:   4400, // ~2 µs per stack traversal task
+		ProtoPerByte:      1.0,  // software checksum & friends
+		CopyPerByte:       0.5,  // ~4.4 GB/s effective copy bandwidth
+		CopyBaseCycles:    1100, // ~0.5 µs syscall/copy setup
+		SerdePerByte:      3.0,  // HTTP/JSON-ish marshal cost
+		SerdeBaseCycles:   2200, // ~1 µs
+		IptablesPerRule:   150,  // per-rule match cost
+		DescriptorCycles:  660,  // ~0.3 µs descriptor parse+map lookup
 		EBPFOverheadRatio: 0.05,
 	}
 }

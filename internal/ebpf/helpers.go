@@ -78,7 +78,7 @@ func (st *execState) call(id HelperID) error {
 		if err != nil {
 			ret = 0 // NULL: program must null-check (the verifier analog is runtime here)
 		} else {
-			ret = st.space.mapValue(val)
+			ret = st.mapValue(val)
 		}
 
 	case HelperMapUpdateElem:
@@ -145,7 +145,7 @@ func (st *execState) call(id HelperID) error {
 		if r3 < FibParamsSize {
 			return fmt.Errorf("ebpf: fib_lookup params too small: %d", r3)
 		}
-		params, err := st.space.access(r2, FibParamsSize, true)
+		params, err := st.access(r2, FibParamsSize, true)
 		if err != nil {
 			return err
 		}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Hook points where programs attach. In the paper's design (§3.5, Fig. 7),
@@ -47,31 +48,38 @@ func (l *Link) Program() *LoadedProgram { return l.lp }
 // Close detaches the program from its hook.
 func (l *Link) Close() {
 	l.once.Do(func() {
-		l.hook.mu.Lock()
-		defer l.hook.mu.Unlock()
-		for i, cand := range l.hook.links {
-			if cand == l {
-				l.hook.links = append(l.hook.links[:i], l.hook.links[i+1:]...)
-				break
+		h := l.hook
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		cur := h.links.Load().([]*Link)
+		next := make([]*Link, 0, len(cur))
+		for _, cand := range cur {
+			if cand != l {
+				next = append(next, cand)
 			}
 		}
+		h.links.Store(next)
 	})
 }
 
 // Hook is one attachment point instance (e.g. the XDP hook of one NIC, the
 // SK_MSG hook of one socket). Programs run in attach order until one
-// returns a non-pass verdict.
+// returns a non-pass verdict. The link list is copy-on-write: attach and
+// detach copy under the mutex, so Fire reads a stable snapshot without
+// locking or copying per event.
 type Hook struct {
 	point AttachPoint
 	kern  *Kernel
 
-	mu    sync.Mutex
-	links []*Link
+	mu    sync.Mutex   // serializes writers
+	links atomic.Value // []*Link
 }
 
 // NewHook creates a hook of the given kind bound to a kernel.
 func NewHook(k *Kernel, point AttachPoint) *Hook {
-	return &Hook{point: point, kern: k}
+	h := &Hook{point: point, kern: k}
+	h.links.Store([]*Link{})
+	return h
 }
 
 // Point returns the hook's attach point kind.
@@ -93,16 +101,17 @@ func (h *Hook) Attach(lp *LoadedProgram) (*Link, error) {
 	}
 	l := &Link{hook: h, lp: lp}
 	h.mu.Lock()
-	h.links = append(h.links, l)
+	cur := h.links.Load().([]*Link)
+	next := make([]*Link, len(cur), len(cur)+1)
+	copy(next, cur)
+	h.links.Store(append(next, l))
 	h.mu.Unlock()
 	return l, nil
 }
 
 // Attached returns the number of attached programs.
 func (h *Hook) Attached() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return len(h.links)
+	return len(h.links.Load().([]*Link))
 }
 
 // passVerdict is the verdict that lets the next program run.
@@ -122,11 +131,7 @@ func (h *Hook) passVerdict() int64 {
 // programs attached, Fire returns the pass verdict (the event-driven
 // property: no attached program, no work).
 func (h *Hook) Fire(data []byte, ifindex uint32, env Env) (Result, error) {
-	h.mu.Lock()
-	links := make([]*Link, len(h.links))
-	copy(links, h.links)
-	h.mu.Unlock()
-
+	links := h.links.Load().([]*Link)
 	res := Result{Ret: h.passVerdict()}
 	for _, l := range links {
 		r, err := l.lp.kernel.Run(l.lp, data, ifindex, env)

@@ -250,7 +250,7 @@ func fibTestProgram() *Program {
 		Mov64Imm(R3, FibParamsSize),
 		Mov64Imm(R4, 0),
 		Call(HelperFibLookup),
-		JneImm(R0, 0, 4), // no route -> pass
+		JneImm(R0, 0, 4),        // no route -> pass
 		LoadMem(R1, R10, -4, W), // egress ifindex
 		Mov64Imm(R2, 0),
 		Call(HelperRedirect),

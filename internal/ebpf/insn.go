@@ -72,8 +72,8 @@ const (
 	OpMovImm
 
 	// Memory. Off is the signed displacement from the base register.
-	OpLoad    // dst = *(size *)(src + off)
-	OpStore   // *(size *)(dst + off) = src
+	OpLoad     // dst = *(size *)(src + off)
+	OpStore    // *(size *)(dst + off) = src
 	OpStoreImm // *(size *)(dst + off) = imm
 
 	// Pseudo-instruction: load a map handle into dst (ld_imm64 with a

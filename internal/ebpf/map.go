@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"unsafe"
 )
 
 // MapType enumerates the supported eBPF map types.
@@ -55,14 +57,27 @@ var (
 // Map is an in-"kernel" key/value store shared between programs and
 // userspace, the configurability mechanism of §3.1. All methods are safe
 // for concurrent use.
+//
+// Array maps are backed by one 8-byte-aligned slab ([]uint64), each entry
+// padded to a word multiple. That alignment is what lets OpAtomicAdd run as
+// a real CPU atomic on the value word (see atomicAddBytes), and array
+// lookups/updates go through word-wise atomic copies instead of the map
+// mutex — concurrent metric reads and increments never serialize.
 type Map struct {
 	spec MapSpec
 	fd   int
 
-	mu      sync.RWMutex
-	array   [][]byte          // MapTypeArray / PerCPUArray backing
-	hash    map[string][]byte // MapTypeHash backing
-	sockets map[uint32]SockRef // MapTypeSockMap backing
+	// array backing: slab words, valWords per entry, plus per-entry byte
+	// views aliasing the slab. The views are created once and never
+	// reassigned, so they are safe to read without a lock.
+	slab     []uint64
+	valWords int
+	array    [][]byte
+
+	mu   sync.RWMutex      // guards hash and sockmap writes
+	hash map[string][]byte // MapTypeHash backing
+
+	socks atomic.Value // map[uint32]SockRef, copy-on-write (MapTypeSockMap)
 }
 
 // SockRef is a sockmap entry: the kernel-side reference to a socket that
@@ -72,6 +87,17 @@ type SockRef interface {
 	DeliverDescriptor(data []byte) error
 	// SockID identifies the socket (for tests and diagnostics).
 	SockID() uint32
+}
+
+// alignedBytes allocates n bytes with 8-byte alignment by backing them with
+// a []uint64 — Go's tiny allocator does not guarantee word alignment for
+// small byte slices, and atomicAddBytes needs it.
+func alignedBytes(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	w := make([]uint64, (n+7)/8)
+	return unsafe.Slice((*byte)(unsafe.Pointer(&w[0])), n)
 }
 
 func newMap(spec MapSpec, fd int) (*Map, error) {
@@ -87,14 +113,19 @@ func newMap(spec MapSpec, fd int) (*Map, error) {
 		if spec.KeySize != 4 {
 			return nil, fmt.Errorf("ebpf: array map %q requires 4-byte keys", spec.Name)
 		}
+		m.valWords = (spec.ValueSize + 7) / 8
 		m.array = make([][]byte, spec.MaxEntries)
-		for i := range m.array {
-			m.array[i] = make([]byte, spec.ValueSize)
+		if m.valWords > 0 {
+			m.slab = make([]uint64, spec.MaxEntries*m.valWords)
+			for i := range m.array {
+				p := (*byte)(unsafe.Pointer(&m.slab[i*m.valWords]))
+				m.array[i] = unsafe.Slice(p, spec.ValueSize)
+			}
 		}
 	case MapTypeHash:
 		m.hash = make(map[string][]byte)
 	case MapTypeSockMap:
-		m.sockets = make(map[uint32]SockRef)
+		m.socks.Store(map[uint32]SockRef{})
 	default:
 		return nil, fmt.Errorf("ebpf: unsupported map type %v", spec.Type)
 	}
@@ -118,17 +149,89 @@ func (m *Map) arrayIndex(key []byte) (int, error) {
 	return idx, nil
 }
 
+// atomicReadInto copies array entry idx into out word-atomically, so a
+// reader never observes a torn counter mid-increment and the race detector
+// sees properly paired atomics against OpAtomicAdd.
+func (m *Map) atomicReadInto(idx int, out []byte) {
+	var word [8]byte
+	off := 0
+	for j := 0; j < m.valWords && off < len(out); j++ {
+		binary.NativeEndian.PutUint64(word[:], atomic.LoadUint64(&m.slab[idx*m.valWords+j]))
+		off += copy(out[off:], word[:])
+	}
+}
+
+// atomicWrite stores value into array entry idx word-atomically. A partial
+// trailing word is merged read-modify-write; concurrent adds to padding
+// bytes cannot occur because padding is never exposed to programs.
+func (m *Map) atomicWrite(idx int, value []byte) {
+	var word [8]byte
+	for j := 0; j < m.valWords; j++ {
+		w := &m.slab[idx*m.valWords+j]
+		off := j * 8
+		if rem := len(value) - off; rem >= 8 {
+			atomic.StoreUint64(w, binary.NativeEndian.Uint64(value[off:]))
+		} else {
+			binary.NativeEndian.PutUint64(word[:], atomic.LoadUint64(w))
+			copy(word[:rem], value[off:])
+			atomic.StoreUint64(w, binary.NativeEndian.Uint64(word[:]))
+		}
+	}
+}
+
 // Lookup returns a copy of the value for key.
 func (m *Map) Lookup(key []byte) ([]byte, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	v, err := m.lookupRefLocked(key)
-	if err != nil {
-		return nil, err
+	switch m.spec.Type {
+	case MapTypeArray, MapTypePerCPUArray:
+		idx, err := m.arrayIndex(key)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]byte, m.spec.ValueSize)
+		m.atomicReadInto(idx, out)
+		return out, nil
+	default:
+		m.mu.RLock()
+		defer m.mu.RUnlock()
+		v, err := m.lookupRefLocked(key)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]byte, len(v))
+		copy(out, v)
+		return out, nil
 	}
-	out := make([]byte, len(v))
-	copy(out, v)
-	return out, nil
+}
+
+// LookupU32Into reads the value for a uint32 key into out without
+// allocating a key or a result — the zero-alloc variant for hot userspace
+// readers (metric scrapes on the request path).
+func (m *Map) LookupU32Into(key uint32, out []byte) error {
+	switch m.spec.Type {
+	case MapTypeArray, MapTypePerCPUArray:
+		if int(key) >= m.spec.MaxEntries {
+			return ErrKeyNotFound
+		}
+		if len(out) < m.spec.ValueSize {
+			return ErrBadValue
+		}
+		m.atomicReadInto(int(key), out[:m.spec.ValueSize])
+		return nil
+	default:
+		var kb [4]byte
+		binary.LittleEndian.PutUint32(kb[:], key)
+		m.mu.RLock()
+		defer m.mu.RUnlock()
+		v, err := m.lookupRefLocked(kb[:])
+		if err != nil {
+			return err
+		}
+		if len(out) < len(v) {
+			return ErrBadValue
+		}
+		copy(out, v)
+		return nil
+	}
 }
 
 // lookupRefLocked returns the live value slice (programs write through it,
@@ -156,16 +259,24 @@ func (m *Map) lookupRefLocked(key []byte) ([]byte, error) {
 }
 
 // LookupRef returns the live (aliased) value slice for in-place mutation.
+// Array entries alias the fixed slab, so no lock is taken for them.
 func (m *Map) LookupRef(key []byte) ([]byte, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.lookupRefLocked(key)
+	switch m.spec.Type {
+	case MapTypeArray, MapTypePerCPUArray:
+		idx, err := m.arrayIndex(key)
+		if err != nil {
+			return nil, err
+		}
+		return m.array[idx], nil
+	default:
+		m.mu.RLock()
+		defer m.mu.RUnlock()
+		return m.lookupRefLocked(key)
+	}
 }
 
 // Update inserts or replaces the value for key.
 func (m *Map) Update(key, value []byte) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	switch m.spec.Type {
 	case MapTypeArray, MapTypePerCPUArray:
 		idx, err := m.arrayIndex(key)
@@ -175,9 +286,11 @@ func (m *Map) Update(key, value []byte) error {
 		if len(value) != m.spec.ValueSize {
 			return ErrBadValue
 		}
-		copy(m.array[idx], value)
+		m.atomicWrite(idx, value)
 		return nil
 	case MapTypeHash:
+		m.mu.Lock()
+		defer m.mu.Unlock()
 		if len(key) != m.spec.KeySize {
 			return ErrBadKey
 		}
@@ -187,7 +300,7 @@ func (m *Map) Update(key, value []byte) error {
 		if _, ok := m.hash[string(key)]; !ok && len(m.hash) >= m.spec.MaxEntries {
 			return ErrMapFull
 		}
-		v := make([]byte, len(value))
+		v := alignedBytes(len(value))
 		copy(v, value)
 		m.hash[string(key)] = v
 		return nil
@@ -198,10 +311,10 @@ func (m *Map) Update(key, value []byte) error {
 
 // Delete removes key.
 func (m *Map) Delete(key []byte) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	switch m.spec.Type {
 	case MapTypeHash:
+		m.mu.Lock()
+		defer m.mu.Unlock()
 		if len(key) != m.spec.KeySize {
 			return ErrBadKey
 		}
@@ -215,38 +328,74 @@ func (m *Map) Delete(key []byte) error {
 		if err != nil {
 			return err
 		}
-		for i := range m.array[idx] {
-			m.array[idx][i] = 0
+		for j := 0; j < m.valWords; j++ {
+			atomic.StoreUint64(&m.slab[idx*m.valWords+j], 0)
 		}
 		return nil
 	case MapTypeSockMap:
 		if len(key) != 4 {
 			return ErrBadKey
 		}
-		k := binary.LittleEndian.Uint32(key)
-		if _, ok := m.sockets[k]; !ok {
-			return ErrKeyNotFound
-		}
-		delete(m.sockets, k)
-		return nil
+		return m.DeleteU32(binary.LittleEndian.Uint32(key))
 	default:
 		return fmt.Errorf("ebpf: delete unsupported on %v map", m.spec.Type)
 	}
 }
 
+// DeleteU32 removes a uint32 key without allocating the wire form.
+func (m *Map) DeleteU32(key uint32) error {
+	switch m.spec.Type {
+	case MapTypeSockMap:
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		cur := m.socks.Load().(map[uint32]SockRef)
+		if _, ok := cur[key]; !ok {
+			return ErrKeyNotFound
+		}
+		next := make(map[uint32]SockRef, len(cur))
+		for k, v := range cur {
+			if k != key {
+				next[k] = v
+			}
+		}
+		m.socks.Store(next)
+		return nil
+	case MapTypeArray, MapTypePerCPUArray:
+		if int(key) >= m.spec.MaxEntries {
+			return ErrKeyNotFound
+		}
+		for j := 0; j < m.valWords; j++ {
+			atomic.StoreUint64(&m.slab[int(key)*m.valWords+j], 0)
+		}
+		return nil
+	default:
+		var kb [4]byte
+		binary.LittleEndian.PutUint32(kb[:], key)
+		return m.Delete(kb[:])
+	}
+}
+
 // UpdateSock installs a socket reference under key (userspace control-plane
 // operation: the SPRIGHT gateway registers each new function instance's
-// socket here, §3.2.1).
+// socket here, §3.2.1). The sockmap is copy-on-write: updates copy under
+// the mutex, so the per-message LookupSock on the redirect path is
+// lock-free.
 func (m *Map) UpdateSock(key uint32, s SockRef) error {
 	if m.spec.Type != MapTypeSockMap {
 		return fmt.Errorf("ebpf: UpdateSock on %v map", m.spec.Type)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, ok := m.sockets[key]; !ok && len(m.sockets) >= m.spec.MaxEntries {
+	cur := m.socks.Load().(map[uint32]SockRef)
+	if _, ok := cur[key]; !ok && len(cur) >= m.spec.MaxEntries {
 		return ErrMapFull
 	}
-	m.sockets[key] = s
+	next := make(map[uint32]SockRef, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[key] = s
+	m.socks.Store(next)
 	return nil
 }
 
@@ -255,9 +404,7 @@ func (m *Map) LookupSock(key uint32) (SockRef, error) {
 	if m.spec.Type != MapTypeSockMap {
 		return nil, fmt.Errorf("ebpf: LookupSock on %v map", m.spec.Type)
 	}
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	s, ok := m.sockets[key]
+	s, ok := m.socks.Load().(map[uint32]SockRef)[key]
 	if !ok {
 		return nil, ErrKeyNotFound
 	}
@@ -266,13 +413,13 @@ func (m *Map) LookupSock(key uint32) (SockRef, error) {
 
 // Entries returns the number of populated entries (hash and sockmap).
 func (m *Map) Entries() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	switch m.spec.Type {
 	case MapTypeHash:
+		m.mu.RLock()
+		defer m.mu.RUnlock()
 		return len(m.hash)
 	case MapTypeSockMap:
-		return len(m.sockets)
+		return len(m.socks.Load().(map[uint32]SockRef))
 	default:
 		return m.spec.MaxEntries
 	}

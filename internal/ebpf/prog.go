@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // ProgType declares which hook a program may attach to, mirroring
@@ -12,9 +13,9 @@ type ProgType int
 
 // Program types used by SPRIGHT.
 const (
-	ProgTypeXDP ProgType = iota
-	ProgTypeTC            // sched_cls
-	ProgTypeSKMsg         // sk_msg (the SPROXY program type)
+	ProgTypeXDP   ProgType = iota
+	ProgTypeTC             // sched_cls
+	ProgTypeSKMsg          // sk_msg (the SPROXY program type)
 	ProgTypeSockOps
 )
 
@@ -62,11 +63,20 @@ type Program struct {
 	Insns []Insn
 }
 
+// progMapRef caches a map referenced by a program's OpLoadMapFD
+// instructions, resolved once at load time so each execution resolves
+// handles from this table instead of taking the kernel registry lock.
+type progMapRef struct {
+	fd int
+	m  *Map
+}
+
 // LoadedProgram is a verified program resident in the kernel.
 type LoadedProgram struct {
 	prog   *Program
 	kernel *Kernel
 	fd     int
+	maps   []progMapRef
 }
 
 // FD returns the program's file descriptor.
@@ -81,6 +91,10 @@ func (lp *LoadedProgram) Type() ProgType { return lp.prog.Type }
 // Len returns the instruction count.
 func (lp *LoadedProgram) Len() int { return len(lp.prog.Insns) }
 
+// envBox wraps the Env interface in a struct so atomic.Value sees one
+// consistent concrete type across stores of different Env implementations.
+type envBox struct{ e Env }
+
 // Kernel is the per-node eBPF subsystem: the registry of maps and loaded
 // programs plus the execution engine. One Kernel instance backs one
 // simulated worker node.
@@ -90,37 +104,34 @@ type Kernel struct {
 	progs map[int]*LoadedProgram
 	next  int
 
-	env Env
+	env atomic.Value // envBox
 
 	// stats
-	runs      uint64
-	insnTotal uint64
+	runs      atomic.Uint64
+	insnTotal atomic.Uint64
 }
 
 // NewKernel creates an empty eBPF subsystem with a null environment.
 func NewKernel() *Kernel {
-	return &Kernel{
+	k := &Kernel{
 		maps:  make(map[int]*Map),
 		progs: make(map[int]*LoadedProgram),
 		next:  3, // fds 0-2 are taken, as on a real system
-		env:   nullEnv{},
 	}
+	k.env.Store(envBox{nullEnv{}})
+	return k
 }
 
 // SetEnv installs the host environment used by helpers (time, FIB).
 func (k *Kernel) SetEnv(e Env) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
 	if e == nil {
 		e = nullEnv{}
 	}
-	k.env = e
+	k.env.Store(envBox{e})
 }
 
 func (k *Kernel) currentEnv() Env {
-	k.mu.RLock()
-	defer k.mu.RUnlock()
-	return k.env
+	return k.env.Load().(envBox).e
 }
 
 // CreateMap creates a map and assigns it a file descriptor.
@@ -143,7 +154,9 @@ func (k *Kernel) mapByFD(fd int) *Map {
 	return k.maps[fd]
 }
 
-// Load verifies a program and makes it executable.
+// Load verifies a program and makes it executable. The maps referenced by
+// OpLoadMapFD instructions are resolved here, once, into the program's map
+// table; executions resolve handles against that table lock-free.
 func (k *Kernel) Load(p *Program) (*LoadedProgram, error) {
 	if err := k.verify(p); err != nil {
 		return nil, fmt.Errorf("load %q: %w", p.Name, err)
@@ -151,6 +164,22 @@ func (k *Kernel) Load(p *Program) (*LoadedProgram, error) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	lp := &LoadedProgram{prog: p, kernel: k, fd: k.next}
+	for _, in := range p.Insns {
+		if in.Op != OpLoadMapFD {
+			continue
+		}
+		fd := int(uint32(in.Imm))
+		seen := false
+		for _, ref := range lp.maps {
+			if ref.fd == fd {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			lp.maps = append(lp.maps, progMapRef{fd: fd, m: k.maps[fd]})
+		}
+	}
 	k.next++
 	k.progs[lp.fd] = lp
 	return lp, nil
@@ -158,16 +187,12 @@ func (k *Kernel) Load(p *Program) (*LoadedProgram, error) {
 
 // Stats reports cumulative execution statistics.
 func (k *Kernel) Stats() (runs, insns uint64) {
-	k.mu.RLock()
-	defer k.mu.RUnlock()
-	return k.runs, k.insnTotal
+	return k.runs.Load(), k.insnTotal.Load()
 }
 
 func (k *Kernel) noteRun(insns int) {
-	k.mu.Lock()
-	k.runs++
-	k.insnTotal += uint64(insns)
-	k.mu.Unlock()
+	k.runs.Add(1)
+	k.insnTotal.Add(uint64(insns))
 }
 
 // ctx layouts. All context structs start with data/data_end pointers like
@@ -181,35 +206,100 @@ const (
 	ctxSize       = 24
 )
 
-// buildCtx assembles the context struct and address space for a run.
-func (k *Kernel) newExec(lp *LoadedProgram, data []byte, ifindex uint32, env Env) *execState {
-	st := &execState{kernel: k, prog: lp, env: env}
+// execPool recycles execState instances across runs. All hot-path storage
+// (ctx, stack, map-value table, RunCopy staging buffer) is inline in the
+// struct, so a pooled run performs zero heap allocation.
+var execPool = sync.Pool{New: func() any { return new(execState) }}
+
+// getExec prepares a pooled execState for one run. The stack and registers
+// are zeroed — the verifier does not track stack-slot initialization, so a
+// recycled dirty stack must not leak state between runs.
+func (k *Kernel) getExec(lp *LoadedProgram, frameLen int, ifindex uint32, env Env) *execState {
+	st := execPool.Get().(*execState)
+	st.kernel = k
+	st.prog = lp
+	st.env = env
 	if env == nil {
 		st.env = k.currentEnv()
 	}
 
-	ctx := make([]byte, ctxSize)
-	binary.LittleEndian.PutUint64(ctx[ctxOffData:], packetBase)
-	binary.LittleEndian.PutUint64(ctx[ctxOffDataEnd:], packetBase+uint64(len(data)))
-	binary.LittleEndian.PutUint32(ctx[ctxOffIfindex:], ifindex)
+	st.reg = [numRegisters]uint64{}
+	clear(st.stack[:])
+	st.res = Result{}
+	st.nSlots = 0
+	st.overflow = st.overflow[:0]
 
-	stack := make([]byte, StackSize)
-	st.space.add(ctxBase, ctx, true)
-	st.space.add(packetBase, data, true)
-	st.space.add(stackBase, stack, true)
+	binary.LittleEndian.PutUint64(st.ctx[ctxOffData:], packetBase)
+	binary.LittleEndian.PutUint64(st.ctx[ctxOffDataEnd:], packetBase+uint64(frameLen))
+	binary.LittleEndian.PutUint32(st.ctx[ctxOffIfindex:], ifindex)
+	binary.LittleEndian.PutUint32(st.ctx[ctxOffMark:], 0)
 
 	st.reg[R1] = ctxBase
 	st.reg[R10] = stackBase + StackSize
-	st.msgData = data
 	return st
 }
 
+// putExec returns an execState to the pool, dropping references so pooled
+// instances don't pin packets, maps or sockets.
+func putExec(st *execState) {
+	st.kernel = nil
+	st.prog = nil
+	st.env = nil
+	st.packet = nil
+	st.pktWrite = false
+	st.msgData = nil
+	for i := 0; i < st.nSlots && i < maxInlineMapVals; i++ {
+		st.mapVals[i] = nil
+	}
+	st.overflow = nil
+	st.nSlots = 0
+	st.res = Result{} // drops the RedirectSock reference
+	execPool.Put(st)
+}
+
 // Run executes a loaded program over data (packet or message bytes) with
-// the given ingress ifindex. It is the common engine behind the hook
-// dispatchers in hooks.go.
+// the given ingress ifindex. The program reads and writes data in place.
+// It is the common engine behind the hook dispatchers in hooks.go.
 func (k *Kernel) Run(lp *LoadedProgram, data []byte, ifindex uint32, env Env) (Result, error) {
-	st := k.newExec(lp, data, ifindex, env)
+	st := k.getExec(lp, len(data), ifindex, env)
+	st.packet = data
+	st.pktWrite = true
+	st.msgData = data
 	res, err := st.run()
 	k.noteRun(res.Insns)
+	putExec(st)
+	return res, err
+}
+
+// RunCopy executes a program over a private copy of data, leaving the
+// caller's slice unread after return and unaliased by the VM. Small frames
+// (descriptors) are staged in the exec state's inline buffer, so the send
+// path does not allocate; larger frames fall back to an explicit copy.
+func (k *Kernel) RunCopy(lp *LoadedProgram, data []byte, ifindex uint32, env Env) (Result, error) {
+	if len(data) > pktCopySize {
+		buf := append([]byte(nil), data...)
+		return k.Run(lp, buf, ifindex, env)
+	}
+	st := k.getExec(lp, len(data), ifindex, env)
+	n := copy(st.pktCopy[:], data)
+	st.packet = st.pktCopy[:n]
+	st.pktWrite = true
+	st.msgData = st.packet
+	res, err := st.run()
+	k.noteRun(res.Insns)
+	putExec(st)
+	return res, err
+}
+
+// RunMeta executes a program over a synthetic frame of frameLen bytes whose
+// contents are inaccessible: ctx data/data_end describe the frame bounds,
+// but any dereference of packet memory faults. Metrics-only programs (the
+// EPROXY monitor reads just data/data_end from the ctx) run this way
+// without the caller materializing a frame at all.
+func (k *Kernel) RunMeta(lp *LoadedProgram, frameLen int, ifindex uint32, env Env) (Result, error) {
+	st := k.getExec(lp, frameLen, ifindex, env)
+	res, err := st.run()
+	k.noteRun(res.Insns)
+	putExec(st)
 	return res, err
 }

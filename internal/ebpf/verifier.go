@@ -127,7 +127,7 @@ func checkTermination(insns []Insn) error {
 // regMask tracks which registers are definitely initialized.
 type regMask uint16
 
-func (m regMask) has(r Register) bool { return m&(1<<r) != 0 }
+func (m regMask) has(r Register) bool    { return m&(1<<r) != 0 }
 func (m regMask) set(r Register) regMask { return m | (1 << r) }
 
 // checkInit runs a forward may-analysis: at a join point a register is

@@ -5,13 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"unsafe"
 )
-
-// atomicMu serializes OpAtomicAdd read-modify-write sequences across
-// concurrent program executions — the interpreter's stand-in for the LOCK
-// prefix BPF_XADD compiles to. Map values are shared memory between runs,
-// so without this two concurrent counters could lose increments.
-var atomicMu sync.Mutex
 
 // StackSize is the per-invocation stack available through R10, matching the
 // kernel's 512-byte eBPF stack.
@@ -23,13 +19,19 @@ const StackSize = 512
 const MaxRuntimeInsns = 1 << 20
 
 // Virtual address-space layout. Regions never overlap: the context struct,
-// packet data, stack and map values each live under a distinct base.
+// packet data, stack and map values each live under a distinct base, and —
+// crucially for the interpreter's load/store fast path — under a distinct
+// value of addr>>regionShift, so an access resolves its region in O(1)
+// from the address bits instead of scanning a region list.
 const (
 	ctxBase    uint64 = 0x0000_1000_0000_0000
 	packetBase uint64 = 0x0000_2000_0000_0000
 	stackBase  uint64 = 0x0000_7ff0_0000_0000
 	mapValBase uint64 = 0x0000_4000_0000_0000
 	mapValStep uint64 = 0x0000_0000_0001_0000
+
+	// regionShift selects the address bits that identify a region class.
+	regionShift = 44
 
 	// map handles returned by OpLoadMapFD are tagged so that helpers can
 	// tell them apart from pointers.
@@ -44,43 +46,14 @@ var (
 	ErrBadMapHandle = errors.New("ebpf: register does not hold a map handle")
 )
 
-type region struct {
-	base     uint64
-	data     []byte
-	writable bool
-}
+// maxInlineMapVals is how many distinct map-value regions one run can map
+// before spilling to a heap slice. SPROXY maps two (filter hit + metrics
+// slot); eight leaves generous headroom without growing the exec state.
+const maxInlineMapVals = 8
 
-type addrSpace struct {
-	regions []region
-	nextMap uint64
-}
-
-func (a *addrSpace) add(base uint64, data []byte, writable bool) {
-	a.regions = append(a.regions, region{base: base, data: data, writable: writable})
-}
-
-// mapValue maps a live map-value slice into the address space, returning
-// its virtual address (what bpf_map_lookup_elem hands back).
-func (a *addrSpace) mapValue(data []byte) uint64 {
-	base := mapValBase + a.nextMap*mapValStep
-	a.nextMap++
-	a.add(base, data, true)
-	return base
-}
-
-func (a *addrSpace) access(addr uint64, size int, write bool) ([]byte, error) {
-	for i := range a.regions {
-		r := &a.regions[i]
-		if addr >= r.base && addr+uint64(size) <= r.base+uint64(len(r.data)) {
-			if write && !r.writable {
-				return nil, fmt.Errorf("%w: write to read-only region at %#x", ErrOutOfBounds, addr)
-			}
-			off := addr - r.base
-			return r.data[off : off+uint64(size)], nil
-		}
-	}
-	return nil, fmt.Errorf("%w: %d bytes at %#x", ErrOutOfBounds, size, addr)
-}
+// pktCopySize is the inline staging buffer used by RunCopy: big enough for
+// a shm descriptor (16 bytes) with room for richer descriptor formats.
+const pktCopySize = 64
 
 // Env is the host environment visible to helpers. Hooks provide an Env when
 // running programs; a nil Env yields zero time and an empty FIB.
@@ -94,7 +67,7 @@ type Env interface {
 
 type nullEnv struct{}
 
-func (nullEnv) Now() int64                            { return 0 }
+func (nullEnv) Now() int64                              { return 0 }
 func (nullEnv) FIBLookup(uint32, uint32) (uint32, bool) { return 0, false }
 
 // Result is the outcome of one program execution.
@@ -113,16 +86,109 @@ type Result struct {
 	FIBHit bool
 }
 
+// execState is one program invocation's machine state. Instances are pooled
+// (see execPool in prog.go) so a steady-state run performs no allocation:
+// the context struct, the 512-byte stack and the RunCopy staging buffer are
+// inline arrays, and map-value regions occupy a fixed inline table.
 type execState struct {
 	kernel *Kernel
 	prog   *LoadedProgram
 	env    Env
-	space  addrSpace
 	reg    [numRegisters]uint64
 	res    Result
 
+	ctx     [ctxSize]byte
+	stack   [StackSize]byte
+	pktCopy [pktCopySize]byte
+
+	// packet aliases the caller's data (Run), the inline pktCopy staging
+	// buffer (RunCopy), or is empty for metadata-only frames (RunMeta).
+	packet   []byte
+	pktWrite bool
+
+	// map-value regions, indexed by (addr-mapValBase)/mapValStep. Values
+	// wider than mapValStep reserve extra nil continuation slots.
+	mapVals  [maxInlineMapVals][]byte
+	nSlots   int
+	overflow [][]byte
+
 	// msgData is the SK_MSG payload (for msg_redirect_map delivery).
 	msgData []byte
+}
+
+func (st *execState) slot(i int) []byte {
+	if i < maxInlineMapVals {
+		return st.mapVals[i]
+	}
+	return st.overflow[i-maxInlineMapVals]
+}
+
+func (st *execState) addSlot(b []byte) {
+	if st.nSlots < maxInlineMapVals {
+		st.mapVals[st.nSlots] = b
+	} else {
+		st.overflow = append(st.overflow, b)
+	}
+	st.nSlots++
+}
+
+func sameSlice(a, b []byte) bool {
+	return len(a) == len(b) && len(a) > 0 && &a[0] == &b[0]
+}
+
+// mapValue maps a live map-value slice into the address space, returning
+// its virtual address (what bpf_map_lookup_elem hands back). Re-looking-up
+// a value already mapped in this run returns the existing region instead of
+// growing the table, so lookup loops do not accrete address-space state.
+func (st *execState) mapValue(data []byte) uint64 {
+	for i := 0; i < st.nSlots; i++ {
+		if sameSlice(st.slot(i), data) {
+			return mapValBase + uint64(i)*mapValStep
+		}
+	}
+	base := mapValBase + uint64(st.nSlots)*mapValStep
+	st.addSlot(data)
+	if len(data) > 0 {
+		for extra := (len(data) - 1) / int(mapValStep); extra > 0; extra-- {
+			st.addSlot(nil) // continuation slots of a wide value
+		}
+	}
+	return base
+}
+
+// access resolves a virtual address range to backing bytes. Region classes
+// are disjoint in bits [44,48), so resolution is a single switch on the
+// address — no scan, no allocation.
+func (st *execState) access(addr uint64, size int, write bool) ([]byte, error) {
+	n := uint64(size)
+	switch addr >> regionShift {
+	case ctxBase >> regionShift:
+		if off := addr - ctxBase; off < ctxSize && off+n <= ctxSize {
+			return st.ctx[off : off+n], nil
+		}
+	case packetBase >> regionShift:
+		if off := addr - packetBase; off < uint64(len(st.packet)) && off+n <= uint64(len(st.packet)) {
+			if write && !st.pktWrite {
+				return nil, fmt.Errorf("%w: write to read-only region at %#x", ErrOutOfBounds, addr)
+			}
+			return st.packet[off : off+n], nil
+		}
+	case stackBase >> regionShift:
+		if off := addr - stackBase; off < StackSize && off+n <= StackSize {
+			return st.stack[off : off+n], nil
+		}
+	case mapValBase >> regionShift:
+		if idx := int((addr - mapValBase) / mapValStep); idx < st.nSlots {
+			for idx > 0 && st.slot(idx) == nil {
+				idx-- // walk back to the head slot of a wide value
+			}
+			data := st.slot(idx)
+			if off := addr - (mapValBase + uint64(idx)*mapValStep); off+n <= uint64(len(data)) {
+				return data[off : off+n], nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: %d bytes at %#x", ErrOutOfBounds, size, addr)
 }
 
 func loadUint(b []byte, size Size) uint64 {
@@ -149,6 +215,37 @@ func storeUint(b []byte, size Size, v uint64) {
 	default:
 		binary.LittleEndian.PutUint64(b, v)
 	}
+}
+
+// atomicStripes backs the slow path of atomicAddBytes for unaligned or
+// sub-word operands. Striped by address, so even the fallback never
+// serializes unrelated counters behind one lock.
+var atomicStripes [64]sync.Mutex
+
+// atomicAddBytes implements BPF_XADD semantics: a LOCK-prefixed add on the
+// target word. Aligned word/dword operands — the only shapes SPRIGHT's
+// metric programs emit, guaranteed by the 8-byte-aligned array-map slab —
+// map to real CPU atomics, so concurrent executions (across chains or
+// within one) never contend on a shared mutex. Unaligned and byte/half
+// operands fall back to an address-striped lock.
+func atomicAddBytes(b []byte, size Size, delta uint64) {
+	p := unsafe.Pointer(&b[0])
+	switch size {
+	case DW:
+		if uintptr(p)&7 == 0 {
+			atomic.AddUint64((*uint64)(p), delta)
+			return
+		}
+	case W:
+		if uintptr(p)&3 == 0 {
+			atomic.AddUint32((*uint32)(p), uint32(delta))
+			return
+		}
+	}
+	mu := &atomicStripes[(uintptr(p)>>3)%uintptr(len(atomicStripes))]
+	mu.Lock()
+	storeUint(b, size, loadUint(b, size)+delta)
+	mu.Unlock()
 }
 
 // run interprets the program until exit, error, or budget exhaustion.
@@ -223,31 +320,29 @@ func (st *execState) run() (Result, error) {
 			st.reg[in.Dst] = uint64(-int64(st.reg[in.Dst]))
 
 		case OpLoad:
-			b, err := st.space.access(st.reg[in.Src]+uint64(int64(in.Off)), int(in.Size), false)
+			b, err := st.access(st.reg[in.Src]+uint64(int64(in.Off)), int(in.Size), false)
 			if err != nil {
 				return st.res, err
 			}
 			st.reg[in.Dst] = loadUint(b, in.Size)
 		case OpStore:
-			b, err := st.space.access(st.reg[in.Dst]+uint64(int64(in.Off)), int(in.Size), true)
+			b, err := st.access(st.reg[in.Dst]+uint64(int64(in.Off)), int(in.Size), true)
 			if err != nil {
 				return st.res, err
 			}
 			storeUint(b, in.Size, st.reg[in.Src])
 		case OpStoreImm:
-			b, err := st.space.access(st.reg[in.Dst]+uint64(int64(in.Off)), int(in.Size), true)
+			b, err := st.access(st.reg[in.Dst]+uint64(int64(in.Off)), int(in.Size), true)
 			if err != nil {
 				return st.res, err
 			}
 			storeUint(b, in.Size, uint64(in.Imm))
 		case OpAtomicAdd:
-			b, err := st.space.access(st.reg[in.Dst]+uint64(int64(in.Off)), int(in.Size), true)
+			b, err := st.access(st.reg[in.Dst]+uint64(int64(in.Off)), int(in.Size), true)
 			if err != nil {
 				return st.res, err
 			}
-			atomicMu.Lock()
-			storeUint(b, in.Size, loadUint(b, in.Size)+st.reg[in.Src])
-			atomicMu.Unlock()
+			atomicAddBytes(b, in.Size, st.reg[in.Src])
 
 		case OpLoadMapFD:
 			st.reg[in.Dst] = mapHandleTag | uint64(uint32(in.Imm))
@@ -325,18 +420,27 @@ func (st *execState) run() (Result, error) {
 	}
 }
 
-// mapFromHandle resolves a tagged map handle in a register.
+// mapFromHandle resolves a tagged map handle in a register. Programs load
+// handles through OpLoadMapFD, whose targets were resolved at Load time
+// into the program's map table — the common case costs a short scan of
+// that table, no kernel lock.
 func (st *execState) mapFromHandle(v uint64) (*Map, error) {
 	if v&mapHandleTag != mapHandleTag {
 		return nil, ErrBadMapHandle
 	}
-	m := st.kernel.mapByFD(int(uint32(v)))
+	fd := int(uint32(v))
+	for i := range st.prog.maps {
+		if st.prog.maps[i].fd == fd {
+			return st.prog.maps[i].m, nil
+		}
+	}
+	m := st.kernel.mapByFD(fd)
 	if m == nil {
-		return nil, fmt.Errorf("ebpf: no map with fd %d", uint32(v))
+		return nil, fmt.Errorf("ebpf: no map with fd %d", fd)
 	}
 	return m, nil
 }
 
 func (st *execState) readMem(addr uint64, n int) ([]byte, error) {
-	return st.space.access(addr, n, false)
+	return st.access(addr, n, false)
 }

@@ -152,7 +152,7 @@ func TestVMStackOverflowCaught(t *testing.T) {
 	k := NewKernel()
 	p := retProg(
 		Mov64Imm(R2, 1),
-		StoreMem(R10, -(StackSize + 8), R2, DW),
+		StoreMem(R10, -(StackSize+8), R2, DW),
 		Mov64Imm(R0, 0),
 		Exit(),
 	)

@@ -14,14 +14,14 @@ import (
 // SPRIGHT functions are the C ports (light); the Istio ingress mediates
 // every Knative message.
 const (
-	boutiqueGoRuntime  = 3.5e6  // Go gRPC/HTTP server work per visit
-	boutiqueGoApp      = 1.0e6  // Go application work per visit
-	boutiqueCApp       = 50e3   // C application work per visit (SPRIGHT port)
-	boutiqueIstio      = 700e3  // Istio ingress mediation per message
-	boutiqueQPPath     = 100e3  // queue proxy on-path work per crossing
-	boutiqueQPBack     = 1.5e6  // queue proxy off-path CPU per crossing
-	boutiquePayload    = 1024   // representative request/response payload
-	boutiqueVisitIO    = 350e3  // ns of blocking I/O per visit (cart/catalog store)
+	boutiqueGoRuntime  = 3.5e6 // Go gRPC/HTTP server work per visit
+	boutiqueGoApp      = 1.0e6 // Go application work per visit
+	boutiqueCApp       = 50e3  // C application work per visit (SPRIGHT port)
+	boutiqueIstio      = 700e3 // Istio ingress mediation per message
+	boutiqueQPPath     = 100e3 // queue proxy on-path work per crossing
+	boutiqueQPBack     = 1.5e6 // queue proxy off-path CPU per crossing
+	boutiquePayload    = 1024  // representative request/response payload
+	boutiqueVisitIO    = 350e3 // ns of blocking I/O per visit (cart/catalog store)
 	boutiqueRunSeconds = 160
 
 	// The Istio ingress is a regular multi-core deployment, unlike the

@@ -138,8 +138,8 @@ func (n *Node) Device(ifindex int) (*Device, bool) {
 
 // Errors.
 var (
-	ErrNoRoute   = errors.New("netstack: no route to destination")
-	ErrDropped   = errors.New("netstack: packet dropped")
+	ErrNoRoute    = errors.New("netstack: no route to destination")
+	ErrDropped    = errors.New("netstack: packet dropped")
 	ErrNoEndpoint = errors.New("netstack: destination device has no endpoint")
 )
 

@@ -61,9 +61,9 @@ func TestDESMatchesMD1Queueing(t *testing.T) {
 	cpu := sim.NewCPUSet(eng, "n", 1, 0)
 	c := NewComponent(eng, cfg, cpu, "g", 0)
 
-	serviceSec := 0.001            // 1 ms deterministic service
-	lambda := 700.0                // arrivals/sec → ρ = 0.7
-	rho := lambda * serviceSec     // 0.7
+	serviceSec := 0.001                          // 1 ms deterministic service
+	lambda := 700.0                              // arrivals/sec → ρ = 0.7
+	rho := lambda * serviceSec                   // 0.7
 	wantWq := rho * serviceSec / (2 * (1 - rho)) // ≈ 1.1667 ms
 
 	var totalWait float64

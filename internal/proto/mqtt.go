@@ -13,9 +13,9 @@ import (
 
 // MQTT packet types (high nibble of the first byte).
 const (
-	MQTTConnect  byte = 0x10
-	MQTTConnAck  byte = 0x20
-	MQTTPublish  byte = 0x30
+	MQTTConnect    byte = 0x10
+	MQTTConnAck    byte = 0x20
+	MQTTPublish    byte = 0x30
 	MQTTDisconnect byte = 0xE0
 )
 

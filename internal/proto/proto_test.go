@@ -114,9 +114,9 @@ func TestGRPCMalformed(t *testing.T) {
 	cases := [][]byte{
 		nil,
 		{0},
-		{0, 10, 'a'},                      // method length beyond data
-		{0, 1, 'a', 1, 0, 0, 0, 0},        // compressed flag set
-		{0, 1, 'a', 0, 0, 0, 0, 9, 1, 2},  // body length beyond data
+		{0, 10, 'a'},                     // method length beyond data
+		{0, 1, 'a', 1, 0, 0, 0, 0},       // compressed flag set
+		{0, 1, 'a', 0, 0, 0, 0, 9, 1, 2}, // body length beyond data
 	}
 	for i, c := range cases {
 		if _, _, err := UnmarshalGRPC(c); !errors.Is(err, ErrMalformed) {
@@ -162,10 +162,10 @@ func TestMQTTPublishProperty(t *testing.T) {
 func TestMQTTMalformed(t *testing.T) {
 	cases := [][]byte{
 		nil,
-		{0x20, 0},              // wrong packet type
-		{0x30, 5, 0},           // truncated
-		{0x30, 1, 9},           // body shorter than topic header
-		{0x30, 3, 0, 9, 'a'},   // topic length beyond body
+		{0x20, 0},            // wrong packet type
+		{0x30, 5, 0},         // truncated
+		{0x30, 1, 9},         // body shorter than topic header
+		{0x30, 3, 0, 9, 'a'}, // topic length beyond body
 	}
 	for i, c := range cases {
 		if _, _, err := UnmarshalMQTTPublish(c); !errors.Is(err, ErrMalformed) {

@@ -1,0 +1,97 @@
+package shm
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// boundaryValues are the uint32 edge cases exercised for every descriptor
+// field: zero, one, the byte boundaries where little-endian encoding rolls
+// over, and the reserved sentinels (0xFFFFFFFF is the NoReply caller).
+var boundaryValues = []uint32{
+	0, 1, 0x7F, 0x80, 0xFF, 0x100, 0xFFFF, 0x10000,
+	0x7FFFFFFF, 0x80000000, 0xFFFFFFFE, math.MaxUint32,
+}
+
+func TestDescriptorRoundTripBoundaries(t *testing.T) {
+	for _, v := range boundaryValues {
+		cases := []Descriptor{
+			{NextFn: v},
+			{Buf: v},
+			{Len: v},
+			{Caller: v},
+			{NextFn: v, Buf: v, Len: v, Caller: v},
+			{NextFn: v, Buf: ^v, Len: v ^ 0xA5A5A5A5, Caller: ^v},
+		}
+		for _, d := range cases {
+			wire := d.Marshal()
+			got, err := UnmarshalDescriptor(wire[:])
+			if err != nil {
+				t.Fatalf("UnmarshalDescriptor(%v): %v", d, err)
+			}
+			if got != d {
+				t.Fatalf("round trip mismatch: sent %v, got %v", d, got)
+			}
+		}
+	}
+}
+
+func TestDescriptorMarshalLayout(t *testing.T) {
+	// The wire layout is little endian and field order is fixed: SPROXY's
+	// eBPF program parses these offsets directly.
+	d := Descriptor{NextFn: 0x04030201, Buf: 0x08070605, Len: 0x0C0B0A09, Caller: 0x100F0E0D}
+	wire := d.Marshal()
+	want := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	if !bytes.Equal(wire[:], want) {
+		t.Fatalf("wire layout = % x, want % x", wire[:], want)
+	}
+}
+
+func TestDescriptorUnmarshalTruncated(t *testing.T) {
+	d := Descriptor{NextFn: 7, Buf: 9, Len: 1024, Caller: 3}
+	wire := d.Marshal()
+	for n := 0; n < DescriptorSize; n++ {
+		if _, err := UnmarshalDescriptor(wire[:n]); err == nil {
+			t.Fatalf("UnmarshalDescriptor accepted %d-byte wire form", n)
+		}
+	}
+	// Exactly DescriptorSize bytes and longer inputs both succeed; extra
+	// bytes beyond the descriptor are ignored (descriptors ride at the
+	// front of larger frames).
+	long := append(wire[:], 0xDE, 0xAD)
+	got, err := UnmarshalDescriptor(long)
+	if err != nil {
+		t.Fatalf("UnmarshalDescriptor with trailing bytes: %v", err)
+	}
+	if got != d {
+		t.Fatalf("descriptor with trailing bytes = %v, want %v", got, d)
+	}
+}
+
+// FuzzUnmarshalDescriptor checks that arbitrary wire input never panics,
+// that the short-input error fires exactly below DescriptorSize, and that
+// accepted inputs survive a Marshal/Unmarshal round trip bit-exactly.
+func FuzzUnmarshalDescriptor(f *testing.F) {
+	seed := Descriptor{NextFn: 1, Buf: 2, Len: 3, Caller: 4}.Marshal()
+	f.Add(seed[:])
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, DescriptorSize))
+	f.Add(bytes.Repeat([]byte{0x00}, DescriptorSize-1))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		d, err := UnmarshalDescriptor(b)
+		if len(b) < DescriptorSize {
+			if err == nil {
+				t.Fatalf("accepted %d-byte input", len(b))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("rejected %d-byte input: %v", len(b), err)
+		}
+		wire := d.Marshal()
+		if !bytes.Equal(wire[:], b[:DescriptorSize]) {
+			t.Fatalf("re-marshal mismatch: % x != % x", wire[:], b[:DescriptorSize])
+		}
+	})
+}

@@ -28,9 +28,30 @@ type PoolStats struct {
 	HighWater int
 }
 
+// freelistShards is the number of independent freelist segments (power of
+// two, so the home shard of a handle is a mask away). Concurrent Get/Put
+// from different workers land on different shard locks instead of
+// serializing on one pool-wide mutex.
+const freelistShards = 8
+
+// freeShard is one freelist segment. The pad keeps adjacent shards' locks
+// off a shared cache line.
+type freeShard struct {
+	mu   sync.Mutex
+	list []uint32 // LIFO for cache locality
+	_    [40]byte
+}
+
 // Pool is a fixed-capacity slab of equally sized buffers. It is safe for
 // concurrent use. The backing slab is allocated in one piece, mirroring a
 // HugePages-backed DPDK mempool: buffer i is slab[i*bufSize:(i+1)*bufSize].
+//
+// The freelist is sharded: a freed handle returns to its home shard
+// (h & (freelistShards-1)) and Get scans shards from a rotating cursor,
+// stealing from any non-empty shard before declaring exhaustion, so the
+// backpressure signal stays exact while uncontended Get/Put pairs touch
+// only one uncontended lock. InUse and the allocation stats are maintained
+// with the same atomics as before and remain exact.
 type Pool struct {
 	prefix  string
 	bufSize int
@@ -38,9 +59,9 @@ type Pool struct {
 	refs    []atomic.Int32 // 0 = free, >0 = live references
 	lens    []atomic.Int32 // valid payload length per buffer
 
-	mu     sync.Mutex
-	free   []uint32 // LIFO freelist for cache locality
-	closed bool
+	shards [freelistShards]freeShard
+	cursor atomic.Uint32
+	closed atomic.Bool
 
 	allocs    atomic.Uint64
 	frees     atomic.Uint64
@@ -62,10 +83,16 @@ func NewPool(prefix string, n, bufSize int) (*Pool, error) {
 		slab:    make([]byte, n*bufSize),
 		refs:    make([]atomic.Int32, n),
 		lens:    make([]atomic.Int32, n),
-		free:    make([]uint32, 0, n),
 	}
+	for s := range p.shards {
+		p.shards[s].list = make([]uint32, 0, n/freelistShards+1)
+	}
+	// Handles live in their home shard (h mod shards), low handles on top
+	// of each LIFO.
 	for i := n - 1; i >= 0; i-- {
-		p.free = append(p.free, uint32(i))
+		h := uint32(i)
+		s := &p.shards[h&(freelistShards-1)]
+		s.list = append(s.list, h)
 	}
 	return p, nil
 }
@@ -84,19 +111,14 @@ func (p *Pool) Capacity() int { return len(p.refs) }
 // (§3.2.1) is exactly the pool capacity, so exhaustion is the backpressure
 // signal.
 func (p *Pool) Get() (uint32, error) {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	if p.closed.Load() {
 		return 0, ErrClosed
 	}
-	if len(p.free) == 0 {
-		p.mu.Unlock()
+	h, ok := p.popFree()
+	if !ok {
 		p.failures.Add(1)
 		return 0, ErrPoolExhausted
 	}
-	h := p.free[len(p.free)-1]
-	p.free = p.free[:len(p.free)-1]
-	p.mu.Unlock()
 
 	p.refs[h].Store(1)
 	p.lens[h].Store(0)
@@ -145,14 +167,34 @@ func (p *Pool) Put(h uint32) error {
 		if r == 1 {
 			p.frees.Add(1)
 			p.inUse.Add(-1)
-			p.mu.Lock()
-			if !p.closed {
-				p.free = append(p.free, h)
+			if !p.closed.Load() {
+				s := &p.shards[h&(freelistShards-1)]
+				s.mu.Lock()
+				s.list = append(s.list, h)
+				s.mu.Unlock()
 			}
-			p.mu.Unlock()
 		}
 		return nil
 	}
+}
+
+// popFree pops a handle, starting at a rotating shard and stealing from
+// the others when the first is empty. Only when every shard is empty is
+// the pool exhausted.
+func (p *Pool) popFree() (uint32, bool) {
+	start := p.cursor.Add(1)
+	for i := uint32(0); i < freelistShards; i++ {
+		s := &p.shards[(start+i)&(freelistShards-1)]
+		s.mu.Lock()
+		if n := len(s.list); n > 0 {
+			h := s.list[n-1]
+			s.list = s.list[:n-1]
+			s.mu.Unlock()
+			return h, true
+		}
+		s.mu.Unlock()
+	}
+	return 0, false
 }
 
 // Bytes returns the full buffer backing slice for handle h. The returned
@@ -257,7 +299,5 @@ func (p *Pool) Stats() PoolStats {
 // Close marks the pool closed; outstanding buffers stay readable until
 // released but no new allocations succeed.
 func (p *Pool) Close() {
-	p.mu.Lock()
-	p.closed = true
-	p.mu.Unlock()
+	p.closed.Store(true)
 }

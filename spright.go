@@ -138,6 +138,8 @@ var (
 	ErrAllUnhealthy = core.ErrAllUnhealthy
 	// ErrInjected is the error returned by FaultError injections.
 	ErrInjected = fault.ErrInjected
+	// ErrShortBuffer signals Gateway.InvokeInto's dst was too small.
+	ErrShortBuffer = core.ErrShortBuffer
 )
 
 // NewFaultInjector builds a deterministic injector from a seed; add rules

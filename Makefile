@@ -1,10 +1,19 @@
 GO ?= go
 
-BENCH_OUT ?= BENCH_1.json
-# the hot-path benchmarks tracked in BENCH_*.json snapshots
-BENCH_PAT ?= BenchmarkSProxySend$$|BenchmarkShmPool$$|BenchmarkEBPFInterpreter$$|BenchmarkE2E_
+BENCH_OUT ?= BENCH_2.json
+# the hot-path serial benchmarks tracked in BENCH_*.json snapshots
+BENCH_PAT ?= BenchmarkSProxySend$$|BenchmarkShmPool$$|BenchmarkEBPFInterpreter$$|BenchmarkE2E_SSpright|BenchmarkE2E_DSpright|BenchmarkE2E_GRPCBaseline
+# the multicore RPS harness, swept across BENCH_CPUS
+BENCH_PAR_PAT ?= BenchmarkE2E_Parallel_
+# benchmark knobs: time per benchmark and the GOMAXPROCS sweep for the
+# parallel suite (testing's -benchtime / -cpu flags)
+BENCH_TIME ?= 1s
+BENCH_CPUS ?= 1,2,4,8
+# regression gate inputs for bench-compare
+OLD ?= BENCH_1.json
+NEW ?= BENCH_2.json
 
-.PHONY: build test race vet fmt-check verify bench clean
+.PHONY: build test race vet fmt-check verify bench bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -27,14 +36,22 @@ race:
 # full test suite (chaos tests included) under the race detector.
 verify: fmt-check vet race
 
-# bench runs the tracked hot-path benchmarks with allocation reporting and
-# writes a machine-readable snapshot (ns/op, B/op, allocs/op) to
-# $(BENCH_OUT) via cmd/benchjson. Raw output stays in bench.out.
+# bench runs the tracked serial benchmarks, then the parallel RPS harness
+# across the BENCH_CPUS sweep, and writes one machine-readable snapshot
+# (ns/op, B/op, allocs/op, derived RPS, p50/p99) to $(BENCH_OUT) via
+# cmd/benchjson. Raw output stays in bench.out until the JSON is written.
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem . | tee bench.out
+	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem -benchtime $(BENCH_TIME) . | tee bench.out
+	$(GO) test -run '^$$' -bench '$(BENCH_PAR_PAT)' -benchmem -benchtime $(BENCH_TIME) -cpu $(BENCH_CPUS) . | tee -a bench.out
 	$(GO) run ./cmd/benchjson < bench.out > $(BENCH_OUT)
 	@rm -f bench.out
 	@echo "wrote $(BENCH_OUT)"
+
+# bench-compare diffs two snapshots and fails on >10% ns/op regression in
+# any tracked serial benchmark (parallel results are informational):
+#   make bench-compare OLD=BENCH_1.json NEW=BENCH_2.json
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)
 
 clean:
 	$(GO) clean ./...

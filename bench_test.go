@@ -7,6 +7,7 @@ package spright_test
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	spright "github.com/spright-go/spright"
@@ -148,6 +149,12 @@ func BenchmarkProtocolAdapter_Ablation(b *testing.B) {
 // Real-dataplane microbenchmarks
 // ---------------------------------------------------------------------------
 
+// benchChainSeq makes deployed chain names unique across benchmark probe
+// runs — b.N alone repeats across a -cpu sweep (each cpu count restarts
+// its probe sequence at N=1, and chains from consecutive probes can
+// briefly coexist).
+var benchChainSeq atomic.Uint64
+
 func benchChain(b *testing.B, mode spright.Mode, fns int) *spright.Deployment {
 	b.Helper()
 	cluster := spright.NewCluster(1)
@@ -164,7 +171,7 @@ func benchChain(b *testing.B, mode spright.Mode, fns int) *spright.Deployment {
 		prev = name
 	}
 	dep, err := cluster.Controller.DeployChain(spright.ChainSpec{
-		Name:      fmt.Sprintf("bench-%d-%d", fns, b.N),
+		Name:      fmt.Sprintf("bench-%d-%d", fns, benchChainSeq.Add(1)),
 		Mode:      mode,
 		Functions: specs,
 		Routes:    routes,
@@ -209,21 +216,73 @@ func BenchmarkE2E_SSpright(b *testing.B) {
 	}
 }
 
-// BenchmarkE2E_DSpright is the polling-transport equivalent.
+// BenchmarkE2E_DSpright is the polling-transport equivalent. Like the
+// S-SPRIGHT variant it uses InvokeInto, so steady state is allocation-free:
+// the remaining per-request work is descriptor movement and the two copies
+// at the gateway boundary.
 func BenchmarkE2E_DSpright(b *testing.B) {
 	for _, size := range e2eSizes {
 		b.Run(sizeName(size), func(b *testing.B) {
 			dep := benchChain(b, spright.ModePolling, 2)
 			payload := make([]byte, size)
+			resp := make([]byte, size)
 			ctx := context.Background()
 			b.SetBytes(int64(size))
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := dep.Gateway.Invoke(ctx, "", payload); err != nil {
+				if _, err := dep.Gateway.InvokeInto(ctx, "", payload, resp); err != nil {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// benchE2EParallel drives the chain from b.RunParallel: every worker owns
+// its request/response buffers and issues closed-loop invocations, so the
+// measured ns/op is wall time per request across all workers and
+// RPS = 1e9/ns_per_op at that GOMAXPROCS. Run with -cpu 1,2,4,8 to sweep
+// the scaling curve; after the timed region the gateway's latency
+// histogram reports p50/p99 across the whole run.
+func benchE2EParallel(b *testing.B, mode spright.Mode, size int) {
+	dep := benchChain(b, mode, 2)
+	ctx := context.Background()
+	b.SetBytes(int64(size))
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		payload := make([]byte, size)
+		resp := make([]byte, size)
+		for pb.Next() {
+			if _, err := dep.Gateway.InvokeInto(ctx, "", payload, resp); err != nil {
+				// b.Fatal must not run on RunParallel body goroutines.
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	lat := dep.Gateway.Latency()
+	b.ReportMetric(lat.Quantile(0.50)*1e9, "p50-ns")
+	b.ReportMetric(lat.Quantile(0.99)*1e9, "p99-ns")
+}
+
+// BenchmarkE2E_Parallel_SSpright is the multicore RPS harness for the
+// event-driven transport.
+func BenchmarkE2E_Parallel_SSpright(b *testing.B) {
+	for _, size := range e2eSizes {
+		b.Run(sizeName(size), func(b *testing.B) {
+			benchE2EParallel(b, spright.ModeEvent, size)
+		})
+	}
+}
+
+// BenchmarkE2E_Parallel_DSpright is the polling-transport equivalent.
+func BenchmarkE2E_Parallel_DSpright(b *testing.B) {
+	for _, size := range e2eSizes {
+		b.Run(sizeName(size), func(b *testing.B) {
+			benchE2EParallel(b, spright.ModePolling, size)
 		})
 	}
 }

@@ -1,12 +1,18 @@
 // Command benchjson converts `go test -bench -benchmem` output on stdin
 // into a JSON report on stdout, one record per benchmark with ns/op,
-// B/op, allocs/op and (when present) MB/s. `make bench` pipes through it
-// to produce the committed BENCH_*.json snapshots.
+// B/op, allocs/op, derived RPS and (when present) MB/s and custom metrics.
+// `make bench` pipes through it to produce the committed BENCH_*.json
+// snapshots.
+//
+// With -compare OLD NEW it instead diffs two snapshots, printing per-bench
+// ns/op deltas and exiting non-zero when any tracked serial benchmark
+// (name not containing "Parallel") regressed more than -threshold.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -15,12 +21,20 @@ import (
 
 // Result is one parsed benchmark line.
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Cpus is the GOMAXPROCS the run used (the -N name suffix; 1 when the
+	// suffix is absent). A -cpu sweep yields one record per cpu count.
+	Cpus        int     `json:"cpus,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"b_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	// RPS is derived throughput: closed-loop benchmarks report wall time
+	// per operation, so requests/sec = 1e9 / ns_per_op.
+	RPS float64 `json:"rps,omitempty"`
+	// Metrics holds custom b.ReportMetric units (e.g. p50-ns, p99-ns).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the full JSON document.
@@ -34,6 +48,18 @@ type Report struct {
 }
 
 func main() {
+	compare := flag.Bool("compare", false, "compare two snapshots: benchjson -compare OLD NEW")
+	threshold := flag.Float64("threshold", 0.10, "max allowed ns/op regression fraction in -compare mode")
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare OLD.json NEW.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold))
+	}
+
 	rep := Report{Results: []Result{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -84,9 +110,12 @@ func parseBenchLine(line string) (Result, error) {
 		return Result{}, fmt.Errorf("too few fields (%d)", len(fields))
 	}
 	name := fields[0]
-	// strip the -GOMAXPROCS suffix so names are stable across machines
+	cpus := 1
+	// The -N suffix encodes GOMAXPROCS; keep it as a field so a -cpu sweep
+	// yields distinguishable records under one stable name.
 	if i := strings.LastIndexByte(name, '-'); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil {
+			cpus = n
 			name = name[:i]
 		}
 	}
@@ -94,7 +123,7 @@ func parseBenchLine(line string) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("iterations: %w", err)
 	}
-	r := Result{Name: name, Iterations: iters}
+	r := Result{Name: name, Iterations: iters, Cpus: cpus}
 	// remaining fields come in "<value> <unit>" pairs
 	for i := 2; i+1 < len(fields); i += 2 {
 		val, unit := fields[i], fields[i+1]
@@ -108,7 +137,14 @@ func parseBenchLine(line string) (Result, error) {
 		case "MB/s":
 			r.MBPerSec, err = strconv.ParseFloat(val, 64)
 		default:
-			continue // custom metric; ignore
+			v, perr := strconv.ParseFloat(val, 64)
+			if perr != nil {
+				continue // not a value/unit pair
+			}
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = v
 		}
 		if err != nil {
 			return Result{}, fmt.Errorf("%s: %w", unit, err)
@@ -117,5 +153,94 @@ func parseBenchLine(line string) (Result, error) {
 	if r.NsPerOp == 0 && r.Iterations == 0 {
 		return Result{}, fmt.Errorf("no ns/op value")
 	}
+	if r.NsPerOp > 0 {
+		r.RPS = 1e9 / r.NsPerOp
+	}
 	return r, nil
+}
+
+// benchKey identifies one benchmark configuration across snapshots.
+type benchKey struct {
+	name string
+	cpus int
+}
+
+func loadReport(path string) (map[benchKey]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[benchKey]Result, len(rep.Results))
+	for _, r := range rep.Results {
+		cpus := r.Cpus
+		if cpus == 0 {
+			cpus = 1 // snapshots predating the cpus field are single-proc
+		}
+		m[benchKey{r.Name, cpus}] = r
+	}
+	return m, nil
+}
+
+// runCompare diffs two snapshots. Serial benchmarks (names not containing
+// "Parallel") gate the exit status: any ns/op regression beyond threshold
+// fails. Parallel benchmarks are informational — their ns/op depends on
+// GOMAXPROCS and machine load, so they are printed but never gate.
+func runCompare(oldPath, newPath string, threshold float64) int {
+	oldRes, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	newRes, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	keys := make([]benchKey, 0, len(oldRes))
+	for k := range oldRes {
+		if _, ok := newRes[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	// stable order: by name, then cpus
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && (keys[j-1].name > keys[j].name ||
+			(keys[j-1].name == keys[j].name && keys[j-1].cpus > keys[j].cpus)); j-- {
+			keys[j-1], keys[j] = keys[j], keys[j-1]
+		}
+	}
+	if len(keys) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no common benchmarks between snapshots")
+		return 2
+	}
+	failed := 0
+	for _, k := range keys {
+		o, n := oldRes[k], newRes[k]
+		if o.NsPerOp <= 0 {
+			continue
+		}
+		delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		status := "ok"
+		gated := !strings.Contains(k.name, "Parallel")
+		if gated && delta > threshold {
+			status = "REGRESSED"
+			failed++
+		} else if !gated {
+			status = "info"
+		}
+		fmt.Printf("%-60s cpus=%-2d %12.1f -> %12.1f ns/op  %+6.1f%%  %s\n",
+			k.name, k.cpus, o.NsPerOp, n.NsPerOp, delta*100, status)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%%\n",
+			failed, threshold*100)
+		return 1
+	}
+	fmt.Printf("benchjson: no serial regression beyond %.0f%% across %d benchmark(s)\n",
+		threshold*100, len(keys))
+	return 0
 }

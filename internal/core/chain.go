@@ -94,8 +94,7 @@ type Chain struct {
 	sockDepth int
 	nextID    uint32
 
-	topicMu sync.RWMutex
-	topics  map[uint32]string
+	topics topicTable
 
 	errMu  sync.Mutex
 	errs   []error
@@ -127,6 +126,55 @@ type failureCounters struct {
 	deadlines        atomic.Uint64 // invocations failed by deadline
 	terminal         atomic.Uint64 // requests completed with terminal errors
 	injected         atomic.Uint64 // faults fired by the injector
+}
+
+// topicShardCount shards the buffer→topic table; every request touches it
+// three times (set at ingress, read per hop, clear at release), so a single
+// RWMutex serializes the whole chain under multicore load. 64 shards keyed
+// by buffer handle spread that traffic; handles are pool slot indices, so
+// consecutive requests land on distinct shards.
+const topicShardCount = 64
+
+type topicShard struct {
+	mu sync.RWMutex
+	m  map[uint32]string
+	_  [6]uint64 // pad to keep neighbouring shard locks off one cache line
+}
+
+type topicTable struct {
+	shards [topicShardCount]topicShard
+}
+
+func (t *topicTable) init() {
+	for i := range t.shards {
+		t.shards[i].m = make(map[uint32]string)
+	}
+}
+
+func (t *topicTable) shard(h uint32) *topicShard {
+	return &t.shards[h&(topicShardCount-1)]
+}
+
+func (t *topicTable) set(h uint32, topic string) {
+	s := t.shard(h)
+	s.mu.Lock()
+	s.m[h] = topic
+	s.mu.Unlock()
+}
+
+func (t *topicTable) get(h uint32) string {
+	s := t.shard(h)
+	s.mu.RLock()
+	topic := s.m[h]
+	s.mu.RUnlock()
+	return topic
+}
+
+func (t *topicTable) delete(h uint32) {
+	s := t.shard(h)
+	s.mu.Lock()
+	delete(s.m, h)
+	s.mu.Unlock()
 }
 
 // FailureStats is a snapshot of the chain's failure-recovery activity.
@@ -218,12 +266,12 @@ func NewChain(kernel *ebpf.Kernel, manager *shm.Manager, spec ChainSpec) (*Chain
 		pool:     pool,
 		router:   NewRouter(),
 		byName:   make(map[string]*FunctionSpec),
-		topics:   make(map[uint32]string),
 		deadline: spec.Deadline,
 		retry:    spec.Retry,
 		health:   spec.Health,
 		injector: spec.Injector,
 	}
+	c.topics.init()
 	if c.retry.MaxAttempts > 1 {
 		if c.retry.BaseBackoff <= 0 {
 			c.retry.BaseBackoff = 100 * time.Microsecond
@@ -379,15 +427,11 @@ func (c *Chain) Instances() []*Instance {
 }
 
 func (c *Chain) setTopic(d shm.Descriptor, topic string) {
-	c.topicMu.Lock()
-	c.topics[d.Buf] = topic
-	c.topicMu.Unlock()
+	c.topics.set(d.Buf, topic)
 }
 
 func (c *Chain) topicOf(d shm.Descriptor) string {
-	c.topicMu.RLock()
-	defer c.topicMu.RUnlock()
-	return c.topics[d.Buf]
+	return c.topics.get(d.Buf)
 }
 
 // releaseBuffer drops one reference and clears topic state when the buffer
@@ -398,9 +442,7 @@ func (c *Chain) releaseBuffer(h uint32) {
 		return
 	}
 	if _, err := c.pool.Len(h); err != nil { // fully released
-		c.topicMu.Lock()
-		delete(c.topics, h)
-		c.topicMu.Unlock()
+		c.topics.delete(h)
 	}
 }
 
@@ -422,20 +464,21 @@ func (c *Chain) jitter(d time.Duration) time.Duration {
 	}
 }
 
-// send delivers d from src, retrying transient transport errors (socket
-// queue full) up to the chain's retry budget with exponential backoff and
-// jitter. srcFn/dstFn name the hop for fault-injection scoping; dstFn is
-// "gateway" for replies. Non-transient errors (filter rejection, unknown
-// destination) are returned immediately.
-func (c *Chain) send(src uint32, srcFn, dstFn string, d shm.Descriptor) error {
-	attempt := func() error {
-		if c.injector.DecideSend(srcFn, dstFn) {
-			c.failures.injected.Add(1)
-			return ErrSocketFull
-		}
-		return c.transport.Send(src, d)
+// attempt performs one send try for the hop srcFn→dstFn, consulting the
+// fault injector first.
+func (c *Chain) attempt(src uint32, srcFn, dstFn string, d shm.Descriptor) error {
+	if c.injector.DecideSend(srcFn, dstFn) {
+		c.failures.injected.Add(1)
+		return ErrSocketFull
 	}
-	err := attempt()
+	return c.transport.Send(src, d)
+}
+
+// resend drives the retry loop after a first attempt failed with err:
+// exponential backoff with jitter, up to the chain's retry budget.
+// Non-transient errors (filter rejection, unknown destination) end the loop
+// immediately.
+func (c *Chain) resend(src uint32, srcFn, dstFn string, d shm.Descriptor, err error) error {
 	if err == nil || c.retry.MaxAttempts <= 1 || !errors.Is(err, ErrSocketFull) {
 		return err
 	}
@@ -446,12 +489,66 @@ func (c *Chain) send(src uint32, srcFn, dstFn string, d shm.Descriptor) error {
 		if backoff *= 2; backoff > c.retry.MaxBackoff {
 			backoff = c.retry.MaxBackoff
 		}
-		if err = attempt(); err == nil || !errors.Is(err, ErrSocketFull) {
+		if err = c.attempt(src, srcFn, dstFn, d); err == nil || !errors.Is(err, ErrSocketFull) {
 			return err
 		}
 	}
 	c.failures.retriesExhausted.Add(1)
 	return fmt.Errorf("core: %d send attempts: %w", c.retry.MaxAttempts, err)
+}
+
+// send delivers d from src, retrying transient transport errors (socket
+// queue full) up to the chain's retry budget with exponential backoff and
+// jitter. srcFn/dstFn name the hop for fault-injection scoping; dstFn is
+// "gateway" for replies. Non-transient errors (filter rejection, unknown
+// destination) are returned immediately.
+func (c *Chain) send(src uint32, srcFn, dstFn string, d shm.Descriptor) error {
+	return c.resend(src, srcFn, dstFn, d, c.attempt(src, srcFn, dstFn, d))
+}
+
+// sendBatch delivers a fan-out burst from src in one transport batch call,
+// amortizing per-send setup across the burst. dstFns[i] names descriptor
+// i's destination function (fault-injection scope and retry context).
+// Failed descriptors that are transiently refused (socket queue full) are
+// re-driven through the retry loop; onErr is invoked with the index and
+// final error of each descriptor that could not be delivered. Returns the
+// number delivered.
+//
+// When a fault injector is active, each descriptor's injection decision
+// must be drawn independently (the injector scopes faults per hop), so the
+// batch degrades to per-descriptor sends in that case.
+func (c *Chain) sendBatch(src uint32, srcFn string, dstFns []string, ds []shm.Descriptor, onErr func(i int, err error)) int {
+	if len(ds) == 0 {
+		return 0
+	}
+	if c.injector != nil {
+		delivered := 0
+		for i := range ds {
+			if err := c.send(src, srcFn, dstFns[i], ds[i]); err != nil {
+				if onErr != nil {
+					onErr(i, err)
+				}
+			} else {
+				delivered++
+			}
+		}
+		return delivered
+	}
+	retried := 0
+	delivered := c.transport.SendBatch(src, ds, func(i int, err error) {
+		// Transient refusals get the same retry budget as serial sends.
+		if errors.Is(err, ErrSocketFull) {
+			err = c.resend(src, srcFn, dstFns[i], ds[i], err)
+			if err == nil {
+				retried++
+				return
+			}
+		}
+		if onErr != nil {
+			onErr(i, err)
+		}
+	})
+	return delivered + retried
 }
 
 // setFailureNotifier registers the gateway's terminal-failure callback.

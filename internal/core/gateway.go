@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,8 +24,7 @@ type Gateway struct {
 	sock  *Socket
 	eprox *EProxy
 
-	pendMu  sync.Mutex
-	pending map[uint32]chan gwResult
+	pending pendTable
 	nextID  atomic.Uint32
 
 	adapters *AdapterRegistry
@@ -34,8 +34,7 @@ type Gateway struct {
 	completed atomic.Uint64
 	failed    atomic.Uint64
 
-	latMu sync.Mutex
-	lat   *metrics.Histogram
+	lat *metrics.StripedHistogram
 
 	bufPool    sync.Pool // *gwBuf response payload staging
 	waiterPool sync.Pool // chan gwResult, capacity 1
@@ -61,6 +60,66 @@ var (
 	ErrNoWaiter      = errors.New("core: response for unknown caller")
 	ErrShortBuffer   = errors.New("core: response buffer too small")
 )
+
+// pendShardCount shards the pending-request table. Every request touches
+// the table twice (register at invoke, claim at completion), from different
+// goroutines; a single mutex there is the gateway's first scalability wall
+// under parallel load. Caller IDs are sequential, so consecutive requests
+// hash to distinct shards and contention drops by ~the shard count.
+const pendShardCount = 64
+
+type pendShard struct {
+	mu sync.Mutex
+	m  map[uint32]chan gwResult
+	_  [6]uint64 // pad: neighbouring shard locks must not share a cache line
+}
+
+// pendTable is the sharded caller→waiter map.
+type pendTable struct {
+	shards [pendShardCount]pendShard
+}
+
+func (t *pendTable) init() {
+	for i := range t.shards {
+		t.shards[i].m = make(map[uint32]chan gwResult)
+	}
+}
+
+func (t *pendTable) shard(caller uint32) *pendShard {
+	return &t.shards[caller&(pendShardCount-1)]
+}
+
+func (t *pendTable) put(caller uint32, ch chan gwResult) {
+	s := t.shard(caller)
+	s.mu.Lock()
+	s.m[caller] = ch
+	s.mu.Unlock()
+}
+
+// size counts registered waiters across all shards (tests, introspection).
+func (t *pendTable) size() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// take removes and returns the waiter registered for caller; exactly one of
+// the racing claimants (completion, failure, abandonment) wins it.
+func (t *pendTable) take(caller uint32) (chan gwResult, bool) {
+	s := t.shard(caller)
+	s.mu.Lock()
+	ch, ok := s.m[caller]
+	if ok {
+		delete(s.m, caller)
+	}
+	s.mu.Unlock()
+	return ch, ok
+}
 
 func (g *Gateway) getBuf(n int) *gwBuf {
 	gb, _ := g.bufPool.Get().(*gwBuf)
@@ -94,11 +153,11 @@ func NewGateway(c *Chain) (*Gateway, error) {
 	g := &Gateway{
 		chain:    c,
 		sock:     NewSocket(GatewayID, c.pool.Capacity()),
-		pending:  make(map[uint32]chan gwResult),
 		adapters: NewAdapterRegistry(),
-		lat:      metrics.NewHistogram(),
+		lat:      metrics.NewStripedHistogram(),
 		stop:     make(chan struct{}),
 	}
+	g.pending.init()
 	if err := c.transport.Register(g.sock); err != nil {
 		return nil, err
 	}
@@ -113,18 +172,22 @@ func NewGateway(c *Chain) (*Gateway, error) {
 	// instances) complete the waiting caller with an error instead of
 	// letting it block until its deadline.
 	c.setFailureNotifier(g.fail)
-	g.wg.Add(1)
-	go g.run()
+	// One completion consumer per P: response descriptors from different
+	// requests complete independently (the pending table is sharded), so a
+	// single consumer goroutine would serialize the whole response path
+	// under parallel load.
+	consumers := runtime.GOMAXPROCS(0)
+	g.wg.Add(consumers)
+	for i := 0; i < consumers; i++ {
+		go g.run()
+	}
 	return g, nil
 }
 
 // fail completes a pending request with a terminal error: the dataplane
 // has determined no response descriptor will ever arrive.
 func (g *Gateway) fail(caller uint32, err error) {
-	g.pendMu.Lock()
-	ch, ok := g.pending[caller]
-	delete(g.pending, caller)
-	g.pendMu.Unlock()
+	ch, ok := g.pending.take(caller)
 	if !ok {
 		return
 	}
@@ -149,11 +212,7 @@ func (g *Gateway) run() {
 }
 
 func (g *Gateway) complete(d shm.Descriptor) {
-	g.pendMu.Lock()
-	ch, ok := g.pending[d.Caller]
-	delete(g.pending, d.Caller)
-	g.pendMu.Unlock()
-
+	ch, ok := g.pending.take(d.Caller)
 	if !ok {
 		// late response after a cancelled or timed-out request: reclaim
 		// the orphaned buffer (the abandoning waiter could not — the
@@ -246,9 +305,7 @@ func (g *Gateway) invoke(ctx context.Context, topic string, payload []byte) (gwR
 		caller = g.nextID.Add(1)
 	}
 	ch := g.getWaiter()
-	g.pendMu.Lock()
-	g.pending[caller] = ch
-	g.pendMu.Unlock()
+	g.pending.put(caller, ch)
 	if tr := g.chain.currentTracer(); tr != nil {
 		tr.begin(caller)
 		defer tr.finish(caller)
@@ -267,9 +324,7 @@ func (g *Gateway) invoke(ctx context.Context, topic string, payload []byte) (gwR
 	select {
 	case res := <-ch:
 		g.waiterPool.Put(ch)
-		g.latMu.Lock()
-		g.lat.Observe(time.Since(start).Seconds())
-		g.latMu.Unlock()
+		g.lat.Observe(uint64(caller), time.Since(start).Seconds())
 		return res, nil
 	case <-ctx.Done():
 		g.recycleWaiter(caller, ch)
@@ -355,10 +410,7 @@ func (g *Gateway) InvokeAsync(topic string, payload []byte) error {
 // forget removes a pending entry, reporting whether it was still present
 // (false means a completion already claimed the waiter).
 func (g *Gateway) forget(caller uint32) bool {
-	g.pendMu.Lock()
-	_, ok := g.pending[caller]
-	delete(g.pending, caller)
-	g.pendMu.Unlock()
+	_, ok := g.pending.take(caller)
 	return ok
 }
 
@@ -456,8 +508,7 @@ func (g *Gateway) Stats() GatewayStats {
 	if g.eprox != nil {
 		g.eprox.PublishFailures(fs)
 	}
-	g.latMu.Lock()
-	defer g.latMu.Unlock()
+	lat := g.lat.Snapshot()
 	return GatewayStats{
 		Admitted:          g.admitted.Load(),
 		Rejected:          g.rejected.Load(),
@@ -469,18 +520,14 @@ func (g *Gateway) Stats() GatewayStats {
 		Reclaimed:         fs.Reclaimed,
 		DeadlinesExceeded: fs.DeadlinesExceeded,
 		FaultsInjected:    fs.FaultsInjected,
-		P95:               g.lat.Quantile(0.95),
-		Mean:              g.lat.Mean(),
+		P95:               lat.Quantile(0.95),
+		Mean:              lat.Mean(),
 	}
 }
 
-// Latency returns a copy of the gateway latency histogram.
+// Latency returns a merged copy of the gateway's striped latency histogram.
 func (g *Gateway) Latency() *metrics.Histogram {
-	g.latMu.Lock()
-	defer g.latMu.Unlock()
-	h := metrics.NewHistogram()
-	h.Merge(g.lat)
-	return h
+	return g.lat.Snapshot()
 }
 
 // EProxy returns the gateway's EPROXY (nil in polling mode).

@@ -94,10 +94,7 @@ func TestCancellationForgetsCallerSlot(t *testing.T) {
 		}()
 		deadline := time.Now().Add(2 * time.Second)
 		for {
-			g.pendMu.Lock()
-			pending := len(g.pending)
-			g.pendMu.Unlock()
-			if pending == 1 {
+			if g.pending.size() == 1 {
 				break
 			}
 			if time.Now().After(deadline) {
@@ -109,10 +106,7 @@ func TestCancellationForgetsCallerSlot(t *testing.T) {
 		if err := <-errCh; !errors.Is(err, context.Canceled) {
 			t.Fatalf("want Canceled, got %v", err)
 		}
-		g.pendMu.Lock()
-		pending := len(g.pending)
-		g.pendMu.Unlock()
-		if pending != 0 {
+		if pending := g.pending.size(); pending != 0 {
 			t.Fatalf("cancelled request left %d pending slot(s)", pending)
 		}
 	}

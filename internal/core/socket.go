@@ -89,6 +89,37 @@ func (s *Socket) Deliver(d shm.Descriptor) error {
 	}
 }
 
+// DeliverBatch enqueues a burst of parsed descriptors under a single
+// sender registration and closed-flag check — the delivery half of the
+// transports' batch path. It returns how many descriptors were enqueued
+// and the first error encountered: ErrSocketClosed rejects the whole
+// burst, while a full queue drops only the affected descriptors (the same
+// best-effort semantics as per-descriptor Deliver).
+func (s *Socket) DeliverBatch(ds []shm.Descriptor) (int, error) {
+	s.senders.Add(1)
+	defer s.senders.Add(-1)
+	if s.closed.Load() {
+		return 0, ErrSocketClosed
+	}
+	n := 0
+	var firstErr error
+	for _, d := range ds {
+		select {
+		case s.ch <- d:
+			n++
+		default:
+			s.dropped.Add(1)
+			if firstErr == nil {
+				firstErr = ErrSocketFull
+			}
+		}
+	}
+	if n > 0 {
+		s.delivered.Add(uint64(n))
+	}
+	return n, firstErr
+}
+
 // Recv returns the descriptor channel for the instance's run loop.
 func (s *Socket) Recv() <-chan shm.Descriptor { return s.ch }
 

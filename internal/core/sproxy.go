@@ -174,6 +174,12 @@ func (sp *SProxy) Send(src uint32, d shm.Descriptor) error {
 	if err != nil {
 		return fmt.Errorf("sproxy: %w", err)
 	}
+	return sp.finishSend(src, d, res)
+}
+
+// finishSend turns one program verdict into a delivery (or a classified
+// error) — the tail shared by Send and SendBatch.
+func (sp *SProxy) finishSend(src uint32, d shm.Descriptor, res ebpf.Result) error {
 	if res.Ret != ebpf.SKPass {
 		if _, lookErr := sp.sockmap.LookupSock(d.NextFn); lookErr != nil {
 			return fmt.Errorf("%w: instance %d", ErrNoSuchFn, d.NextFn)
@@ -191,6 +197,41 @@ func (sp *SProxy) Send(src uint32, d shm.Descriptor) error {
 		w := d.Marshal()
 		return sink.DeliverDescriptor(w[:])
 	}
+}
+
+// SendBatch runs the SPROXY program for a burst of descriptors from one
+// source instance. Verdicts stay per-descriptor — the filter check and the
+// L7 metric bump execute inside the VM for every descriptor, so batch and
+// serial sends are observationally identical to the kernel side — but the
+// burst shares one pooled VM exec state (RunCopyEach), paying the per-run
+// setup once instead of per descriptor. Returns the number delivered;
+// onErr (which may be nil) is invoked with the index and error of each
+// failed descriptor.
+func (sp *SProxy) SendBatch(src uint32, ds []shm.Descriptor, onErr func(i int, err error)) int {
+	delivered := 0
+	fail := func(i int, err error) {
+		if onErr != nil {
+			onErr(i, err)
+		}
+	}
+	sp.kernel.RunCopyEach(sp.prog, src, nil, len(ds),
+		func(i int, buf []byte) int {
+			w := ds[i].Marshal()
+			return copy(buf, w[:])
+		},
+		func(i int, res ebpf.Result, err error) bool {
+			if err != nil {
+				fail(i, fmt.Errorf("sproxy: %w", err))
+				return true
+			}
+			if derr := sp.finishSend(src, ds[i], res); derr != nil {
+				fail(i, derr)
+				return true
+			}
+			delivered++
+			return true
+		})
+	return delivered
 }
 
 // RequestCount reads the L7 per-instance request counter maintained by the

@@ -211,21 +211,18 @@ const (
 // struct, so a pooled run performs zero heap allocation.
 var execPool = sync.Pool{New: func() any { return new(execState) }}
 
-// getExec prepares a pooled execState for one run. The stack and registers
-// are zeroed — the verifier does not track stack-slot initialization, so a
-// recycled dirty stack must not leak state between runs.
-func (k *Kernel) getExec(lp *LoadedProgram, frameLen int, ifindex uint32, env Env) *execState {
-	st := execPool.Get().(*execState)
-	st.kernel = k
-	st.prog = lp
-	st.env = env
-	if env == nil {
-		st.env = k.currentEnv()
-	}
-
+// reset re-arms an exec state for one run over a frame of frameLen bytes.
+// The stack and registers are zeroed — the verifier does not track
+// stack-slot initialization, so a recycled dirty stack must not leak state
+// between runs — and the map-value table is emptied so a previous run's
+// regions neither alias nor pin this run's.
+func (st *execState) reset(frameLen int, ifindex uint32) {
 	st.reg = [numRegisters]uint64{}
 	clear(st.stack[:])
 	st.res = Result{}
+	for i := 0; i < st.nSlots && i < maxInlineMapVals; i++ {
+		st.mapVals[i] = nil
+	}
 	st.nSlots = 0
 	st.overflow = st.overflow[:0]
 
@@ -236,6 +233,18 @@ func (k *Kernel) getExec(lp *LoadedProgram, frameLen int, ifindex uint32, env En
 
 	st.reg[R1] = ctxBase
 	st.reg[R10] = stackBase + StackSize
+}
+
+// getExec prepares a pooled execState for one run.
+func (k *Kernel) getExec(lp *LoadedProgram, frameLen int, ifindex uint32, env Env) *execState {
+	st := execPool.Get().(*execState)
+	st.kernel = k
+	st.prog = lp
+	st.env = env
+	if env == nil {
+		st.env = k.currentEnv()
+	}
+	st.reset(frameLen, ifindex)
 	return st
 }
 
@@ -289,6 +298,49 @@ func (k *Kernel) RunCopy(lp *LoadedProgram, data []byte, ifindex uint32, env Env
 	k.noteRun(res.Insns)
 	putExec(st)
 	return res, err
+}
+
+// RunCopyEach is the batch run entry point: it executes lp once per frame
+// of an n-frame burst, staging every frame in the same pooled exec state.
+// stage(i, buf) writes frame i into buf (at most pktCopySize bytes; larger
+// frames must use RunCopy) and returns its length; each(i, res, err)
+// receives that run's outcome and may return false to stop the burst
+// early.
+//
+// Program semantics are identical to n individual RunCopy calls — every
+// frame gets fresh registers, a zeroed stack and an empty map-value table,
+// so filters and per-frame metric updates execute per descriptor. What the
+// batch amortizes is the per-run setup around the program: one exec-state
+// pool round-trip and one context layout for the burst instead of per
+// frame. This is the entry point SPROXY's SendBatch drives.
+func (k *Kernel) RunCopyEach(lp *LoadedProgram, ifindex uint32, env Env, n int,
+	stage func(i int, buf []byte) int, each func(i int, res Result, err error) bool) {
+	if n <= 0 {
+		return
+	}
+	st := execPool.Get().(*execState)
+	st.kernel = k
+	st.prog = lp
+	st.env = env
+	if env == nil {
+		st.env = k.currentEnv()
+	}
+	for i := 0; i < n; i++ {
+		ln := stage(i, st.pktCopy[:])
+		if ln > pktCopySize {
+			ln = pktCopySize
+		}
+		st.reset(ln, ifindex)
+		st.packet = st.pktCopy[:ln]
+		st.pktWrite = true
+		st.msgData = st.packet
+		res, err := st.run()
+		k.noteRun(res.Insns)
+		if !each(i, res, err) {
+			break
+		}
+	}
+	putExec(st)
 }
 
 // RunMeta executes a program over a synthetic frame of frameLen bytes whose

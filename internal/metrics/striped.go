@@ -1,0 +1,75 @@
+package metrics
+
+import "sync"
+
+// stripeCount is the number of independent histogram stripes (power of
+// two). Concurrent observers with distinct keys land on distinct stripes,
+// so recording a latency never serializes the request path on one mutex;
+// 32 stripes keep the merge-on-read cost trivial (32 × 2048 bucket adds)
+// while exceeding any realistic core count for contention purposes.
+const stripeCount = 32
+
+// histStripe pads each {mutex, histogram} pair to its own cache line so
+// stripes do not false-share under concurrent observation.
+type histStripe struct {
+	mu sync.Mutex
+	h  *Histogram
+	_  [6]uint64
+}
+
+// StripedHistogram is a Histogram sharded for concurrent writers: Observe
+// locks only the stripe selected by the caller's key, and readers merge
+// all stripes into a fresh snapshot. It is the gateway's latency recorder
+// under parallel load — the striped replacement for a single histogram
+// behind a global mutex.
+type StripedHistogram struct {
+	stripes [stripeCount]histStripe
+}
+
+// NewStripedHistogram creates an empty striped histogram with the standard
+// latency geometry of NewHistogram.
+func NewStripedHistogram() *StripedHistogram {
+	s := &StripedHistogram{}
+	for i := range s.stripes {
+		s.stripes[i].h = NewHistogram()
+	}
+	return s
+}
+
+// Observe records one value under the stripe selected by key. Callers with
+// distinct keys (e.g. per-request caller IDs) never contend; an identical
+// key always lands on the same stripe, which is still correct — stripes
+// are merged on read.
+func (s *StripedHistogram) Observe(key uint64, v float64) {
+	st := &s.stripes[key&(stripeCount-1)]
+	st.mu.Lock()
+	st.h.Observe(v)
+	st.mu.Unlock()
+}
+
+// Count returns the total number of observations across all stripes.
+func (s *StripedHistogram) Count() uint64 {
+	var n uint64
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		n += st.h.Count()
+		st.mu.Unlock()
+	}
+	return n
+}
+
+// Snapshot merges all stripes into a freshly allocated Histogram. The
+// merge walks each stripe under its own lock, so a snapshot taken during
+// traffic is a consistent-per-stripe view and never blocks writers for
+// longer than one stripe merge.
+func (s *StripedHistogram) Snapshot() *Histogram {
+	out := NewHistogram()
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		out.Merge(st.h)
+		st.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestStripedHistogramMatchesSerial(t *testing.T) {
+	s := NewStripedHistogram()
+	ref := NewHistogram()
+	for i := 0; i < 10000; i++ {
+		v := float64(i%997) * 1e-6
+		s.Observe(uint64(i), v)
+		ref.Observe(v)
+	}
+	snap := s.Snapshot()
+	if snap.Count() != ref.Count() {
+		t.Fatalf("count %d want %d", snap.Count(), ref.Count())
+	}
+	if math.Abs(snap.Mean()-ref.Mean()) > 1e-12 {
+		t.Fatalf("mean %g want %g", snap.Mean(), ref.Mean())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if snap.Quantile(q) != ref.Quantile(q) {
+			t.Fatalf("q%.2f: %g want %g", q, snap.Quantile(q), ref.Quantile(q))
+		}
+	}
+}
+
+func TestStripedHistogramConcurrent(t *testing.T) {
+	s := NewStripedHistogram()
+	const writers, perWriter = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s.Observe(uint64(w*perWriter+i), 1e-3)
+			}
+		}(w)
+	}
+	// concurrent snapshots must be consistent (monotone counts, no panic)
+	var prev uint64
+	for i := 0; i < 50; i++ {
+		n := s.Snapshot().Count()
+		if n < prev {
+			t.Fatalf("snapshot count went backwards: %d after %d", n, prev)
+		}
+		prev = n
+	}
+	wg.Wait()
+	if got := s.Count(); got != writers*perWriter {
+		t.Fatalf("count %d want %d", got, writers*perWriter)
+	}
+	if got := s.Snapshot().Count(); got != writers*perWriter {
+		t.Fatalf("snapshot count %d want %d", got, writers*perWriter)
+	}
+}

@@ -1,11 +1,16 @@
 // Package ring implements a DPDK-style lock-free ring buffer (rte_ring) for
-// passing packet descriptors between a producer and a busy-polling consumer.
+// passing packet descriptors between producers and busy-polling consumers.
 // It is the transport behind D-SPRIGHT, the paper's polling-based
 // shared-memory baseline (§3.2.2, Appendix A Fig. 14).
 //
-// The ring is a power-of-two circular buffer of uint64 slots with separate
-// producer and consumer head/tail indices, supporting single- and
-// multi-producer/consumer modes like rte_ring_create's flags parameter.
+// The ring is a power-of-two circular buffer of uint64 slots synchronized
+// by the rte_ring head/tail protocol: each side keeps a *head* (next index
+// to reserve) and a *tail* (last index published). An operation reserves
+// its whole span with one CAS on the head, copies its items with plain
+// loads/stores — the span is exclusively owned — and then publishes by
+// advancing the tail once its predecessors have published theirs. Bulk
+// operations therefore cost one reservation regardless of burst size, and
+// a reservation is inherently all-or-nothing and contiguous.
 package ring
 
 import (
@@ -22,7 +27,8 @@ const (
 	// MP is multi-producer / multi-consumer (rte_ring flags = 0, the
 	// configuration used by the paper).
 	MP Mode = iota
-	// SP is single-producer / single-consumer.
+	// SP is single-producer / single-consumer: reservation skips the
+	// CAS, and publication never waits on a predecessor.
 	SP
 )
 
@@ -32,24 +38,34 @@ var (
 	ErrEmpty = errors.New("ring: empty")
 )
 
+// pad keeps the two indices of one side, and the two sides from each
+// other, on separate cache lines so producers and consumers do not
+// false-share.
+type pad [7]uint64
+
 // Ring is a fixed-capacity lock-free FIFO of uint64 items (descriptor
-// words; a 16-byte descriptor is enqueued as its buffer handle with the
-// metadata kept in shared memory, or as two words by the caller).
+// words; D-SPRIGHT enqueues arena slot indices with the 16-byte descriptor
+// kept in shared memory, as DPDK rings carry mbuf pointers).
 type Ring struct {
 	mask  uint64
-	slots []atomic.Uint64
-	seq   []atomic.Uint64 // per-slot sequence numbers (Vyukov MPMC scheme)
+	slots []uint64
+	mode  Mode
 
-	_    [8]uint64 // pad to keep head/tail on separate cache lines
-	head atomic.Uint64
-	_    [8]uint64
-	tail atomic.Uint64
-
-	mode Mode
+	_        pad
+	prodHead atomic.Uint64 // next producer index to reserve
+	_        pad
+	prodTail atomic.Uint64 // producer index published to consumers
+	_        pad
+	consHead atomic.Uint64 // next consumer index to reserve
+	_        pad
+	consTail atomic.Uint64 // consumer index published to producers
+	_        pad
 }
 
 // New creates a ring with capacity rounded up to the next power of two.
-// Capacity must be at least 2.
+// Capacity must be at least 2. The full capacity is usable: indices are
+// unbounded monotonic counters, so no slot is sacrificed to distinguish
+// full from empty.
 func New(capacity int, mode Mode) (*Ring, error) {
 	if capacity < 2 {
 		return nil, fmt.Errorf("ring: capacity %d too small", capacity)
@@ -58,101 +74,151 @@ func New(capacity int, mode Mode) (*Ring, error) {
 	for n < capacity {
 		n <<= 1
 	}
-	r := &Ring{
+	return &Ring{
 		mask:  uint64(n - 1),
-		slots: make([]atomic.Uint64, n),
-		seq:   make([]atomic.Uint64, n),
+		slots: make([]uint64, n),
 		mode:  mode,
-	}
-	for i := range r.seq {
-		r.seq[i].Store(uint64(i))
-	}
-	return r, nil
+	}, nil
 }
 
 // Capacity returns the usable capacity of the ring.
 func (r *Ring) Capacity() int { return len(r.slots) }
 
+// reserveProd claims n consecutive producer slots, returning the start
+// index. ok is false when fewer than n slots are free (nothing is
+// reserved — the all-or-nothing half of bulk semantics).
+func (r *Ring) reserveProd(n uint64) (uint64, bool) {
+	size := uint64(len(r.slots))
+	if r.mode == SP {
+		head := r.prodHead.Load()
+		if size-(head-r.consTail.Load()) < n {
+			return 0, false
+		}
+		r.prodHead.Store(head + n)
+		return head, true
+	}
+	for {
+		head := r.prodHead.Load()
+		if size-(head-r.consTail.Load()) < n {
+			return 0, false
+		}
+		if r.prodHead.CompareAndSwap(head, head+n) {
+			return head, true
+		}
+	}
+}
+
+// publishProd makes [head, head+n) visible to consumers. A producer that
+// reserved later than a still-copying predecessor waits for the
+// predecessor's publication, preserving FIFO order.
+func (r *Ring) publishProd(head, n uint64) {
+	for r.prodTail.Load() != head {
+		runtime.Gosched()
+	}
+	r.prodTail.Store(head + n)
+}
+
+// reserveCons claims up to want published items, returning the start index
+// and the claimed count (0 when the ring is empty).
+func (r *Ring) reserveCons(want uint64) (uint64, uint64) {
+	if r.mode == SP {
+		head := r.consHead.Load()
+		avail := r.prodTail.Load() - head
+		if avail == 0 {
+			return 0, 0
+		}
+		if avail > want {
+			avail = want
+		}
+		r.consHead.Store(head + avail)
+		return head, avail
+	}
+	for {
+		head := r.consHead.Load()
+		avail := r.prodTail.Load() - head
+		if avail == 0 {
+			return 0, 0
+		}
+		if avail > want {
+			avail = want
+		}
+		if r.consHead.CompareAndSwap(head, head+avail) {
+			return head, avail
+		}
+	}
+}
+
+// publishCons returns [head, head+n) to producers as free slots.
+func (r *Ring) publishCons(head, n uint64) {
+	for r.consTail.Load() != head {
+		runtime.Gosched()
+	}
+	r.consTail.Store(head + n)
+}
+
 // Enqueue inserts one item; it fails with ErrFull when the ring is full
 // (rte_ring_enqueue semantics — non-blocking).
 func (r *Ring) Enqueue(v uint64) error {
-	for {
-		pos := r.head.Load()
-		slot := &r.seq[pos&r.mask]
-		seq := slot.Load()
-		switch {
-		case seq == pos:
-			if r.head.CompareAndSwap(pos, pos+1) {
-				r.slots[pos&r.mask].Store(v)
-				slot.Store(pos + 1)
-				return nil
-			}
-		case seq < pos:
-			return ErrFull
-		}
-		// another producer claimed the slot; retry.
+	head, ok := r.reserveProd(1)
+	if !ok {
+		return ErrFull
 	}
+	r.slots[head&r.mask] = v
+	r.publishProd(head, 1)
+	return nil
 }
 
 // Dequeue removes one item; it fails with ErrEmpty when none is available
 // (rte_ring_dequeue semantics — the poller spins around this call).
 func (r *Ring) Dequeue() (uint64, error) {
-	for {
-		pos := r.tail.Load()
-		slot := &r.seq[pos&r.mask]
-		seq := slot.Load()
-		switch {
-		case seq == pos+1:
-			if r.tail.CompareAndSwap(pos, pos+1) {
-				v := r.slots[pos&r.mask].Load()
-				slot.Store(pos + r.mask + 1)
-				return v, nil
-			}
-		case seq <= pos:
-			return 0, ErrEmpty
-		}
+	head, n := r.reserveCons(1)
+	if n == 0 {
+		return 0, ErrEmpty
 	}
+	v := r.slots[head&r.mask]
+	r.publishCons(head, 1)
+	return v, nil
 }
 
 // EnqueueBulk inserts all items or none, returning the number inserted
-// (0 or len(vs)), mirroring rte_ring_enqueue_bulk.
+// (0 or len(vs)) — rte_ring_enqueue_bulk semantics. The whole burst is
+// reserved with a single CAS, so it lands contiguously: concurrent bulk
+// producers never interleave their items.
 func (r *Ring) EnqueueBulk(vs []uint64) int {
-	if len(vs) == 0 {
+	n := uint64(len(vs))
+	if n == 0 {
 		return 0
 	}
-	if r.Free() < len(vs) {
+	head, ok := r.reserveProd(n)
+	if !ok {
 		return 0
 	}
-	for _, v := range vs {
-		if r.Enqueue(v) != nil {
-			// Lost the race against another producer filling the
-			// ring; report partial progress as burst semantics.
-			return 0
-		}
+	for i, v := range vs {
+		r.slots[(head+uint64(i))&r.mask] = v
 	}
+	r.publishProd(head, n)
 	return len(vs)
 }
 
-// DequeueBurst removes up to max items, returning how many were taken
-// (rte_ring_dequeue_burst).
+// DequeueBurst removes up to len(out) items with a single reservation,
+// returning how many were taken (rte_ring_dequeue_burst).
 func (r *Ring) DequeueBurst(out []uint64) int {
-	n := 0
-	for n < len(out) {
-		v, err := r.Dequeue()
-		if err != nil {
-			break
-		}
-		out[n] = v
-		n++
+	head, n := r.reserveCons(uint64(len(out)))
+	if n == 0 {
+		return 0
 	}
-	return n
+	for i := uint64(0); i < n; i++ {
+		out[i] = r.slots[(head+i)&r.mask]
+	}
+	r.publishCons(head, n)
+	return int(n)
 }
 
 // Len returns the number of items currently queued (approximate under
 // concurrency).
 func (r *Ring) Len() int {
-	h := r.head.Load()
-	t := r.tail.Load()
+	t := r.consTail.Load()
+	h := r.prodTail.Load()
 	if h < t {
 		return 0
 	}
@@ -160,13 +226,32 @@ func (r *Ring) Len() int {
 }
 
 // Free returns the approximate free capacity.
-func (r *Ring) Free() int { return len(r.slots) - r.Len() }
+func (r *Ring) Free() int {
+	used := r.prodHead.Load() - r.consTail.Load()
+	if used > uint64(len(r.slots)) {
+		return 0
+	}
+	return len(r.slots) - int(used)
+}
+
+// pollYieldMask controls how many failed polls a consumer spins before
+// yielding the processor. DPDK pins its polling lcores, so spinning is
+// free; under Go the poller shares processors with the producers it waits
+// for, and on a single-processor runtime every spin iteration only delays
+// the producer — yield immediately there, spin a while everywhere else.
+func pollYieldMask() int {
+	if runtime.GOMAXPROCS(0) == 1 {
+		return 0
+	}
+	return 63
+}
 
 // PollDequeue spins until an item arrives or stop returns true. This is the
 // D-SPRIGHT consumer loop: the spin burns CPU whether or not traffic
 // arrives, which is exactly the overhead S-SPRIGHT's event-driven SPROXY
 // eliminates.
 func (r *Ring) PollDequeue(stop func() bool) (uint64, bool) {
+	mask := pollYieldMask()
 	for spins := 0; ; spins++ {
 		if v, err := r.Dequeue(); err == nil {
 			return v, true
@@ -174,8 +259,27 @@ func (r *Ring) PollDequeue(stop func() bool) (uint64, bool) {
 		if stop != nil && stop() {
 			return 0, false
 		}
-		if spins%64 == 63 {
+		if spins&mask == mask {
 			runtime.Gosched() // keep the host responsive in tests
+		}
+	}
+}
+
+// PollDequeueBurst spins until at least one item arrives, then drains up
+// to len(out) items in one reservation — the burst analog of PollDequeue
+// that lets the D-SPRIGHT poller hand a whole backlog to the instance run
+// loop in one wakeup. Returns 0 only when stop reported true.
+func (r *Ring) PollDequeueBurst(out []uint64, stop func() bool) int {
+	mask := pollYieldMask()
+	for spins := 0; ; spins++ {
+		if n := r.DequeueBurst(out); n > 0 {
+			return n
+		}
+		if stop != nil && stop() {
+			return 0
+		}
+		if spins&mask == mask {
+			runtime.Gosched()
 		}
 	}
 }

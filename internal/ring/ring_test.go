@@ -92,6 +92,133 @@ func TestEnqueueBulkAllOrNothing(t *testing.T) {
 	}
 }
 
+// TestBulkBoundaries is the contract table for EnqueueBulk/DequeueBurst:
+// all-or-nothing enqueue, partial-take burst dequeue, across the full,
+// empty and wraparound boundaries of the index space.
+func TestBulkBoundaries(t *testing.T) {
+	seq := func(lo, n int) []uint64 {
+		out := make([]uint64, n)
+		for i := range out {
+			out[i] = uint64(lo + i)
+		}
+		return out
+	}
+	for _, mode := range []Mode{MP, SP} {
+		steps := []struct {
+			name    string
+			enq     []uint64 // when set, EnqueueBulk and expect wantN
+			burst   int      // when >0, DequeueBurst(out[:burst])
+			wantN   int
+			wantOut []uint64 // expected DequeueBurst contents
+		}{
+			{name: "empty-bulk-is-noop", enq: []uint64{}, wantN: 0},
+			{name: "burst-on-empty", burst: 4, wantN: 0},
+			{name: "bulk-exact-capacity", enq: seq(0, 4), wantN: 4},
+			{name: "bulk-one-into-full", enq: seq(9, 1), wantN: 0},
+			{name: "burst-partial-take", burst: 2, wantN: 2, wantOut: seq(0, 2)},
+			{name: "bulk-over-free", enq: seq(10, 3), wantN: 0},
+			{name: "bulk-wraparound", enq: seq(10, 2), wantN: 2},
+			{name: "burst-over-avail", burst: 8, wantN: 4, wantOut: []uint64{2, 3, 10, 11}},
+			{name: "bulk-over-capacity", enq: seq(0, 5), wantN: 0},
+			{name: "burst-drained", burst: 1, wantN: 0},
+		}
+		r, _ := New(4, mode)
+		for _, s := range steps {
+			name := s.name
+			if mode == SP {
+				name = "sp-" + name
+			}
+			if s.burst > 0 || s.enq == nil {
+				out := make([]uint64, s.burst)
+				n := r.DequeueBurst(out)
+				if n != s.wantN {
+					t.Fatalf("%s: burst got %d want %d", name, n, s.wantN)
+				}
+				for i, want := range s.wantOut {
+					if out[i] != want {
+						t.Fatalf("%s: out[%d]=%d want %d", name, i, out[i], want)
+					}
+				}
+				continue
+			}
+			if n := r.EnqueueBulk(s.enq); n != s.wantN {
+				t.Fatalf("%s: bulk got %d want %d", name, n, s.wantN)
+			}
+			if s.wantN == 0 && len(s.enq) > 0 {
+				// all-or-nothing: a refused bulk must leave no prefix
+				before := r.Len()
+				if before > r.Capacity() {
+					t.Fatalf("%s: len %d exceeds capacity", name, before)
+				}
+			}
+		}
+	}
+}
+
+// TestBulkReservationAtomicity checks the single-reservation property: a
+// bulk enqueue owns a contiguous span, so the pairs enqueued by concurrent
+// producers come out adjacent, never interleaved.
+func TestBulkReservationAtomicity(t *testing.T) {
+	r, _ := New(64, MP)
+	const producers, pairs = 4, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < pairs; i++ {
+				base := uint64(p*pairs+i) * 2
+				for r.EnqueueBulk([]uint64{base, base + 1}) == 0 {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	got := make([]uint64, 0, producers*pairs*2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		out := make([]uint64, 16)
+		for len(got) < producers*pairs*2 {
+			n := r.DequeueBurst(out)
+			if n == 0 {
+				runtime.Gosched()
+				continue
+			}
+			got = append(got, out[:n]...)
+		}
+	}()
+	wg.Wait()
+	<-done
+	for i := 0; i+1 < len(got); i += 2 {
+		if got[i]%2 != 0 || got[i+1] != got[i]+1 {
+			t.Fatalf("pair broken at %d: %d,%d (bulk reservation interleaved)", i, got[i], got[i+1])
+		}
+	}
+}
+
+func TestPollDequeueBurst(t *testing.T) {
+	r, _ := New(8, MP)
+	out := make([]uint64, 8)
+	done := make(chan int)
+	go func() {
+		done <- r.PollDequeueBurst(out, nil)
+	}()
+	r.EnqueueBulk([]uint64{7, 8, 9})
+	n := <-done
+	if n < 1 || n > 3 {
+		t.Fatalf("poll burst got %d items", n)
+	}
+	if out[0] != 7 {
+		t.Fatalf("poll burst out[0]=%d want 7", out[0])
+	}
+	stop := atomic.Bool{}
+	stop.Store(true)
+	if n := r.PollDequeueBurst(out, stop.Load); n != 0 && r.Len() == 0 {
+		t.Fatalf("stopped poll on empty ring returned %d", n)
+	}
+}
+
 func TestDequeueBurst(t *testing.T) {
 	r, _ := New(8, MP)
 	for i := 0; i < 5; i++ {

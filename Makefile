@@ -13,7 +13,7 @@ BENCH_CPUS ?= 1,2,4,8
 OLD ?= BENCH_1.json
 NEW ?= BENCH_2.json
 
-.PHONY: build test race vet fmt-check verify bench bench-compare clean
+.PHONY: build test race race-obs vet fmt-check verify bench bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -32,9 +32,16 @@ fmt-check:
 race:
 	$(GO) test -race ./...
 
+# race-obs races the observability layer and its exporter conformance test
+# specifically (concurrent scrapes against live counters) — an explicit
+# gate even when the full race suite is skipped locally.
+race-obs:
+	$(GO) test -race -count=1 ./internal/obs/...
+
 # verify is the gate for every change: formatting, static analysis, and the
-# full test suite (chaos tests included) under the race detector.
-verify: fmt-check vet race
+# full test suite (chaos tests included) under the race detector, with the
+# observability conformance test raced explicitly.
+verify: fmt-check vet race race-obs
 
 # bench runs the tracked serial benchmarks, then the parallel RPS harness
 # across the BENCH_CPUS sweep, and writes one machine-readable snapshot

@@ -200,13 +200,22 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		return 2
 	}
-	keys := make([]benchKey, 0, len(oldRes))
+	// Union of both snapshots, stable order: by name, then cpus. Keys
+	// present in only one snapshot are reported informationally — a bench
+	// added or removed between snapshots must not crash or gate the diff
+	// (and dividing by a missing baseline's zero ns/op would previously
+	// poison the delta).
+	seen := make(map[benchKey]bool, len(oldRes)+len(newRes))
+	keys := make([]benchKey, 0, len(oldRes)+len(newRes))
 	for k := range oldRes {
-		if _, ok := newRes[k]; ok {
+		seen[k] = true
+		keys = append(keys, k)
+	}
+	for k := range newRes {
+		if !seen[k] {
 			keys = append(keys, k)
 		}
 	}
-	// stable order: by name, then cpus
 	for i := 1; i < len(keys); i++ {
 		for j := i; j > 0 && (keys[j-1].name > keys[j].name ||
 			(keys[j-1].name == keys[j].name && keys[j-1].cpus > keys[j].cpus)); j-- {
@@ -214,15 +223,30 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 		}
 	}
 	if len(keys) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no common benchmarks between snapshots")
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmarks in either snapshot")
 		return 2
 	}
-	failed := 0
+	failed, compared := 0, 0
 	for _, k := range keys {
-		o, n := oldRes[k], newRes[k]
-		if o.NsPerOp <= 0 {
+		o, inOld := oldRes[k]
+		n, inNew := newRes[k]
+		switch {
+		case !inNew:
+			fmt.Printf("%-60s cpus=%-2d %12.1f ns/op baseline, missing in new snapshot  (info)\n",
+				k.name, k.cpus, o.NsPerOp)
+			continue
+		case !inOld:
+			fmt.Printf("%-60s cpus=%-2d %12.1f ns/op, new benchmark (no baseline)  (info)\n",
+				k.name, k.cpus, n.NsPerOp)
+			continue
+		case o.NsPerOp <= 0:
+			// A zero/absent baseline ns/op cannot produce a meaningful
+			// fraction; report instead of dividing by it.
+			fmt.Printf("%-60s cpus=%-2d baseline ns/op is %v, not comparable  (info)\n",
+				k.name, k.cpus, o.NsPerOp)
 			continue
 		}
+		compared++
 		delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp
 		status := "ok"
 		gated := !strings.Contains(k.name, "Parallel")
@@ -240,7 +264,7 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 			failed, threshold*100)
 		return 1
 	}
-	fmt.Printf("benchjson: no serial regression beyond %.0f%% across %d benchmark(s)\n",
-		threshold*100, len(keys))
+	fmt.Printf("benchjson: no serial regression beyond %.0f%% across %d compared benchmark(s)\n",
+		threshold*100, compared)
 	return 0
 }

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeSnapshot(t *testing.T, dir, name string, results []Result) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(Report{Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareMissingBenchesAreInformational(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnapshot(t, dir, "old.json", []Result{
+		{Name: "BenchmarkStable", Cpus: 1, NsPerOp: 100},
+		{Name: "BenchmarkRemoved", Cpus: 1, NsPerOp: 50},
+	})
+	newPath := writeSnapshot(t, dir, "new.json", []Result{
+		{Name: "BenchmarkStable", Cpus: 1, NsPerOp: 105},
+		{Name: "BenchmarkAdded", Cpus: 1, NsPerOp: 70},
+	})
+	// A bench present only in one snapshot must neither gate nor crash.
+	if code := runCompare(oldPath, newPath, 0.10); code != 0 {
+		t.Fatalf("exit %d, want 0: added/removed benches must be informational", code)
+	}
+}
+
+func TestCompareZeroBaselineNotComparable(t *testing.T) {
+	dir := t.TempDir()
+	// Old snapshot has a zero ns/op record (e.g. parse artifact): the diff
+	// must not divide by it — previously the delta became ±Inf.
+	oldPath := writeSnapshot(t, dir, "old.json", []Result{
+		{Name: "BenchmarkZeroBase", Cpus: 1, NsPerOp: 0},
+	})
+	newPath := writeSnapshot(t, dir, "new.json", []Result{
+		{Name: "BenchmarkZeroBase", Cpus: 1, NsPerOp: 9999},
+	})
+	if code := runCompare(oldPath, newPath, 0.10); code != 0 {
+		t.Fatalf("exit %d, want 0: zero baseline must be informational", code)
+	}
+}
+
+func TestCompareRealRegressionStillGates(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnapshot(t, dir, "old.json", []Result{
+		{Name: "BenchmarkHot", Cpus: 1, NsPerOp: 100},
+	})
+	newPath := writeSnapshot(t, dir, "new.json", []Result{
+		{Name: "BenchmarkHot", Cpus: 1, NsPerOp: 150},
+	})
+	if code := runCompare(oldPath, newPath, 0.10); code != 1 {
+		t.Fatalf("exit %d, want 1: 50%% serial regression must gate", code)
+	}
+}
+
+func TestCompareParallelNeverGates(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnapshot(t, dir, "old.json", []Result{
+		{Name: "BenchmarkHotParallel", Cpus: 8, NsPerOp: 100},
+	})
+	newPath := writeSnapshot(t, dir, "new.json", []Result{
+		{Name: "BenchmarkHotParallel", Cpus: 8, NsPerOp: 500},
+	})
+	if code := runCompare(oldPath, newPath, 0.10); code != 0 {
+		t.Fatalf("exit %d, want 0: parallel benches are informational", code)
+	}
+}
+
+func TestCompareEmptySnapshots(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnapshot(t, dir, "old.json", nil)
+	newPath := writeSnapshot(t, dir, "new.json", nil)
+	if code := runCompare(oldPath, newPath, 0.10); code != 2 {
+		t.Fatalf("exit %d, want 2: nothing to compare is a usage error", code)
+	}
+}
+
+func TestParseBenchLine(t *testing.T) {
+	r, err := parseBenchLine("BenchmarkSProxySend-4  4235170  256.1 ns/op  0 B/op  0 allocs/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "BenchmarkSProxySend" || r.Cpus != 4 || r.NsPerOp != 256.1 {
+		t.Fatalf("parsed %+v", r)
+	}
+}

@@ -75,15 +75,11 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.Handle("/", boutiqueAware(cluster.Ingress, *app, spec.Name))
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		for _, pr := range dep.Node.Kubelet.Probe(dep) {
-			if !pr.Healthy {
-				http.Error(w, fmt.Sprintf("instance %d unhealthy", pr.Instance), 503)
-				return
-			}
-		}
-		fmt.Fprintln(w, "ok")
-	})
+	// Admin surface: /metrics (Prometheus exposition), /healthz
+	// (circuit-breaker and pool-leak aware), /traces (recent sampled hop
+	// traces as JSON) and /debug/pprof/ — all backed by the cluster's
+	// observability layer, into which every deployed chain registers.
+	cluster.Observability().Attach(mux)
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
 		s := dep.Gateway.Stats()
 		fmt.Fprintf(w, "admitted=%d completed=%d rejected=%d mean=%.3fms p95=%.3fms\n",
@@ -97,7 +93,8 @@ func main() {
 		}
 	})
 
-	log.Printf("serving on %s (POST /%s/<path>, GET /healthz, GET /stats)", *listen, spec.Name)
+	log.Printf("serving on %s (POST /%s/<path>, GET /metrics /healthz /traces /stats /debug/pprof/)",
+		*listen, spec.Name)
 	log.Fatal(http.ListenAndServe(*listen, mux))
 }
 

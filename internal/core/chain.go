@@ -62,6 +62,17 @@ type ChainSpec struct {
 	// Injector, when set, injects seeded faults into the dataplane
 	// (chaos testing). nil disables injection.
 	Injector *fault.Injector
+
+	// TraceSampleEvery samples 1-in-N requests into the always-on hop
+	// tracer (0 picks the default of 1024; 1 traces every request).
+	// Negative disables the default tracer entirely.
+	TraceSampleEvery int
+
+	// ScrapeInterval is the period of the gateway's metrics agent — the
+	// goroutine that drives EProxy.ScrapeRate and publishes the chain's
+	// failure counters into the EPROXY metrics map (§3.3). 0 picks the
+	// default of 500ms; negative disables the agent.
+	ScrapeInterval time.Duration
 }
 
 // RetryPolicy bounds descriptor re-sends on transient transport errors —
@@ -102,12 +113,13 @@ type Chain struct {
 
 	tracer atomic.Pointer[Tracer] // nil when tracing is off
 
-	deadline   time.Duration
-	retry      RetryPolicy
-	health     HealthPolicy
-	injector   *fault.Injector
-	failures   failureCounters
-	jitterSeed atomic.Uint64
+	deadline    time.Duration
+	retry       RetryPolicy
+	health      HealthPolicy
+	injector    *fault.Injector
+	failures    failureCounters
+	jitterSeed  atomic.Uint64
+	scrapeEvery time.Duration // metrics-agent period (<0: agent disabled)
 
 	failCbMu sync.RWMutex
 	failCb   func(caller uint32, err error)
@@ -214,9 +226,24 @@ func (c *Chain) EnableTracing(limit int) *Tracer {
 	return tr
 }
 
+// EnableSampledTracing turns on 1-in-every sampled hop tracing, the
+// always-on production mode: unsampled requests cost one atomic increment
+// and zero allocations, sampled ones feed the per-hop histograms and the
+// bounded recent-trace ring the observability exporter serves.
+func (c *Chain) EnableSampledTracing(every, limit int) *Tracer {
+	tr := NewSampledTracer(every, limit)
+	c.tracer.Store(tr)
+	return tr
+}
+
 // DisableTracing stops trace collection.
 func (c *Chain) DisableTracing() {
 	c.tracer.Store(nil)
+}
+
+// Tracer returns the chain's current tracer (nil when tracing is off).
+func (c *Chain) Tracer() *Tracer {
+	return c.tracer.Load()
 }
 
 // currentTracer is read on every hop; the atomic pointer keeps the
@@ -230,6 +257,23 @@ var (
 	ErrBackpressure = errors.New("core: chain at capacity (pool exhausted)")
 	ErrNoHead       = errors.New("core: chain has no ingress route (From \"\")")
 )
+
+// Defaults for the always-on observability plumbing.
+const (
+	defaultTraceSampleEvery = 1024 // 1-in-N sampled hop tracing
+	defaultTraceLimit       = 64   // recent traces retained
+	defaultScrapeInterval   = 500 * time.Millisecond
+)
+
+// RingStats reports per-instance ring queue counters in polling mode
+// (nil for event mode — S-SPRIGHT has no rings).
+func (c *Chain) RingStats() []RingQueueStat {
+	rt, ok := c.transport.(*ringTransport)
+	if !ok {
+		return nil
+	}
+	return rt.ringStats()
+}
 
 // NewChain builds and starts a chain in the given eBPF kernel, creating its
 // private shared-memory pool through manager (the Fig. 6 startup flow is
@@ -297,6 +341,26 @@ func NewChain(kernel *ebpf.Kernel, manager *shm.Manager, spec ChainSpec) (*Chain
 		c.transport = NewRingTransport()
 	default:
 		return nil, fmt.Errorf("core: unknown mode %d", spec.Mode)
+	}
+	// Descriptors the transport gives up on (socket closed mid-burst, ring
+	// drained at shutdown) are orphans: reclaim their buffers and fail their
+	// callers instead of leaking pool slabs.
+	c.transport.SetDropHandler(func(d shm.Descriptor) {
+		c.reclaimOrphan(d, "transport")
+	})
+
+	// Always-on sampled tracing (spec.TraceSampleEvery < 0 opts out; tests
+	// that need full traces replace the tracer via EnableTracing).
+	if spec.TraceSampleEvery >= 0 {
+		every := spec.TraceSampleEvery
+		if every == 0 {
+			every = defaultTraceSampleEvery
+		}
+		c.tracer.Store(NewSampledTracer(every, defaultTraceLimit))
+	}
+	c.scrapeEvery = spec.ScrapeInterval
+	if c.scrapeEvery == 0 {
+		c.scrapeEvery = defaultScrapeInterval
 	}
 
 	depth := spec.SocketDepth

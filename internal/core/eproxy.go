@@ -167,6 +167,13 @@ func (e *EProxy) FailureStats() FailureStats {
 // ScrapeRate is the metrics agent: it returns the packet rate since the
 // previous scrape (what the gateway's built-in agent periodically reports
 // to the metrics server for autoscaling, §3.3).
+//
+// The counter can regress between scrapes — the map is recreated when a
+// chain's EPROXY is reloaded, and tests (or an operator) may reset it.
+// The delta is computed in unsigned arithmetic, so a regression must be
+// clamped to zero rather than reported: uint64(small - large) wraps to
+// ~1.8e19, an absurd rate that would instantly trip any autoscaler fed
+// from this signal.
 func (e *EProxy) ScrapeRate() float64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -174,7 +181,7 @@ func (e *EProxy) ScrapeRate() float64 {
 	now := time.Now()
 	dt := now.Sub(e.lastTime).Seconds()
 	var rate float64
-	if dt > 0 {
+	if dt > 0 && pkts >= e.lastPkts {
 		rate = float64(pkts-e.lastPkts) / dt
 	}
 	e.lastPkts = pkts

@@ -129,6 +129,12 @@ func (in *Instance) Handled() uint64 { return in.handled.Load() }
 // Errors returns the number of failed invocations.
 func (in *Instance) Errors() uint64 { return in.errs.Load() }
 
+// SocketStats reports the instance socket's delivered/dropped descriptor
+// counters (the per-socket signal the observability exporter renders).
+func (in *Instance) SocketStats() (delivered, dropped uint64) {
+	return in.sock.Stats()
+}
+
 // ResidualCapacity is MC_i − r_i,t with capacity measured in concurrency
 // slots: the maximum service capacity is the configured concurrency and
 // the current rate is the instantaneous in-flight count, both observable
@@ -238,6 +244,12 @@ func (in *Instance) handle(d shm.Descriptor) {
 	defer ctxPool.Put(ctx)
 	tr := in.chain.currentTracer()
 	var hopStart time.Time
+	if tr != nil && !tr.tracing() {
+		// Sampled tracer with no trace in flight: this request was not
+		// sampled, so skip both timestamps — the unsampled hot path must
+		// not pay two time.Now() calls per hop.
+		tr = nil
+	}
 	if tr != nil {
 		hopStart = time.Now()
 	}

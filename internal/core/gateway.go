@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"runtime"
 	"sync"
@@ -35,6 +36,11 @@ type Gateway struct {
 	failed    atomic.Uint64
 
 	lat *metrics.StripedHistogram
+
+	// lastRate is the most recent ScrapeRate (float64 bits), maintained by
+	// the metrics-agent goroutine so readers never contend on the EPROXY
+	// scrape lock.
+	lastRate atomic.Uint64
 
 	bufPool    sync.Pool // *gwBuf response payload staging
 	waiterPool sync.Pool // chan gwResult, capacity 1
@@ -181,7 +187,47 @@ func NewGateway(c *Chain) (*Gateway, error) {
 	for i := 0; i < consumers; i++ {
 		go g.run()
 	}
+	// The metrics agent (§3.3): a per-chain goroutine that periodically
+	// publishes failure counters into the EPROXY map and refreshes the
+	// packet-rate sample the metrics server scrapes for autoscaling.
+	if g.eprox != nil && c.scrapeEvery > 0 {
+		g.wg.Add(1)
+		go g.metricsAgent(c.scrapeEvery)
+	}
 	return g, nil
+}
+
+// metricsAgent drives EProxy.PublishFailures and ScrapeRate on a ticker
+// until the gateway closes.
+func (g *Gateway) metricsAgent(every time.Duration) {
+	defer g.wg.Done()
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-tick.C:
+			g.eprox.PublishFailures(g.chain.Failures())
+			g.lastRate.Store(math.Float64bits(g.eprox.ScrapeRate()))
+		}
+	}
+}
+
+// LastScrapeRate returns the packet rate measured by the metrics agent's
+// most recent scrape (0 until the first tick, or when the agent is off).
+func (g *Gateway) LastScrapeRate() float64 {
+	return math.Float64frombits(g.lastRate.Load())
+}
+
+// Pending returns the number of requests currently awaiting a response —
+// registered waiters across the pending table.
+func (g *Gateway) Pending() int { return g.pending.size() }
+
+// SocketStats reports the gateway socket's delivered/dropped descriptor
+// counters (the response path).
+func (g *Gateway) SocketStats() (delivered, dropped uint64) {
+	return g.sock.Stats()
 }
 
 // fail completes a pending request with a terminal error: the dataplane

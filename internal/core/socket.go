@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"github.com/spright-go/spright/internal/shm"
 )
@@ -91,48 +92,67 @@ func (s *Socket) Deliver(d shm.Descriptor) error {
 
 // DeliverBatch enqueues a burst of parsed descriptors under a single
 // sender registration and closed-flag check — the delivery half of the
-// transports' batch path. It returns how many descriptors were enqueued
-// and the first error encountered: ErrSocketClosed rejects the whole
-// burst, while a full queue drops only the affected descriptors (the same
-// best-effort semantics as per-descriptor Deliver).
+// transports' batch path. It enqueues in order and stops at the first
+// refusal, returning how many descriptors were enqueued and why it
+// stopped: ErrSocketClosed rejects the whole remainder, ErrSocketFull
+// means the queue filled mid-burst. Either way the un-enqueued tail
+// ds[n:] still belongs to the caller, which must retry or release those
+// descriptors' buffer references — silently treating the batch as sent
+// would leak every dropped descriptor's shared-memory buffer.
 func (s *Socket) DeliverBatch(ds []shm.Descriptor) (int, error) {
 	s.senders.Add(1)
 	defer s.senders.Add(-1)
 	if s.closed.Load() {
 		return 0, ErrSocketClosed
 	}
-	n := 0
-	var firstErr error
-	for _, d := range ds {
+	for i, d := range ds {
 		select {
 		case s.ch <- d:
-			n++
 		default:
-			s.dropped.Add(1)
-			if firstErr == nil {
-				firstErr = ErrSocketFull
+			if i > 0 {
+				s.delivered.Add(uint64(i))
 			}
+			return i, ErrSocketFull
 		}
 	}
-	if n > 0 {
-		s.delivered.Add(uint64(n))
-	}
-	return n, firstErr
+	s.delivered.Add(uint64(len(ds)))
+	return len(ds), nil
 }
+
+// noteDrop records one descriptor the transport gave up delivering to this
+// socket (queue full past the retry budget, or closed mid-burst).
+func (s *Socket) noteDrop() { s.dropped.Add(1) }
 
 // Recv returns the descriptor channel for the instance's run loop.
 func (s *Socket) Recv() <-chan shm.Descriptor { return s.ch }
 
+// closeSpinBudget is how many sender-drain checks Close spends yielding
+// before escalating to sleeps. In-flight Delivers are non-blocking, so the
+// count is normally drained within a few yields; the sleep escalation only
+// engages when a sender goroutine is descheduled mid-Deliver (e.g. at
+// GOMAXPROCS=1 under load), where an unbounded Gosched loop would burn a
+// full core for as long as the scheduler starves the sender.
+const closeSpinBudget = 64
+
 // Close marks the socket closed and wakes the consumer. Descriptors still
 // buffered remain readable from Recv until drained (the instance reclaims
-// them at shutdown). The senders wait is bounded: in-flight Delivers are
-// non-blocking, so the spin lasts at most a few enqueue attempts.
+// them at shutdown). The senders wait backs off in two stages — spin with
+// yields, then exponentially growing sleeps capped at 1ms — so a stalled
+// sender delays the close without pinning a processor.
 func (s *Socket) Close() {
 	if !s.closed.CompareAndSwap(false, true) {
 		return
 	}
-	for s.senders.Load() != 0 {
-		runtime.Gosched()
+	sleep := time.Microsecond
+	for spins := 0; s.senders.Load() != 0; spins++ {
+		if spins < closeSpinBudget {
+			runtime.Gosched()
+			continue
+		}
+		time.Sleep(sleep)
+		if sleep < time.Millisecond {
+			sleep *= 2
+		}
 	}
 	close(s.ch)
 }

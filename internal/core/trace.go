@@ -4,14 +4,28 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"github.com/spright-go/spright/internal/metrics"
 )
 
-// Request tracing: an opt-in, per-chain record of every hop a descriptor
-// takes (function, instance, arrival time, handler duration). The gateway's
+// Request tracing: a per-chain record of every hop a descriptor takes
+// (function, instance, arrival time, handler duration). The gateway's
 // chain-level metrics of §3.3 ("function-chain-level metrics such as the
 // request rate and execution time on a chain basis") are derived from
 // these traces; tests and operators use them to see DFR in action.
+//
+// Tracing runs in one of two modes:
+//
+//   - full (EnableTracing / NewTracer): every request is traced — a
+//     debugging aid for tests and incident forensics.
+//   - sampled (EnableSampledTracing / NewSampledTracer): 1-in-N requests
+//     are traced, always on in production. The unsampled path costs one
+//     atomic increment at begin and one atomic load per hop/finish — zero
+//     allocations — so the tracer can stay enabled under full load while
+//     still feeding per-hop duration histograms and a bounded ring of
+//     recent traces to the observability exporter.
 
 // HopRecord is one function visit in a request's trace.
 type HopRecord struct {
@@ -50,30 +64,68 @@ func (t *Trace) String() string {
 	return fmt.Sprintf("trace{caller=%d path=%s elapsed=%s}", t.Caller, t.Path(), t.Elapsed())
 }
 
-// Tracer collects traces for a chain. Disabled (nil) by default: tracing
-// is a debugging aid, not a dataplane cost.
+// Tracer collects traces for a chain.
 type Tracer struct {
-	mu     sync.Mutex
-	limit  int
-	active map[uint32]*Trace
-	done   []*Trace
+	every uint64        // sample 1 in every requests (1 = trace all)
+	seq   atomic.Uint64 // request counter driving the sampling decision
+
+	// nactive gates the hop/finish slow path: when no trace is in flight
+	// (the overwhelmingly common case under sampling), both return after a
+	// single atomic load, without touching the mutex or the map.
+	nactive atomic.Int64
+
+	mu      sync.Mutex
+	limit   int
+	active  map[uint32]*Trace
+	done    []*Trace                      // ring buffer of the most recent completed traces
+	next    int                           // ring cursor
+	total   uint64                        // completed (sampled) traces ever
+	hopHist map[string]*metrics.Histogram // per-function sampled hop durations
 }
 
-// NewTracer creates a tracer retaining up to limit completed traces.
-func NewTracer(limit int) *Tracer {
+// NewTracer creates a full tracer (every request) retaining up to limit
+// completed traces.
+func NewTracer(limit int) *Tracer { return NewSampledTracer(1, limit) }
+
+// NewSampledTracer creates a tracer recording one in every `every`
+// requests (every <= 1 records all), retaining up to limit recent traces.
+func NewSampledTracer(every, limit int) *Tracer {
 	if limit <= 0 {
 		limit = 256
 	}
-	return &Tracer{limit: limit, active: make(map[uint32]*Trace)}
+	if every < 1 {
+		every = 1
+	}
+	return &Tracer{
+		every:   uint64(every),
+		limit:   limit,
+		active:  make(map[uint32]*Trace),
+		hopHist: make(map[string]*metrics.Histogram),
+	}
 }
 
+// SampleEvery returns the sampling period (1 = every request).
+func (tr *Tracer) SampleEvery() int { return int(tr.every) }
+
+// tracing reports whether any sampled trace is currently in flight — the
+// hot-path gate that keeps unsampled requests off the tracer mutex.
+func (tr *Tracer) tracing() bool { return tr.nactive.Load() != 0 }
+
 func (tr *Tracer) begin(caller uint32) {
+	if tr.every > 1 && tr.seq.Add(1)%tr.every != 0 {
+		return // unsampled: no allocation, no lock
+	}
+	t := &Trace{Caller: caller, Start: time.Now()}
 	tr.mu.Lock()
-	defer tr.mu.Unlock()
-	tr.active[caller] = &Trace{Caller: caller, Start: time.Now()}
+	tr.active[caller] = t
+	tr.mu.Unlock()
+	tr.nactive.Add(1)
 }
 
 func (tr *Tracer) hop(caller uint32, fn string, inst uint32, dur time.Duration) {
+	if !tr.tracing() {
+		return
+	}
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	t, ok := tr.active[caller]
@@ -81,28 +133,71 @@ func (tr *Tracer) hop(caller uint32, fn string, inst uint32, dur time.Duration) 
 		return
 	}
 	t.Hops = append(t.Hops, HopRecord{Function: fn, Instance: inst, At: time.Now(), Duration: dur})
+	h, ok := tr.hopHist[fn]
+	if !ok {
+		h = metrics.NewHistogram()
+		tr.hopHist[fn] = h
+	}
+	h.Observe(dur.Seconds())
 }
 
 func (tr *Tracer) finish(caller uint32) *Trace {
+	if !tr.tracing() {
+		return nil
+	}
 	tr.mu.Lock()
-	defer tr.mu.Unlock()
 	t, ok := tr.active[caller]
 	if !ok {
+		tr.mu.Unlock()
 		return nil
 	}
 	delete(tr.active, caller)
 	t.End = time.Now()
 	if len(tr.done) < tr.limit {
 		tr.done = append(tr.done, t)
+	} else {
+		// ring: overwrite the oldest retained trace
+		tr.done[tr.next] = t
+		tr.next = (tr.next + 1) % tr.limit
 	}
+	tr.total++
+	tr.mu.Unlock()
+	tr.nactive.Add(-1)
 	return t
 }
 
-// Completed returns the retained completed traces.
+// Completed returns the retained completed traces, oldest first.
 func (tr *Tracer) Completed() []*Trace {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
-	return append([]*Trace(nil), tr.done...)
+	out := make([]*Trace, 0, len(tr.done))
+	if len(tr.done) < tr.limit {
+		return append(out, tr.done...)
+	}
+	out = append(out, tr.done[tr.next:]...)
+	return append(out, tr.done[:tr.next]...)
+}
+
+// TotalSampled returns how many traces have completed since the tracer
+// started (not bounded by the retention limit).
+func (tr *Tracer) TotalSampled() uint64 {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.total
+}
+
+// HopDurations returns a merged copy of the per-function sampled hop
+// duration histograms — the per-hop latency signal the exporter renders.
+func (tr *Tracer) HopDurations() map[string]*metrics.Histogram {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make(map[string]*metrics.Histogram, len(tr.hopHist))
+	for fn, h := range tr.hopHist {
+		cp := metrics.NewHistogram()
+		cp.Merge(h)
+		out[fn] = cp
+	}
+	return out
 }
 
 // ChainMetrics is the §3.3 chain-level snapshot the gateway's metrics
@@ -113,7 +208,7 @@ type ChainMetrics struct {
 	Paths         map[string]int
 }
 
-// Metrics summarizes completed traces.
+// Metrics summarizes the retained completed traces.
 func (tr *Tracer) Metrics() ChainMetrics {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()

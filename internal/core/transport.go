@@ -1,9 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/spright-go/spright/internal/ring"
 	"github.com/spright-go/spright/internal/shm"
@@ -27,6 +30,13 @@ type Transport interface {
 	SendBatch(src uint32, ds []shm.Descriptor, onErr func(i int, err error)) int
 	// Allow authorizes src→dst traffic (security domain filter).
 	Allow(src, dst uint32) error
+	// SetDropHandler installs the callback invoked with every descriptor
+	// the transport had accepted but could not deliver (destination socket
+	// closed, or full past the retry budget at shutdown). The chain uses
+	// it to reclaim the descriptor's buffer and fail its caller instead of
+	// leaking both. Event transports deliver synchronously and report
+	// failures to the sender, so they never invoke it.
+	SetDropHandler(fn func(d shm.Descriptor))
 	// Close stops the transport (and any pollers).
 	Close()
 }
@@ -63,8 +73,9 @@ func (t *eventTransport) Send(src uint32, d shm.Descriptor) error { return t.sp.
 func (t *eventTransport) SendBatch(src uint32, ds []shm.Descriptor, onErr func(i int, err error)) int {
 	return t.sp.SendBatch(src, ds, onErr)
 }
-func (t *eventTransport) Allow(src, dst uint32) error { return t.sp.Allow(src, dst) }
-func (t *eventTransport) Close()                      {}
+func (t *eventTransport) Allow(src, dst uint32) error         { return t.sp.Allow(src, dst) }
+func (t *eventTransport) SetDropHandler(func(shm.Descriptor)) {}
+func (t *eventTransport) Close()                              {}
 
 // descWords is how many ring slots one 16-byte descriptor occupies when
 // packed directly into the ring (two uint64 words — the D-SPRIGHT analog
@@ -115,6 +126,11 @@ type ringTransport struct {
 	allowed map[uint64]bool
 	stop    atomic.Bool
 	wg      sync.WaitGroup
+
+	// drop is invoked for descriptors the transport accepted into a ring
+	// but could not deliver (socket closed or shutdown mid-backlog); set
+	// once by the chain before traffic starts.
+	drop atomic.Pointer[func(shm.Descriptor)]
 }
 
 // ringDepth is each instance's RTE ring capacity in slots (descWords slots
@@ -156,7 +172,10 @@ func (t *ringTransport) Register(s *Socket) error {
 // in one ring reservation, decode them, and hand the whole burst to the
 // instance's socket in one wakeup. The out buffer is an even number of
 // words and producers only ever publish whole pairs, so a burst never
-// splits a descriptor.
+// splits a descriptor. On exit the poller drains whatever the ring still
+// holds and routes it through the drop handler — descriptors accepted into
+// the ring own a shared-memory buffer reference, so abandoning them at
+// shutdown would leak the pool slab and blackhole the caller.
 func (t *ringTransport) poll(e *ringEntry) {
 	defer t.wg.Done()
 	var words [pollBurst * descWords]uint64
@@ -164,6 +183,7 @@ func (t *ringTransport) poll(e *ringEntry) {
 	for {
 		n := e.r.PollDequeueBurst(words[:], func() bool { return t.stop.Load() })
 		if n == 0 {
+			t.drainRing(e)
 			return
 		}
 		k := 0
@@ -171,9 +191,91 @@ func (t *ringTransport) poll(e *ringEntry) {
 			batch[k] = unpackDesc(words[i], words[i+1])
 			k++
 		}
-		// Best-effort delivery, as with sockmap redirect.
-		_, _ = e.sock.DeliverBatch(batch[:k])
+		t.deliverAll(e, batch[:k])
 	}
+}
+
+// deliverAll pushes a dequeued burst into the socket, retrying the
+// un-enqueued tail of a partial DeliverBatch. Once dequeued, these
+// descriptors are the poller's responsibility: a full socket queue is
+// waited out with backoff (the ring, not the socket, provides the loss
+// point), and only a closed socket or transport shutdown converts the
+// tail into drops, each reclaimed through the drop handler.
+func (t *ringTransport) deliverAll(e *ringEntry, ds []shm.Descriptor) {
+	sleep := time.Microsecond
+	for spins := 0; len(ds) > 0; spins++ {
+		n, err := e.sock.DeliverBatch(ds)
+		ds = ds[n:]
+		if len(ds) == 0 {
+			return
+		}
+		if errors.Is(err, ErrSocketClosed) || t.stop.Load() {
+			t.dropAll(e, ds)
+			return
+		}
+		// Queue full with a live consumer: back off and retry the tail.
+		if spins < closeSpinBudget {
+			runtime.Gosched()
+			continue
+		}
+		time.Sleep(sleep)
+		if sleep < time.Millisecond {
+			sleep *= 2
+		}
+	}
+}
+
+// dropAll records and reclaims descriptors the poller is abandoning.
+func (t *ringTransport) dropAll(e *ringEntry, ds []shm.Descriptor) {
+	fn := t.drop.Load()
+	for _, d := range ds {
+		e.sock.noteDrop()
+		if fn != nil {
+			(*fn)(d)
+		}
+	}
+}
+
+// drainRing empties a stopped poller's ring through the drop handler.
+func (t *ringTransport) drainRing(e *ringEntry) {
+	var words [pollBurst * descWords]uint64
+	for {
+		n := e.r.DequeueBurst(words[:])
+		if n == 0 {
+			return
+		}
+		for i := 0; i+descWords <= n; i += descWords {
+			d := unpackDesc(words[i], words[i+1])
+			e.sock.noteDrop()
+			if fn := t.drop.Load(); fn != nil {
+				(*fn)(d)
+			}
+		}
+	}
+}
+
+func (t *ringTransport) SetDropHandler(fn func(shm.Descriptor)) {
+	if fn != nil {
+		t.drop.Store(&fn)
+	}
+}
+
+// RingQueueStat is one instance ring's occupancy and flow counters, read
+// by the observability exporter.
+type RingQueueStat struct {
+	Instance uint32
+	Stats    ring.Stats
+}
+
+// ringStats snapshots every registered ring's counters.
+func (t *ringTransport) ringStats() []RingQueueStat {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]RingQueueStat, 0, len(t.entries))
+	for id, e := range t.entries {
+		out = append(out, RingQueueStat{Instance: id, Stats: e.r.Stats()})
+	}
+	return out
 }
 
 func (t *ringTransport) Unregister(id uint32) error {

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Observability bundles the admin surface of one SPRIGHT node: the metrics
+// registry, the health checks /healthz aggregates, and the trace sources
+// /traces drains. Chains register on deploy and unregister on teardown.
+type Observability struct {
+	reg *Registry
+
+	mu     sync.Mutex
+	checks map[string]func() error
+	traces map[string]func() any
+}
+
+// New creates an Observability with an empty registry plus the built-in
+// process collector (goroutines, heap, GC) — the node-level counterpart of
+// the per-chain collectors.
+func New() *Observability {
+	o := &Observability{
+		reg:    NewRegistry(),
+		checks: make(map[string]func() error),
+		traces: make(map[string]func() any),
+	}
+	o.reg.Register("process", processCollector)
+	return o
+}
+
+// Registry returns the metrics registry (also the /metrics http.Handler).
+func (o *Observability) Registry() *Registry { return o.reg }
+
+// RegisterHealthCheck installs a named health check; /healthz fails when
+// any registered check returns an error.
+func (o *Observability) RegisterHealthCheck(name string, fn func() error) {
+	o.mu.Lock()
+	o.checks[name] = fn
+	o.mu.Unlock()
+}
+
+// UnregisterHealthCheck removes a health check.
+func (o *Observability) UnregisterHealthCheck(name string) {
+	o.mu.Lock()
+	delete(o.checks, name)
+	o.mu.Unlock()
+}
+
+// RegisterTraceSource installs a named source of recent sampled traces;
+// the returned value must be JSON-marshalable.
+func (o *Observability) RegisterTraceSource(name string, fn func() any) {
+	o.mu.Lock()
+	o.traces[name] = fn
+	o.mu.Unlock()
+}
+
+// UnregisterTraceSource removes a trace source.
+func (o *Observability) UnregisterTraceSource(name string) {
+	o.mu.Lock()
+	delete(o.traces, name)
+	o.mu.Unlock()
+}
+
+// Health runs every registered check and returns the failures by name
+// (empty when the node is healthy).
+func (o *Observability) Health() map[string]error {
+	o.mu.Lock()
+	fns := make(map[string]func() error, len(o.checks))
+	for k, v := range o.checks {
+		fns[k] = v
+	}
+	o.mu.Unlock()
+	out := make(map[string]error)
+	for name, fn := range fns {
+		if err := fn(); err != nil {
+			out[name] = err
+		}
+	}
+	return out
+}
+
+// Traces snapshots every registered trace source.
+func (o *Observability) Traces() map[string]any {
+	o.mu.Lock()
+	fns := make(map[string]func() any, len(o.traces))
+	for k, v := range o.traces {
+		fns[k] = v
+	}
+	o.mu.Unlock()
+	out := make(map[string]any, len(fns))
+	for name, fn := range fns {
+		out[name] = fn()
+	}
+	return out
+}
+
+// HealthzHandler serves /healthz: 200 "ok" when every check passes, 503
+// with one line per failing check otherwise.
+func (o *Observability) HealthzHandler(w http.ResponseWriter, _ *http.Request) {
+	failures := o.Health()
+	if len(failures) == 0 {
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	names := make([]string, 0, len(failures))
+	for n := range failures {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s: %v\n", n, failures[n])
+	}
+	http.Error(w, strings.TrimRight(b.String(), "\n"), http.StatusServiceUnavailable)
+}
+
+// TracesHandler serves /traces: the recent sampled traces of every source
+// as one JSON object keyed by source (chain) name.
+func (o *Observability) TracesHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(o.Traces()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// AdminMux builds the full admin endpoint catalog: /metrics (Prometheus
+// exposition), /healthz, /traces (recent sampled traces as JSON) and the
+// standard net/http/pprof tree under /debug/pprof/.
+func (o *Observability) AdminMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	o.Attach(mux)
+	return mux
+}
+
+// Attach registers the admin endpoints on an existing mux, so a server can
+// serve them alongside application routes.
+func (o *Observability) Attach(mux *http.ServeMux) {
+	mux.Handle("/metrics", o.reg)
+	mux.HandleFunc("/healthz", o.HealthzHandler)
+	mux.HandleFunc("/traces", o.TracesHandler)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// processCollector reports node-process vitals alongside the dataplane
+// metrics.
+func processCollector() []Family {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return []Family{
+		GaugeFamily("spright_go_goroutines", "Number of live goroutines.", nil,
+			float64(runtime.NumGoroutine())),
+		GaugeFamily("spright_go_heap_alloc_bytes", "Bytes of allocated heap objects.", nil,
+			float64(ms.HeapAlloc)),
+		CounterFamily("spright_go_gc_cycles_total", "Completed GC cycles.", nil,
+			float64(ms.NumGC)),
+	}
+}

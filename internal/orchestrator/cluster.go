@@ -16,6 +16,7 @@ import (
 	"github.com/spright-go/spright/internal/core"
 	"github.com/spright-go/spright/internal/ebpf"
 	"github.com/spright-go/spright/internal/netstack"
+	"github.com/spright-go/spright/internal/obs"
 	"github.com/spright-go/spright/internal/shm"
 )
 
@@ -57,10 +58,15 @@ type Deployment struct {
 	Node    *WorkerNode
 	Chain   *core.Chain
 	Gateway *core.Gateway
+
+	unobserve func() // drops the chain's obs registrations (may be nil)
 }
 
 // Close tears the deployment down.
 func (d *Deployment) Close() {
+	if d.unobserve != nil {
+		d.unobserve()
+	}
 	d.Gateway.Close()
 	d.Chain.Close()
 	d.Node.mu.Lock()
@@ -180,6 +186,7 @@ func (s *Scheduler) Place() (*WorkerNode, error) {
 // node's kubelet.
 type Controller struct {
 	sched *Scheduler
+	obsv  *obs.Observability
 
 	mu      sync.Mutex
 	deploys map[string]*Deployment
@@ -190,10 +197,12 @@ type Cluster struct {
 	Controller *Controller
 	Ingress    *IngressGateway
 	nodes      []*WorkerNode
+	obsv       *obs.Observability
 }
 
-// NewCluster provisions n worker nodes with a controller and a cluster-
-// wide ingress gateway.
+// NewCluster provisions n worker nodes with a controller, a cluster-wide
+// ingress gateway, and the observability layer every deployed chain
+// registers its collectors into.
 func NewCluster(n int) *Cluster {
 	if n <= 0 {
 		n = 1
@@ -202,19 +211,26 @@ func NewCluster(n int) *Cluster {
 	for i := range nodes {
 		nodes[i] = NewWorkerNode(fmt.Sprintf("worker-%d", i+1))
 	}
+	o := obs.New()
 	ctrl := &Controller{
 		sched:   &Scheduler{nodes: nodes},
+		obsv:    o,
 		deploys: make(map[string]*Deployment),
 	}
 	return &Cluster{
 		Controller: ctrl,
 		Ingress:    &IngressGateway{controller: ctrl},
 		nodes:      nodes,
+		obsv:       o,
 	}
 }
 
 // Nodes returns the cluster's worker nodes.
 func (c *Cluster) Nodes() []*WorkerNode { return c.nodes }
+
+// Observability returns the cluster's metrics/health/trace layer — the
+// registry behind the admin endpoints (/metrics, /healthz, /traces).
+func (c *Cluster) Observability() *obs.Observability { return c.obsv }
 
 // DeployChain places and creates a chain, returning its deployment.
 func (ctl *Controller) DeployChain(spec core.ChainSpec) (*Deployment, error) {
@@ -233,6 +249,7 @@ func (ctl *Controller) DeployChain(spec core.ChainSpec) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
+	d.unobserve = observeDeployment(ctl.obsv, d)
 	ctl.mu.Lock()
 	ctl.deploys[spec.Name] = d
 	ctl.mu.Unlock()

@@ -1,0 +1,268 @@
+package orchestrator
+
+// Collector glue between the dataplane and the obs registry: each deployed
+// chain registers one collector closure that snapshots the live counters at
+// scrape time — gateway admission/completion/latency, EPROXY L3 and failure
+// maps, SPROXY per-instance invocation counts, per-socket delivery
+// counters, shared-memory pool occupancy, ring queue flow, and the sampled
+// hop tracer — plus a health check and a recent-trace source. Registration
+// is keyed by chain name, so teardown drops a chain's series atomically.
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"github.com/spright-go/spright/internal/core"
+	"github.com/spright-go/spright/internal/obs"
+)
+
+// transportLabel maps a chain mode onto the stable `transport` label value.
+func transportLabel(m core.Mode) string {
+	if m == core.ModePolling {
+		return "ring"
+	}
+	return "sockmap"
+}
+
+// observeDeployment registers the deployment's collector, health check and
+// trace source under its chain name, returning the matching unregister.
+func observeDeployment(o *obs.Observability, d *Deployment) func() {
+	if o == nil {
+		return func() {}
+	}
+	name := d.Chain.Name()
+	key := "chain:" + name
+	o.Registry().Register(key, func() []obs.Family { return collectChain(d) })
+	o.RegisterHealthCheck(key, func() error { return checkDeployment(d) })
+	o.RegisterTraceSource(name, func() any { return traceSnapshot(d.Chain) })
+	return func() {
+		o.Registry().Unregister(key)
+		o.UnregisterHealthCheck(key)
+		o.UnregisterTraceSource(name)
+	}
+}
+
+// collectChain snapshots every subsystem of one chain into metric families.
+// Families share names across chains; the registry merges them, so the
+// exposition carries one spright_gateway_admitted_total family with one
+// sample per chain.
+func collectChain(d *Deployment) []obs.Family {
+	c, g := d.Chain, d.Gateway
+	chain := obs.L("chain", c.Name())
+	// Gateway.Stats also publishes the failure counters into the EPROXY
+	// map, so the kernel-side failure series below stays current.
+	gs := g.Stats()
+
+	fams := []obs.Family{
+		obs.GaugeFamily("spright_transport_info",
+			"Chain transport (value is always 1; transport in the label).",
+			obs.L("chain", c.Name(), "transport", transportLabel(c.Mode())), 1),
+		obs.CounterFamily("spright_gateway_admitted_total",
+			"Requests admitted into the chain's shared-memory pool.", chain, float64(gs.Admitted)),
+		obs.CounterFamily("spright_gateway_rejected_total",
+			"Requests rejected at admission (pool backpressure).", chain, float64(gs.Rejected)),
+		obs.CounterFamily("spright_gateway_completed_total",
+			"Requests completed with a response descriptor.", chain, float64(gs.Completed)),
+		obs.CounterFamily("spright_gateway_failed_total",
+			"Requests terminated by a dataplane error.", chain, float64(gs.Failed)),
+		obs.GaugeFamily("spright_gateway_pending",
+			"Requests currently awaiting a response.", chain, float64(g.Pending())),
+		obs.GaugeFamily("spright_scrape_rate_pps",
+			"Packet rate measured by the metrics agent's last EPROXY scrape.",
+			chain, g.LastScrapeRate()),
+		obs.SummaryFamily("spright_gateway_latency_seconds",
+			"End-to-end invocation latency through the chain.", chain, g.Latency()),
+	}
+
+	// Failure counters, read back from the EPROXY failure map when the
+	// chain has one (the kernel-side path an external scraper would see);
+	// chains without an EPROXY (polling mode) report userspace counters.
+	fs := c.Failures()
+	if ep := g.EProxy(); ep != nil {
+		fs = ep.FailureStats()
+		pkts, bytes := ep.L3Stats()
+		fams = append(fams,
+			obs.CounterFamily("spright_eproxy_l3_packets_total",
+				"Packets counted by the EPROXY XDP monitor.", chain, float64(pkts)),
+			obs.CounterFamily("spright_eproxy_l3_bytes_total",
+				"Bytes counted by the EPROXY XDP monitor.", chain, float64(bytes)),
+		)
+	}
+	failures := obs.Family{
+		Name: "spright_failures_total",
+		Help: "Failure-recovery events by kind.",
+		Type: obs.Counter,
+	}
+	for _, kv := range []struct {
+		kind string
+		v    uint64
+	}{
+		{"crash", fs.Crashes},
+		{"retry", fs.Retries},
+		{"circuit_open", fs.CircuitOpens},
+		{"reclaimed", fs.Reclaimed},
+		{"deadline", fs.DeadlinesExceeded},
+		{"injected", fs.FaultsInjected},
+	} {
+		failures.Samples = append(failures.Samples, obs.Sample{
+			Labels: obs.L("chain", c.Name(), "kind", kv.kind),
+			Value:  float64(kv.v),
+		})
+	}
+	fams = append(fams, failures)
+
+	// Shared-memory pool.
+	ps := c.Pool().Stats()
+	fams = append(fams,
+		obs.GaugeFamily("spright_shm_inuse_buffers",
+			"Pool buffers currently referenced.", chain, float64(ps.InUse)),
+		obs.GaugeFamily("spright_shm_free_buffers",
+			"Pool buffers currently free.", chain, float64(ps.Capacity-ps.InUse)),
+		obs.GaugeFamily("spright_shm_capacity_buffers",
+			"Pool capacity.", chain, float64(ps.Capacity)),
+		obs.GaugeFamily("spright_shm_highwater_buffers",
+			"Peak concurrent pool occupancy.", chain, float64(ps.HighWater)),
+		obs.CounterFamily("spright_shm_allocs_total",
+			"Pool buffer allocations.", chain, float64(ps.Allocs)),
+		obs.CounterFamily("spright_shm_frees_total",
+			"Pool buffer releases.", chain, float64(ps.Frees)),
+		obs.CounterFamily("spright_shm_alloc_failures_total",
+			"Allocations refused by pool exhaustion (backpressure).", chain, float64(ps.Failures)),
+		obs.CounterFamily("spright_shm_steals_total",
+			"Allocations served from a non-home freelist shard.", chain, float64(ps.Steals)),
+	)
+
+	// Per-socket delivery counters: the gateway's response socket plus one
+	// sample per function instance; SPROXY invocation counts ride along in
+	// event mode.
+	delivered := obs.Family{Name: "spright_socket_delivered_total",
+		Help: "Descriptors enqueued into instance sockets.", Type: obs.Counter}
+	dropped := obs.Family{Name: "spright_socket_dropped_total",
+		Help: "Descriptors the transport gave up delivering.", Type: obs.Counter}
+	gd, gdr := g.SocketStats()
+	gwLabels := obs.L("chain", c.Name(), "function", "gateway", "instance", "0")
+	delivered.Samples = append(delivered.Samples, obs.Sample{Labels: gwLabels, Value: float64(gd)})
+	dropped.Samples = append(dropped.Samples, obs.Sample{Labels: gwLabels, Value: float64(gdr)})
+
+	sproxyReqs := obs.Family{Name: "spright_sproxy_requests_total",
+		Help: "Descriptors redirected to each instance by the SPROXY SK_MSG program.",
+		Type: obs.Counter}
+	sp := c.SProxy()
+	for _, in := range c.Instances() {
+		ls := obs.L("chain", c.Name(), "function", in.Function(),
+			"instance", strconv.FormatUint(uint64(in.ID()), 10))
+		de, dr := in.SocketStats()
+		delivered.Samples = append(delivered.Samples, obs.Sample{Labels: ls, Value: float64(de)})
+		dropped.Samples = append(dropped.Samples, obs.Sample{Labels: ls, Value: float64(dr)})
+		if sp != nil {
+			sproxyReqs.Samples = append(sproxyReqs.Samples, obs.Sample{
+				Labels: ls, Value: float64(sp.RequestCount(in.ID())),
+			})
+		}
+	}
+	fams = append(fams, delivered, dropped)
+	if sp != nil {
+		fams = append(fams, sproxyReqs)
+	}
+
+	// Ring queues (polling mode only).
+	if rs := c.RingStats(); len(rs) > 0 {
+		occupancy := obs.Family{Name: "spright_ring_occupancy",
+			Help: "Descriptors queued in each instance's rte_ring.", Type: obs.Gauge}
+		enq := obs.Family{Name: "spright_ring_enqueues_total",
+			Help: "Descriptors accepted by instance rings.", Type: obs.Counter}
+		deq := obs.Family{Name: "spright_ring_dequeues_total",
+			Help: "Descriptors drained from instance rings.", Type: obs.Counter}
+		fulls := obs.Family{Name: "spright_ring_full_total",
+			Help: "Enqueue attempts refused by a full ring.", Type: obs.Counter}
+		for _, r := range rs {
+			ls := obs.L("chain", c.Name(),
+				"instance", strconv.FormatUint(uint64(r.Instance), 10))
+			occupancy.Samples = append(occupancy.Samples, obs.Sample{Labels: ls, Value: float64(r.Stats.Len)})
+			enq.Samples = append(enq.Samples, obs.Sample{Labels: ls, Value: float64(r.Stats.Enqueues)})
+			deq.Samples = append(deq.Samples, obs.Sample{Labels: ls, Value: float64(r.Stats.Dequeues)})
+			fulls.Samples = append(fulls.Samples, obs.Sample{Labels: ls, Value: float64(r.Stats.Fulls)})
+		}
+		fams = append(fams, occupancy, enq, deq, fulls)
+	}
+
+	// Sampled hop tracer.
+	if tr := c.Tracer(); tr != nil {
+		fams = append(fams,
+			obs.CounterFamily("spright_trace_sampled_total",
+				"Requests sampled into the hop tracer.", chain, float64(tr.TotalSampled())),
+			obs.GaugeFamily("spright_trace_sample_period",
+				"Tracer sampling period (1 = every request).", chain, float64(tr.SampleEvery())),
+		)
+		hop := obs.Family{Name: "spright_trace_hop_duration_seconds",
+			Help: "Sampled per-function handler durations.", Type: obs.Summary}
+		for fn, h := range tr.HopDurations() {
+			sub := obs.SummaryFamily("spright_trace_hop_duration_seconds", "",
+				obs.L("chain", c.Name(), "function", fn), h)
+			hop.Samples = append(hop.Samples, sub.Samples...)
+		}
+		fams = append(fams, hop)
+	}
+	return fams
+}
+
+// checkDeployment is the per-chain health check behind /healthz: every
+// instance must probe healthy (no open circuit breakers), and the pool must
+// not look leaked — exhausted while the gateway has nothing pending means
+// buffers are held with nobody waiting for them.
+func checkDeployment(d *Deployment) error {
+	for _, pr := range d.Node.Kubelet.Probe(d) {
+		if pr.Healthy {
+			continue
+		}
+		if pr.CircuitOpen {
+			return fmt.Errorf("instance %s/%d circuit breaker open", pr.Function, pr.Instance)
+		}
+		return fmt.Errorf("instance %s/%d unhealthy", pr.Function, pr.Instance)
+	}
+	ps := d.Chain.Pool().Stats()
+	if ps.InUse >= ps.Capacity && d.Gateway.Pending() == 0 {
+		return fmt.Errorf("pool exhausted (%d/%d buffers) with no pending requests: suspected leak",
+			ps.InUse, ps.Capacity)
+	}
+	return nil
+}
+
+// traceHop is the JSON shape of one hop in /traces output.
+type traceHop struct {
+	Function string        `json:"function"`
+	Instance uint32        `json:"instance"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// traceEntry is one completed sampled trace in /traces output.
+type traceEntry struct {
+	Caller  uint32        `json:"caller"`
+	Path    string        `json:"path"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+	Hops    []traceHop    `json:"hops"`
+}
+
+// traceSnapshot renders the chain's retained sampled traces for /traces.
+func traceSnapshot(c *core.Chain) any {
+	tr := c.Tracer()
+	if tr == nil {
+		return map[string]any{"tracing": false}
+	}
+	completed := tr.Completed()
+	entries := make([]traceEntry, 0, len(completed))
+	for _, t := range completed {
+		e := traceEntry{Caller: t.Caller, Path: t.Path(), Elapsed: t.Elapsed()}
+		for _, h := range t.Hops {
+			e.Hops = append(e.Hops, traceHop{Function: h.Function, Instance: h.Instance, Duration: h.Duration})
+		}
+		entries = append(entries, e)
+	}
+	return map[string]any{
+		"tracing":       true,
+		"sample_every":  tr.SampleEvery(),
+		"total_sampled": tr.TotalSampled(),
+		"recent":        entries,
+	}
+}

@@ -60,6 +60,13 @@ type Ring struct {
 	_        pad
 	consTail atomic.Uint64 // consumer index published to producers
 	_        pad
+
+	// flow counters for the observability exporter; padded off the
+	// head/tail lines so scraping them never contends with the protocol.
+	enqueues atomic.Uint64 // items accepted
+	dequeues atomic.Uint64 // items removed
+	fulls    atomic.Uint64 // refused reservations (ring full)
+	_        pad
 }
 
 // New creates a ring with capacity rounded up to the next power of two.
@@ -161,10 +168,12 @@ func (r *Ring) publishCons(head, n uint64) {
 func (r *Ring) Enqueue(v uint64) error {
 	head, ok := r.reserveProd(1)
 	if !ok {
+		r.fulls.Add(1)
 		return ErrFull
 	}
 	r.slots[head&r.mask] = v
 	r.publishProd(head, 1)
+	r.enqueues.Add(1)
 	return nil
 }
 
@@ -177,6 +186,7 @@ func (r *Ring) Dequeue() (uint64, error) {
 	}
 	v := r.slots[head&r.mask]
 	r.publishCons(head, 1)
+	r.dequeues.Add(1)
 	return v, nil
 }
 
@@ -191,12 +201,14 @@ func (r *Ring) EnqueueBulk(vs []uint64) int {
 	}
 	head, ok := r.reserveProd(n)
 	if !ok {
+		r.fulls.Add(1)
 		return 0
 	}
 	for i, v := range vs {
 		r.slots[(head+uint64(i))&r.mask] = v
 	}
 	r.publishProd(head, n)
+	r.enqueues.Add(n)
 	return len(vs)
 }
 
@@ -211,6 +223,7 @@ func (r *Ring) DequeueBurst(out []uint64) int {
 		out[i] = r.slots[(head+i)&r.mask]
 	}
 	r.publishCons(head, n)
+	r.dequeues.Add(n)
 	return int(n)
 }
 
@@ -223,6 +236,30 @@ func (r *Ring) Len() int {
 		return 0
 	}
 	return int(h - t)
+}
+
+// Stats is a snapshot of one ring's occupancy and flow counters, the
+// D-SPRIGHT queue metrics the observability exporter renders.
+type Stats struct {
+	Capacity int
+	Len      int
+	Enqueues uint64
+	Dequeues uint64
+	// Fulls counts refused reservations — enqueue attempts (single or
+	// bulk) that found insufficient free slots.
+	Fulls uint64
+}
+
+// Stats snapshots the ring's counters (approximate under concurrency,
+// exact when quiescent).
+func (r *Ring) Stats() Stats {
+	return Stats{
+		Capacity: len(r.slots),
+		Len:      r.Len(),
+		Enqueues: r.enqueues.Load(),
+		Dequeues: r.dequeues.Load(),
+		Fulls:    r.fulls.Load(),
+	}
 }
 
 // Free returns the approximate free capacity.

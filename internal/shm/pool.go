@@ -26,6 +26,10 @@ type PoolStats struct {
 	Frees     uint64
 	Failures  uint64
 	HighWater int
+	// Steals counts allocations served from a non-home freelist shard — a
+	// contention/imbalance signal: a high steal rate means the sharded
+	// freelist is behaving like one lock again.
+	Steals uint64
 }
 
 // freelistShards is the number of independent freelist segments (power of
@@ -66,6 +70,7 @@ type Pool struct {
 	allocs    atomic.Uint64
 	frees     atomic.Uint64
 	failures  atomic.Uint64
+	steals    atomic.Uint64
 	inUse     atomic.Int64
 	highWater atomic.Int64
 }
@@ -190,6 +195,9 @@ func (p *Pool) popFree() (uint32, bool) {
 			h := s.list[n-1]
 			s.list = s.list[:n-1]
 			s.mu.Unlock()
+			if i > 0 {
+				p.steals.Add(1)
+			}
 			return h, true
 		}
 		s.mu.Unlock()
@@ -293,6 +301,7 @@ func (p *Pool) Stats() PoolStats {
 		Frees:     p.frees.Load(),
 		Failures:  p.failures.Load(),
 		HighWater: int(p.highWater.Load()),
+		Steals:    p.steals.Load(),
 	}
 }
 

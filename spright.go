@@ -33,6 +33,7 @@ package spright
 import (
 	"github.com/spright-go/spright/internal/core"
 	"github.com/spright-go/spright/internal/fault"
+	"github.com/spright-go/spright/internal/obs"
 	"github.com/spright-go/spright/internal/orchestrator"
 )
 
@@ -96,6 +97,17 @@ type (
 	WorkerNode = orchestrator.WorkerNode
 	// Autoscaler scales a deployment's functions on concurrency.
 	Autoscaler = orchestrator.Autoscaler
+
+	// Observability is a cluster's metrics/health/trace layer: the
+	// Prometheus registry every deployed chain registers into and the
+	// admin endpoints (/metrics, /healthz, /traces, /debug/pprof/) behind
+	// Cluster.Observability(). Mount it with Attach(mux) or AdminMux().
+	Observability = obs.Observability
+	// Tracer is a chain's sampled hop tracer (ChainSpec.TraceSampleEvery,
+	// Chain.EnableSampledTracing).
+	Tracer = core.Tracer
+	// Trace is one recorded request path through a chain.
+	Trace = core.Trace
 )
 
 // Transport modes.

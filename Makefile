@@ -1,8 +1,8 @@
 GO ?= go
 
-BENCH_OUT ?= BENCH_2.json
+BENCH_OUT ?= BENCH_4.json
 # the hot-path serial benchmarks tracked in BENCH_*.json snapshots
-BENCH_PAT ?= BenchmarkSProxySend$$|BenchmarkShmPool$$|BenchmarkEBPFInterpreter$$|BenchmarkE2E_SSpright|BenchmarkE2E_DSpright|BenchmarkE2E_GRPCBaseline
+BENCH_PAT ?= BenchmarkSProxySend$$|BenchmarkShmPool$$|BenchmarkEBPFInterpreter$$|BenchmarkE2E_SSpright|BenchmarkE2E_DSpright|BenchmarkE2E_GRPCBaseline|BenchmarkTraceUnsampled$$|BenchmarkTraceSampled$$
 # the multicore RPS harness, swept across BENCH_CPUS
 BENCH_PAR_PAT ?= BenchmarkE2E_Parallel_
 # benchmark knobs: time per benchmark and the GOMAXPROCS sweep for the
@@ -10,8 +10,8 @@ BENCH_PAR_PAT ?= BenchmarkE2E_Parallel_
 BENCH_TIME ?= 1s
 BENCH_CPUS ?= 1,2,4,8
 # regression gate inputs for bench-compare
-OLD ?= BENCH_1.json
-NEW ?= BENCH_2.json
+OLD ?= BENCH_3.json
+NEW ?= BENCH_4.json
 
 .PHONY: build test race race-obs vet fmt-check verify bench bench-compare clean
 

@@ -509,6 +509,65 @@ func BenchmarkLoadBalancing_Ablation(b *testing.B) {
 	}
 }
 
+// benchTraceChain deploys the 2-function bench chain with an explicit
+// head-sampling period for the tracing-overhead benchmarks.
+func benchTraceChain(b *testing.B, every int) *spright.Deployment {
+	b.Helper()
+	cluster := spright.NewCluster(1)
+	dep, err := cluster.Controller.DeployChain(spright.ChainSpec{
+		Name: fmt.Sprintf("bench-tr-%d-%d", every, benchChainSeq.Add(1)),
+		Functions: []spright.FunctionSpec{
+			{Name: "f0", Handler: func(ctx *spright.Ctx) error { return nil }},
+			{Name: "f1", Handler: func(ctx *spright.Ctx) error { return nil }},
+		},
+		Routes: []spright.RouteSpec{
+			{From: "", To: []string{"f0"}},
+			{From: "f0", To: []string{"f1"}},
+		},
+		TraceSampleEvery: every,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(dep.Close)
+	return dep
+}
+
+// BenchmarkTraceUnsampled is the tracing hot-path contract: with the
+// always-on tracer installed but the request not head-sampled (and under
+// the tail-latency threshold), the end-to-end invoke must not allocate —
+// the per-stage cost is one atomic flags load.
+func BenchmarkTraceUnsampled(b *testing.B) {
+	dep := benchTraceChain(b, 1<<30)
+	payload := make([]byte, 100)
+	resp := make([]byte, 100)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dep.Gateway.InvokeInto(ctx, "", payload, resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceSampled measures the fully traced request: every stage
+// records a span (alloc, enqueue/redirect, queue wait, handler, drain)
+// into the bounded ring.
+func BenchmarkTraceSampled(b *testing.B) {
+	dep := benchTraceChain(b, 1)
+	payload := make([]byte, 100)
+	resp := make([]byte, 100)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dep.Gateway.InvokeInto(ctx, "", payload, resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkBoutiqueCh6 drives the heaviest Table 3 sequence (24 hops) on
 // the real dataplane.
 func BenchmarkBoutiqueCh6(b *testing.B) {

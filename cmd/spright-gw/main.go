@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"time"
 
 	"github.com/spright-go/spright/internal/boutique"
 	"github.com/spright-go/spright/internal/core"
@@ -26,6 +27,7 @@ func main() {
 	listen := flag.String("listen", ":8080", "HTTP listen address")
 	app := flag.String("app", "echo", "application to deploy: echo or boutique")
 	mode := flag.String("mode", "event", "descriptor transport: event (S-SPRIGHT) or polling (D-SPRIGHT)")
+	traceFile := flag.String("trace-file", "", "append completed traces to this file as OTLP JSON lines")
 	flag.Parse()
 
 	m := core.ModeEvent
@@ -76,10 +78,19 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/", boutiqueAware(cluster.Ingress, *app, spec.Name))
 	// Admin surface: /metrics (Prometheus exposition), /healthz
-	// (circuit-breaker and pool-leak aware), /traces (recent sampled hop
-	// traces as JSON) and /debug/pprof/ — all backed by the cluster's
-	// observability layer, into which every deployed chain registers.
+	// (circuit-breaker and pool-leak aware), /traces (retained distributed
+	// traces as JSON; ?format=otlp for OTLP JSON, ?limit=N to bound) and
+	// /debug/pprof/ — all backed by the cluster's observability layer, into
+	// which every deployed chain registers.
 	cluster.Observability().Attach(mux)
+	if *traceFile != "" {
+		stopExp, err := cluster.Observability().StartFileExporter(*traceFile, time.Second)
+		if err != nil {
+			log.Fatalf("trace exporter: %v", err)
+		}
+		defer stopExp()
+		log.Printf("exporting traces to %s (OTLP JSON lines)", *traceFile)
+	}
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
 		s := dep.Gateway.Stats()
 		fmt.Fprintf(w, "admitted=%d completed=%d rejected=%d mean=%.3fms p95=%.3fms\n",

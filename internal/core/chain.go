@@ -68,6 +68,16 @@ type ChainSpec struct {
 	// Negative disables the default tracer entirely.
 	TraceSampleEvery int
 
+	// TraceTailLatency is the tail-sampling threshold: requests slower
+	// than it (and all errored requests, regardless of this knob) are
+	// retained even when head sampling skipped them. 0 picks the default
+	// of 250ms; negative disables latency-based tail retention.
+	TraceTailLatency time.Duration
+
+	// TraceTailLimit bounds the tail-retained trace buffer (0 picks the
+	// default of 64).
+	TraceTailLimit int
+
 	// ScrapeInterval is the period of the gateway's metrics agent — the
 	// goroutine that drives EProxy.ScrapeRate and publishes the chain's
 	// failure counters into the EPROXY metrics map (§3.3). 0 picks the
@@ -356,7 +366,18 @@ func NewChain(kernel *ebpf.Kernel, manager *shm.Manager, spec ChainSpec) (*Chain
 		if every == 0 {
 			every = defaultTraceSampleEvery
 		}
-		c.tracer.Store(NewSampledTracer(every, defaultTraceLimit))
+		tailLimit := spec.TraceTailLimit
+		if tailLimit <= 0 {
+			tailLimit = defaultTraceLimit
+		}
+		tr := NewSampledTracer(every, defaultTraceLimit)
+		tr.SetTailSampling(spec.TraceTailLatency, tailLimit)
+		c.tracer.Store(tr)
+	}
+	// D-SPRIGHT queue-wait attribution: the poller reports each sampled
+	// descriptor's ring residency back through the dequeue hook.
+	if rt, isRing := c.transport.(*ringTransport); isRing {
+		rt.SetDequeueHook(c.ringDequeueHook)
 	}
 	c.scrapeEvery = spec.ScrapeInterval
 	if c.scrapeEvery == 0 {
@@ -567,7 +588,57 @@ func (c *Chain) resend(src uint32, srcFn, dstFn string, d shm.Descriptor, err er
 // "gateway" for replies. Non-transient errors (filter rejection, unknown
 // destination) are returned immediately.
 func (c *Chain) send(src uint32, srcFn, dstFn string, d shm.Descriptor) error {
+	if tr := c.currentTracer(); tr != nil && c.pool.TraceSampled(d.Buf) {
+		return c.sendTraced(tr, src, srcFn, dstFn, d)
+	}
 	return c.resend(src, srcFn, dstFn, d, c.attempt(src, srcFn, dstFn, d))
+}
+
+// sendTraced wraps one hop's send in a redirect/enqueue span and stamps
+// the buffer's enqueue time so the consumer side (ring poller or socket
+// worker) can attribute queue wait. Only sampled buffers come here — the
+// unsampled path stays clock-free.
+func (c *Chain) sendTraced(tr *Tracer, src uint32, srcFn, dstFn string, d shm.Descriptor) error {
+	parent := c.pool.TraceContext(d.Buf).Span
+	stage := StageRedirect
+	if c.mode == ModePolling {
+		stage = StageEnqueue
+	}
+	t0 := time.Now()
+	// Stamp before the send: the consumer may dequeue the descriptor
+	// before this goroutine runs again, and it must find the stamp.
+	c.pool.StampTrace(d.Buf, t0.UnixNano())
+	err := c.resend(src, srcFn, dstFn, d, c.attempt(src, srcFn, dstFn, d))
+	s := Span{Parent: parent, Stage: stage, Function: dstFn, Instance: d.NextFn, Start: t0, End: time.Now()}
+	if err != nil {
+		s.Err = err.Error()
+	}
+	tr.RecordSpan(d.Caller, s)
+	return err
+}
+
+// ringDequeueHook runs in the D-SPRIGHT poller for each dequeued
+// descriptor: for sampled buffers it converts the producer's enqueue stamp
+// into a ring.wait span and re-stamps the buffer so the socket worker can
+// attribute its own queue wait separately. Returns the measured residency
+// (0 when untraced) for the ring's wait counters.
+func (c *Chain) ringDequeueHook(d shm.Descriptor) time.Duration {
+	tr := c.currentTracer()
+	if tr == nil || !c.pool.TraceSampled(d.Buf) {
+		return 0
+	}
+	ns := c.pool.TraceStamp(d.Buf)
+	if ns <= 0 {
+		return 0
+	}
+	now := time.Now()
+	start := time.Unix(0, ns)
+	tr.RecordSpan(d.Caller, Span{
+		Parent: c.pool.TraceContext(d.Buf).Span, Stage: StageRingWait,
+		Instance: d.NextFn, Start: start, End: now,
+	})
+	c.pool.StampTrace(d.Buf, now.UnixNano())
+	return now.Sub(start)
 }
 
 // sendBatch delivers a fan-out burst from src in one transport batch call,
@@ -585,7 +656,10 @@ func (c *Chain) sendBatch(src uint32, srcFn string, dstFns []string, ds []shm.De
 	if len(ds) == 0 {
 		return 0
 	}
-	if c.injector != nil {
+	// A traced fan-out also degrades: all branches share ds[0].Buf, and
+	// per-branch child spans need per-send instrumentation.
+	if c.injector != nil ||
+		(c.currentTracer() != nil && c.pool.TraceSampled(ds[0].Buf)) {
 		delivered := 0
 		for i := range ds {
 			if err := c.send(src, srcFn, dstFns[i], ds[i]); err != nil {

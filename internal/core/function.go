@@ -78,6 +78,14 @@ func (c *Ctx) Instance() uint32 { return c.inst.id }
 // FunctionName returns the executing function's name.
 func (c *Ctx) FunctionName() string { return c.inst.fnName }
 
+// TraceContext returns the invocation's trace context (zero value when the
+// request is unsampled). During the handler the header's span is the
+// handler's own span, so a downstream chain invoked with
+// WithTraceContext(ctx, c.TraceContext()) parents its spans correctly.
+func (c *Ctx) TraceContext() shm.TraceContext {
+	return c.inst.chain.pool.TraceContext(c.desc.Buf)
+}
+
 // ForwardTo overrides DFR's routing table for this invocation and sends
 // the message to the named function(s) when the handler returns.
 func (c *Ctx) ForwardTo(fns ...string) { c.forwardedTo = fns }
@@ -242,23 +250,43 @@ func (in *Instance) handle(d shm.Descriptor) {
 	ctx := ctxPool.Get().(*Ctx)
 	*ctx = Ctx{inst: in, desc: d, Topic: in.chain.topicOf(d)}
 	defer ctxPool.Put(ctx)
+	// Trace gate: one atomic flags load on the buffer header. Unsampled
+	// requests skip every timestamp — the hot path must not pay two
+	// time.Now() calls per hop.
 	tr := in.chain.currentTracer()
 	var hopStart time.Time
-	if tr != nil && !tr.tracing() {
-		// Sampled tracer with no trace in flight: this request was not
-		// sampled, so skip both timestamps — the unsampled hot path must
-		// not pay two time.Now() calls per hop.
-		tr = nil
-	}
-	if tr != nil {
+	var parent, hsID uint64
+	traced := false
+	if tr != nil && in.chain.pool.TraceSampled(d.Buf) {
+		traced = true
+		parent = in.chain.pool.TraceContext(d.Buf).Span
 		hopStart = time.Now()
+		if ns := in.chain.pool.TraceStamp(d.Buf); ns > 0 {
+			// Socket-queue residency: last send/dequeue stamp → worker pickup.
+			tr.RecordSpan(d.Caller, Span{
+				Parent: parent, Stage: StageQueueWait, Function: in.fnName,
+				Instance: in.id, Start: time.Unix(0, ns), End: hopStart,
+			})
+		}
+		// Pre-assign the handler span's ID and install it in the buffer
+		// header, so downstream hops — and cross-chain calls the handler
+		// makes through Ctx.TraceContext — parent onto this handler span.
+		hsID = tr.NextSpanID()
+		in.chain.pool.SetTraceSpan(d.Buf, hsID)
 	}
 	if in.serviceTime > 0 {
 		time.Sleep(in.serviceTime)
 	}
 	err, panicked := in.invoke(ctx)
-	if tr != nil {
-		tr.hop(d.Caller, in.fnName, in.id, time.Since(hopStart))
+	if traced {
+		s := Span{
+			ID: hsID, Parent: parent, Stage: StageHandler, Function: in.fnName,
+			Instance: in.id, Start: hopStart, End: time.Now(),
+		}
+		if err != nil {
+			s.Err = err.Error()
+		}
+		tr.RecordSpan(d.Caller, s)
 	}
 	if err != nil {
 		in.errs.Add(1)

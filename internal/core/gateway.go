@@ -268,6 +268,20 @@ func (g *Gateway) complete(d shm.Descriptor) {
 		g.chain.noteError("gateway", fmt.Errorf("%w: %d", ErrNoWaiter, d.Caller))
 		return
 	}
+	// Response drain span: the final hop's send stamp → gateway pickup.
+	// Recorded before the result is sent so it always lands ahead of the
+	// waiter's FinishRequest.
+	if tr := g.chain.currentTracer(); tr != nil && g.chain.pool.TraceSampled(d.Buf) {
+		now := time.Now()
+		drainStart := now
+		if ns := g.chain.pool.TraceStamp(d.Buf); ns > 0 {
+			drainStart = time.Unix(0, ns)
+		}
+		tr.RecordSpan(d.Caller, Span{
+			Parent: g.chain.pool.TraceContext(d.Buf).Span, Stage: StageDrain,
+			Function: "gateway", Start: drainStart, End: now,
+		})
+	}
 	// The single response copy out of shared memory: the gateway owns
 	// constructing the external HTTP response (§3.1). The copy lands in a
 	// pooled staging buffer the waiter returns after consuming it.
@@ -352,33 +366,69 @@ func (g *Gateway) invoke(ctx context.Context, topic string, payload []byte) (gwR
 	}
 	ch := g.getWaiter()
 	g.pending.put(caller, ch)
-	if tr := g.chain.currentTracer(); tr != nil {
-		tr.begin(caller)
-		defer tr.finish(caller)
+	// Head-sampling decision (or adoption of an inbound sampled context
+	// propagated via WithTraceContext / a parsed traceparent header). The
+	// unsampled path gets a zero context back and pays nothing further:
+	// FinishRequest reuses the elapsed time the latency histogram already
+	// needed, so no extra clock reads either.
+	tr := g.chain.currentTracer()
+	var tc shm.TraceContext
+	if tr != nil {
+		tc = tr.BeginRequest(caller, TraceContextFrom(ctx), start)
 	}
+	sampled := tc.Sampled()
 
+	var allocStart time.Time
+	if sampled {
+		allocStart = time.Now()
+	}
 	d, err := g.admit(topic, payload, caller)
 	if err != nil {
 		g.recycleWaiter(caller, ch)
+		if tr != nil {
+			tr.FinishRequest(caller, sampled, err, start, time.Since(start))
+		}
 		return gwResult{}, err
+	}
+	if sampled {
+		tr.RecordSpan(caller, Span{
+			Parent: tc.Span, Stage: StageShmAlloc, Function: "gateway",
+			Start: allocStart, End: time.Now(),
+		})
+		// Install the trace identity in the buffer header before dispatch:
+		// every downstream stage keys off it.
+		g.chain.pool.SetTraceContext(d.Buf, tc)
 	}
 	if err := g.dispatch(topic, d); err != nil {
 		g.recycleWaiter(caller, ch)
+		if tr != nil {
+			tr.FinishRequest(caller, sampled, err, start, time.Since(start))
+		}
 		return gwResult{}, err
 	}
 
 	select {
 	case res := <-ch:
 		g.waiterPool.Put(ch)
-		g.lat.Observe(uint64(caller), time.Since(start).Seconds())
+		el := time.Since(start)
+		g.lat.Observe(uint64(caller), el.Seconds())
+		if tr != nil {
+			tr.FinishRequest(caller, sampled, res.err, start, el)
+		}
 		return res, nil
 	case <-ctx.Done():
 		g.recycleWaiter(caller, ch)
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 			g.chain.failures.deadlines.Add(1)
 		}
+		if tr != nil {
+			tr.FinishRequest(caller, sampled, ctx.Err(), start, time.Since(start))
+		}
 		return gwResult{}, ctx.Err()
 	case <-g.stop:
+		if tr != nil {
+			tr.FinishRequest(caller, sampled, ErrGatewayClosed, start, time.Since(start))
+		}
 		return gwResult{}, ErrGatewayClosed
 	}
 }
@@ -506,7 +556,13 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if topic == "" {
 		topic = r.URL.Path
 	}
-	out, err := g.Invoke(r.Context(), topic, body)
+	rctx := r.Context()
+	// W3C trace-context ingestion: an external caller's sampled traceparent
+	// joins its request to the caller's trace.
+	if tc, ok := shm.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		rctx = WithTraceContext(rctx, tc)
+	}
+	out, err := g.Invoke(rctx, topic, body)
 	switch {
 	case errors.Is(err, ErrBackpressure):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)

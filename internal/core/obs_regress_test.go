@@ -161,16 +161,17 @@ func TestSocketCloseConcurrentDeliver(t *testing.T) {
 
 // TestSampledTracerZeroAllocUnsampled: the always-on tracer's contract is
 // that an unsampled request costs zero heap allocations across
-// begin/hop/finish — otherwise it could not stay enabled in production.
+// BeginRequest/FinishRequest — otherwise it could not stay enabled in
+// production.
 func TestSampledTracerZeroAllocUnsampled(t *testing.T) {
 	tr := NewSampledTracer(1<<30, 8) // effectively never samples
+	start := time.Now()
 	allocs := testing.AllocsPerRun(200, func() {
-		tr.begin(7)
-		tr.hop(7, "fn", 1, time.Microsecond)
-		tr.finish(7)
+		tc := tr.BeginRequest(7, shm.TraceContext{}, start)
+		tr.FinishRequest(7, tc.Sampled(), nil, start, time.Microsecond)
 	})
 	if allocs != 0 {
-		t.Fatalf("unsampled begin/hop/finish allocated %v per op, want 0", allocs)
+		t.Fatalf("unsampled begin/finish allocated %v per op, want 0", allocs)
 	}
 }
 
@@ -178,10 +179,16 @@ func TestSampledTracerZeroAllocUnsampled(t *testing.T) {
 // sampled traces feed the hop histograms and the bounded ring.
 func TestSampledTracerSamples1InN(t *testing.T) {
 	tr := NewSampledTracer(4, 2)
+	start := time.Now()
 	for caller := uint32(1); caller <= 8; caller++ {
-		tr.begin(caller)
-		tr.hop(caller, "fn", 1, time.Millisecond)
-		tr.finish(caller)
+		tc := tr.BeginRequest(caller, shm.TraceContext{}, start)
+		if tc.Sampled() {
+			tr.RecordSpan(caller, Span{
+				Parent: tc.Span, Stage: StageHandler, Function: "fn",
+				Instance: 1, Start: start, End: start.Add(time.Millisecond),
+			})
+		}
+		tr.FinishRequest(caller, tc.Sampled(), nil, start, time.Millisecond)
 	}
 	if got := tr.TotalSampled(); got != 2 {
 		t.Fatalf("sampled %d of 8 at 1-in-4, want 2", got)

@@ -131,6 +131,11 @@ type ringTransport struct {
 	// but could not deliver (socket closed or shutdown mid-backlog); set
 	// once by the chain before traffic starts.
 	drop atomic.Pointer[func(shm.Descriptor)]
+
+	// onDequeue is invoked in the poller for every dequeued descriptor,
+	// returning the measured ring residency for traced descriptors (0
+	// otherwise); set once by the chain before traffic starts.
+	onDequeue atomic.Pointer[func(shm.Descriptor) time.Duration]
 }
 
 // ringDepth is each instance's RTE ring capacity in slots (descWords slots
@@ -190,6 +195,13 @@ func (t *ringTransport) poll(e *ringEntry) {
 		for i := 0; i+descWords <= n; i += descWords {
 			batch[k] = unpackDesc(words[i], words[i+1])
 			k++
+		}
+		if hook := t.onDequeue.Load(); hook != nil {
+			for i := 0; i < k; i++ {
+				if w := (*hook)(batch[i]); w > 0 {
+					e.r.NoteWait(int64(w))
+				}
+			}
 		}
 		t.deliverAll(e, batch[:k])
 	}
@@ -257,6 +269,14 @@ func (t *ringTransport) drainRing(e *ringEntry) {
 func (t *ringTransport) SetDropHandler(fn func(shm.Descriptor)) {
 	if fn != nil {
 		t.drop.Store(&fn)
+	}
+}
+
+// SetDequeueHook installs the per-descriptor dequeue callback (queue-wait
+// attribution for sampled traces).
+func (t *ringTransport) SetDequeueHook(fn func(shm.Descriptor) time.Duration) {
+	if fn != nil {
+		t.onDequeue.Store(&fn)
 	}
 }
 

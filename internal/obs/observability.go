@@ -7,8 +7,10 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Observability bundles the admin surface of one SPRIGHT node: the metrics
@@ -19,7 +21,8 @@ type Observability struct {
 
 	mu     sync.Mutex
 	checks map[string]func() error
-	traces map[string]func() any
+	traces map[string]func(limit int) any
+	spans  map[string]func(limit int) []TraceData
 }
 
 // New creates an Observability with an empty registry plus the built-in
@@ -29,7 +32,8 @@ func New() *Observability {
 	o := &Observability{
 		reg:    NewRegistry(),
 		checks: make(map[string]func() error),
-		traces: make(map[string]func() any),
+		traces: make(map[string]func(limit int) any),
+		spans:  make(map[string]func(limit int) []TraceData),
 	}
 	o.reg.Register("process", processCollector)
 	return o
@@ -54,8 +58,9 @@ func (o *Observability) UnregisterHealthCheck(name string) {
 }
 
 // RegisterTraceSource installs a named source of recent sampled traces;
-// the returned value must be JSON-marshalable.
-func (o *Observability) RegisterTraceSource(name string, fn func() any) {
+// the returned value must be JSON-marshalable. limit bounds how many
+// recent traces the source renders (<= 0: source default).
+func (o *Observability) RegisterTraceSource(name string, fn func(limit int) any) {
 	o.mu.Lock()
 	o.traces[name] = fn
 	o.mu.Unlock()
@@ -65,6 +70,22 @@ func (o *Observability) RegisterTraceSource(name string, fn func() any) {
 func (o *Observability) UnregisterTraceSource(name string) {
 	o.mu.Lock()
 	delete(o.traces, name)
+	o.mu.Unlock()
+}
+
+// RegisterSpanSource installs a named source of completed traces in
+// exporter-neutral TraceData form — the feed behind /traces?format=otlp
+// and the file exporter.
+func (o *Observability) RegisterSpanSource(name string, fn func(limit int) []TraceData) {
+	o.mu.Lock()
+	o.spans[name] = fn
+	o.mu.Unlock()
+}
+
+// UnregisterSpanSource removes a span source.
+func (o *Observability) UnregisterSpanSource(name string) {
+	o.mu.Lock()
+	delete(o.spans, name)
 	o.mu.Unlock()
 }
 
@@ -86,17 +107,34 @@ func (o *Observability) Health() map[string]error {
 	return out
 }
 
-// Traces snapshots every registered trace source.
-func (o *Observability) Traces() map[string]any {
+// Traces snapshots every registered trace source, rendering up to limit
+// recent traces per source (<= 0: source default).
+func (o *Observability) Traces(limit int) map[string]any {
 	o.mu.Lock()
-	fns := make(map[string]func() any, len(o.traces))
+	fns := make(map[string]func(int) any, len(o.traces))
 	for k, v := range o.traces {
 		fns[k] = v
 	}
 	o.mu.Unlock()
 	out := make(map[string]any, len(fns))
 	for name, fn := range fns {
-		out[name] = fn()
+		out[name] = fn(limit)
+	}
+	return out
+}
+
+// CompletedTraces gathers up to limit completed traces per registered span
+// source (<= 0: source default), for OTLP rendering and file export.
+func (o *Observability) CompletedTraces(limit int) []TraceData {
+	o.mu.Lock()
+	fns := make([]func(int) []TraceData, 0, len(o.spans))
+	for _, v := range o.spans {
+		fns = append(fns, v)
+	}
+	o.mu.Unlock()
+	var out []TraceData
+	for _, fn := range fns {
+		out = append(out, fn(limit)...)
 	}
 	return out
 }
@@ -121,15 +159,70 @@ func (o *Observability) HealthzHandler(w http.ResponseWriter, _ *http.Request) {
 	http.Error(w, strings.TrimRight(b.String(), "\n"), http.StatusServiceUnavailable)
 }
 
-// TracesHandler serves /traces: the recent sampled traces of every source
-// as one JSON object keyed by source (chain) name.
-func (o *Observability) TracesHandler(w http.ResponseWriter, _ *http.Request) {
+// TracesHandler serves /traces: by default the recent sampled traces of
+// every source as one JSON object keyed by source (chain) name;
+// ?format=otlp switches to one OTLP/HTTP JSON document of all completed
+// spans. ?limit=N bounds the traces rendered per source.
+func (o *Observability) TracesHandler(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	limit := 0
+	if r != nil {
+		if n, err := strconv.Atoi(r.URL.Query().Get("limit")); err == nil && n > 0 {
+			limit = n
+		}
+		if r.URL.Query().Get("format") == "otlp" {
+			b, err := OTLPJSON(o.CompletedTraces(limit))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			_, _ = w.Write(b)
+			return
+		}
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(o.Traces()); err != nil {
+	if err := enc.Encode(o.Traces(limit)); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// StartFileExporter launches a background loop appending newly completed
+// traces (across all span sources) to path as OTLP JSON lines every
+// `every`. The returned stop function flushes once more and closes the
+// file.
+func (o *Observability) StartFileExporter(path string, every time.Duration) (func(), error) {
+	exp, err := NewTraceFileExporter(path)
+	if err != nil {
+		return nil, err
+	}
+	if every <= 0 {
+		every = time.Second
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				_, _ = exp.Export(o.CompletedTraces(0))
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(stop)
+			<-done
+			_, _ = exp.Export(o.CompletedTraces(0))
+			_ = exp.Close()
+		})
+	}, nil
 }
 
 // AdminMux builds the full admin endpoint catalog: /metrics (Prometheus

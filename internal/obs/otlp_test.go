@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleTrace(chain string, seq uint64) TraceData {
+	return TraceData{
+		TraceIDHi: 0xaaaa000000000000 + seq, TraceIDLo: 0xbbbb,
+		Seq: seq, Chain: chain, Caller: 7,
+		Spans: []SpanData{
+			{SpanID: 0x10 + seq, Name: "request", StartUnixNano: 1000, EndUnixNano: 9000},
+			{SpanID: 0x20 + seq, ParentID: 0x10 + seq, Name: "handler", Function: "fn",
+				Instance: 1, StartUnixNano: 2000, EndUnixNano: 8000, Error: "boom"},
+		},
+	}
+}
+
+// decodeOTLP unmarshals an OTLP doc into the generic shape tests inspect.
+func decodeOTLP(t *testing.T, b []byte) map[string]any {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("OTLP output is not valid JSON: %v\n%s", err, b)
+	}
+	return doc
+}
+
+func TestOTLPJSONShape(t *testing.T) {
+	b, err := OTLPJSON([]TraceData{sampleTrace("alpha", 1), sampleTrace("beta", 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeOTLP(t, b)
+	rs := doc["resourceSpans"].([]any)
+	if len(rs) != 2 {
+		t.Fatalf("resourceSpans per chain: %d, want 2", len(rs))
+	}
+	// Chains are emitted sorted; each carries service.name spright/<chain>.
+	for i, chain := range []string{"alpha", "beta"} {
+		entry := rs[i].(map[string]any)
+		attrs := entry["resource"].(map[string]any)["attributes"].([]any)
+		kv := attrs[0].(map[string]any)
+		svc := kv["value"].(map[string]any)["stringValue"].(string)
+		if kv["key"] != "service.name" || svc != "spright/"+chain {
+			t.Fatalf("resource %d: %v=%q, want service.name=spright/%s", i, kv["key"], svc, chain)
+		}
+		spans := entry["scopeSpans"].([]any)[0].(map[string]any)["spans"].([]any)
+		if len(spans) != 2 {
+			t.Fatalf("chain %s: %d spans, want 2", chain, len(spans))
+		}
+		for _, raw := range spans {
+			sp := raw.(map[string]any)
+			if got := len(sp["traceId"].(string)); got != 32 {
+				t.Fatalf("traceId hex length %d, want 32", got)
+			}
+			if got := len(sp["spanId"].(string)); got != 16 {
+				t.Fatalf("spanId hex length %d, want 16", got)
+			}
+			if sp["kind"].(float64) != 1 {
+				t.Fatalf("span kind %v, want 1 (internal)", sp["kind"])
+			}
+			switch sp["name"] {
+			case "request":
+				if _, has := sp["parentSpanId"]; has {
+					t.Fatal("root span must omit parentSpanId")
+				}
+				if _, has := sp["status"]; has {
+					t.Fatal("clean root span must omit status")
+				}
+			case "handler":
+				if got := len(sp["parentSpanId"].(string)); got != 16 {
+					t.Fatalf("parentSpanId hex length %d, want 16", got)
+				}
+				st := sp["status"].(map[string]any)
+				if st["code"].(float64) != 2 || st["message"] != "boom" {
+					t.Fatalf("errored span status %v, want code 2 message boom", st)
+				}
+			}
+		}
+	}
+}
+
+func TestOTLPJSONEmpty(t *testing.T) {
+	b, err := OTLPJSON(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"resourceSpans":[]}` {
+		t.Fatalf("empty export: %s, want {\"resourceSpans\":[]}", b)
+	}
+}
+
+func TestTraceFileExporterSeqDedup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traces.jsonl")
+	exp, err := NewTraceFileExporter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+
+	if n, err := exp.Export([]TraceData{sampleTrace("a", 1), sampleTrace("a", 2)}); err != nil || n != 2 {
+		t.Fatalf("first export: n=%d err=%v, want 2", n, err)
+	}
+	// Overlapping snapshot: only Seq 3 is new; Seq 1-2 must not rewrite.
+	if n, err := exp.Export([]TraceData{sampleTrace("a", 2), sampleTrace("a", 3)}); err != nil || n != 1 {
+		t.Fatalf("overlapping export: n=%d err=%v, want 1", n, err)
+	}
+	// Fully stale snapshot writes nothing.
+	if n, err := exp.Export([]TraceData{sampleTrace("a", 3)}); err != nil || n != 0 {
+		t.Fatalf("stale export: n=%d err=%v, want 0", n, err)
+	}
+	// Cursors are per chain: chain b starts fresh.
+	if n, err := exp.Export([]TraceData{sampleTrace("b", 1)}); err != nil || n != 1 {
+		t.Fatalf("new chain export: n=%d err=%v, want 1", n, err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d JSONL lines, want 3 (one per non-empty export)", len(lines))
+	}
+	for _, ln := range lines {
+		decodeOTLP(t, []byte(ln))
+	}
+}
+
+func TestTracesHandlerFormatsAndLimit(t *testing.T) {
+	o := New()
+	o.RegisterSpanSource("chainX", func(limit int) []TraceData {
+		ts := []TraceData{sampleTrace("chainX", 1), sampleTrace("chainX", 2)}
+		if limit > 0 && limit < len(ts) {
+			ts = ts[len(ts)-limit:]
+		}
+		return ts
+	})
+	o.RegisterTraceSource("chainX", func(limit int) any {
+		return map[string]int{"limit": limit}
+	})
+
+	// Default JSON view: Content-Type and the registered source.
+	rec := httptest.NewRecorder()
+	o.TracesHandler(rec, httptest.NewRequest("GET", "/traces", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("Content-Type %q, want application/json", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "chainX") {
+		t.Fatalf("/traces missing chainX: %s", rec.Body.String())
+	}
+
+	// ?limit is forwarded to the sources.
+	rec = httptest.NewRecorder()
+	o.TracesHandler(rec, httptest.NewRequest("GET", "/traces?limit=1", nil))
+	if !strings.Contains(rec.Body.String(), `"limit": 1`) {
+		t.Fatalf("limit not forwarded: %s", rec.Body.String())
+	}
+
+	// ?format=otlp returns the OTLP document across span sources.
+	rec = httptest.NewRecorder()
+	o.TracesHandler(rec, httptest.NewRequest("GET", "/traces?format=otlp&limit=1", nil))
+	doc := decodeOTLP(t, rec.Body.Bytes())
+	rs := doc["resourceSpans"].([]any)
+	if len(rs) != 1 {
+		t.Fatalf("otlp resourceSpans: %d, want 1", len(rs))
+	}
+	spans := rs[0].(map[string]any)["scopeSpans"].([]any)[0].(map[string]any)["spans"].([]any)
+	if len(spans) != 2 { // one trace (limit=1) x two spans
+		t.Fatalf("otlp spans: %d, want 2 (limit honoured)", len(spans))
+	}
+
+	// No sources -> empty JSON object / empty OTLP doc, never null.
+	o.UnregisterSpanSource("chainX")
+	o.UnregisterTraceSource("chainX")
+	rec = httptest.NewRecorder()
+	o.TracesHandler(rec, httptest.NewRequest("GET", "/traces?format=otlp", nil))
+	if got := strings.TrimSpace(rec.Body.String()); got != `{"resourceSpans":[]}` {
+		t.Fatalf("empty otlp body %q", got)
+	}
+}

@@ -148,7 +148,7 @@ func TestHealthzAggregation(t *testing.T) {
 
 func TestAdminMuxEndpoints(t *testing.T) {
 	o := New()
-	o.RegisterTraceSource("chainA", func() any { return []string{"t1"} })
+	o.RegisterTraceSource("chainA", func(limit int) any { return []string{"t1"} })
 	mux := o.AdminMux()
 
 	for path, want := range map[string]string{

@@ -35,11 +35,15 @@ func observeDeployment(o *obs.Observability, d *Deployment) func() {
 	key := "chain:" + name
 	o.Registry().Register(key, func() []obs.Family { return collectChain(d) })
 	o.RegisterHealthCheck(key, func() error { return checkDeployment(d) })
-	o.RegisterTraceSource(name, func() any { return traceSnapshot(d.Chain) })
+	o.RegisterTraceSource(name, func(limit int) any { return traceSnapshot(d.Chain, limit) })
+	o.RegisterSpanSource(name, func(limit int) []obs.TraceData {
+		return completedTraceData(d.Chain, limit)
+	})
 	return func() {
 		o.Registry().Unregister(key)
 		o.UnregisterHealthCheck(key)
 		o.UnregisterTraceSource(name)
+		o.UnregisterSpanSource(name)
 	}
 }
 
@@ -187,11 +191,33 @@ func collectChain(d *Deployment) []obs.Family {
 		fams = append(fams, occupancy, enq, deq, fulls)
 	}
 
-	// Sampled hop tracer.
+	// Ring queue-wait accounting (sampled enqueue→dequeue residency).
+	if rs := c.RingStats(); len(rs) > 0 {
+		waitSecs := obs.Family{Name: "spright_ring_wait_seconds_total",
+			Help: "Accumulated sampled ring residency (enqueue to dequeue).", Type: obs.Counter}
+		waits := obs.Family{Name: "spright_ring_waits_total",
+			Help: "Sampled descriptors whose ring residency was measured.", Type: obs.Counter}
+		for _, r := range rs {
+			ls := obs.L("chain", c.Name(),
+				"instance", strconv.FormatUint(uint64(r.Instance), 10))
+			waitSecs.Samples = append(waitSecs.Samples, obs.Sample{
+				Labels: ls, Value: float64(r.Stats.WaitNanos) / 1e9})
+			waits.Samples = append(waits.Samples, obs.Sample{
+				Labels: ls, Value: float64(r.Stats.Waits)})
+		}
+		fams = append(fams, waitSecs, waits)
+	}
+
+	// Distributed tracer: sampling counters, per-function handler and
+	// per-stage durations, and latency exemplars linking the summary to
+	// concrete retained trace IDs.
 	if tr := c.Tracer(); tr != nil {
 		fams = append(fams,
 			obs.CounterFamily("spright_trace_sampled_total",
-				"Requests sampled into the hop tracer.", chain, float64(tr.TotalSampled())),
+				"Requests sampled into the tracer.", chain, float64(tr.TotalSampled())),
+			obs.CounterFamily("spright_trace_tail_retained_total",
+				"Traces retained by tail sampling (errors and slow requests).",
+				chain, float64(tr.TotalTailRetained())),
 			obs.GaugeFamily("spright_trace_sample_period",
 				"Tracer sampling period (1 = every request).", chain, float64(tr.SampleEvery())),
 		)
@@ -203,6 +229,27 @@ func collectChain(d *Deployment) []obs.Family {
 			hop.Samples = append(hop.Samples, sub.Samples...)
 		}
 		fams = append(fams, hop)
+		stage := obs.Family{Name: "spright_trace_stage_duration_seconds",
+			Help: "Sampled per-stage durations (queue wait, redirect, handler, drain).",
+			Type: obs.Summary}
+		for st, h := range tr.StageDurations() {
+			sub := obs.SummaryFamily("spright_trace_stage_duration_seconds", "",
+				obs.L("chain", c.Name(), "stage", st), h)
+			stage.Samples = append(stage.Samples, sub.Samples...)
+		}
+		fams = append(fams, stage)
+		if exs := tr.Exemplars(4); len(exs) > 0 {
+			ex := obs.Family{Name: "spright_gateway_latency_exemplar",
+				Help: "Slowest retained traces: end-to-end seconds keyed by trace ID.",
+				Type: obs.Gauge}
+			for _, e := range exs {
+				ex.Samples = append(ex.Samples, obs.Sample{
+					Labels: obs.L("chain", c.Name(), "trace_id", e.TraceID),
+					Value:  e.Seconds,
+				})
+			}
+			fams = append(fams, ex)
+		}
 	}
 	return fams
 }
@@ -229,40 +276,104 @@ func checkDeployment(d *Deployment) error {
 	return nil
 }
 
-// traceHop is the JSON shape of one hop in /traces output.
-type traceHop struct {
-	Function string        `json:"function"`
+// traceSpan is the JSON shape of one span in /traces output.
+type traceSpan struct {
+	SpanID   string        `json:"span_id"`
+	ParentID string        `json:"parent_id,omitempty"`
+	Stage    string        `json:"stage"`
+	Function string        `json:"function,omitempty"`
 	Instance uint32        `json:"instance"`
 	Duration time.Duration `json:"duration_ns"`
+	Error    string        `json:"error,omitempty"`
 }
 
-// traceEntry is one completed sampled trace in /traces output.
+// traceEntry is one completed trace in /traces output.
 type traceEntry struct {
+	TraceID string        `json:"trace_id"`
 	Caller  uint32        `json:"caller"`
 	Path    string        `json:"path"`
 	Elapsed time.Duration `json:"elapsed_ns"`
-	Hops    []traceHop    `json:"hops"`
+	Error   string        `json:"error,omitempty"`
+	Tail    bool          `json:"tail,omitempty"`
+	Spans   []traceSpan   `json:"spans"`
 }
 
-// traceSnapshot renders the chain's retained sampled traces for /traces.
-func traceSnapshot(c *core.Chain) any {
-	tr := c.Tracer()
-	if tr == nil {
-		return map[string]any{"tracing": false}
+// renderTraces converts retained traces to their /traces JSON shape,
+// keeping the most recent `limit` (<= 0: all). The result is never nil.
+func renderTraces(ts []*core.Trace, limit int) []traceEntry {
+	if limit > 0 && len(ts) > limit {
+		ts = ts[len(ts)-limit:]
 	}
-	completed := tr.Completed()
-	entries := make([]traceEntry, 0, len(completed))
-	for _, t := range completed {
-		e := traceEntry{Caller: t.Caller, Path: t.Path(), Elapsed: t.Elapsed()}
-		for _, h := range t.Hops {
-			e.Hops = append(e.Hops, traceHop{Function: h.Function, Instance: h.Instance, Duration: h.Duration})
+	entries := make([]traceEntry, 0, len(ts))
+	for _, t := range ts {
+		e := traceEntry{
+			TraceID: t.ID.String(), Caller: t.Caller, Path: t.Path(),
+			Elapsed: t.Elapsed(), Error: t.Err, Tail: t.Tail,
+			Spans: make([]traceSpan, 0, len(t.Spans)),
+		}
+		for _, s := range t.Spans {
+			ts := traceSpan{
+				SpanID:   fmt.Sprintf("%016x", s.ID),
+				Stage:    s.Stage,
+				Function: s.Function,
+				Instance: s.Instance,
+				Duration: s.Duration(),
+				Error:    s.Err,
+			}
+			if s.Parent != 0 {
+				ts.ParentID = fmt.Sprintf("%016x", s.Parent)
+			}
+			e.Spans = append(e.Spans, ts)
 		}
 		entries = append(entries, e)
 	}
-	return map[string]any{
-		"tracing":       true,
-		"sample_every":  tr.SampleEvery(),
-		"total_sampled": tr.TotalSampled(),
-		"recent":        entries,
+	return entries
+}
+
+// traceSnapshot renders the chain's retained traces for /traces.
+func traceSnapshot(c *core.Chain, limit int) any {
+	tr := c.Tracer()
+	if tr == nil {
+		return map[string]any{"tracing": false, "recent": []traceEntry{}}
 	}
+	return map[string]any{
+		"tracing":             true,
+		"sample_every":        tr.SampleEvery(),
+		"total_sampled":       tr.TotalSampled(),
+		"total_tail_retained": tr.TotalTailRetained(),
+		"recent":              renderTraces(tr.Completed(), limit),
+		"tail":                renderTraces(tr.TailRetained(), limit),
+	}
+}
+
+// completedTraceData converts the chain's retained traces (head-sampled and
+// tail-retained, deduplicated) into exporter-neutral TraceData for OTLP
+// rendering and file export, keeping the most recent `limit` (<= 0: all).
+func completedTraceData(c *core.Chain, limit int) []obs.TraceData {
+	tr := c.Tracer()
+	if tr == nil {
+		return nil
+	}
+	ts := tr.Retained(0)
+	if limit > 0 && len(ts) > limit {
+		ts = ts[len(ts)-limit:]
+	}
+	out := make([]obs.TraceData, 0, len(ts))
+	for _, t := range ts {
+		td := obs.TraceData{
+			TraceIDHi: t.ID.Hi, TraceIDLo: t.ID.Lo, Seq: t.Seq,
+			Chain: c.Name(), Caller: t.Caller, Error: t.Err, Tail: t.Tail,
+			Spans: make([]obs.SpanData, 0, len(t.Spans)),
+		}
+		for _, s := range t.Spans {
+			td.Spans = append(td.Spans, obs.SpanData{
+				SpanID: s.ID, ParentID: s.Parent, Name: s.Stage,
+				Function: s.Function, Instance: s.Instance,
+				StartUnixNano: s.Start.UnixNano(), EndUnixNano: s.End.UnixNano(),
+				Error: s.Err,
+			})
+		}
+		out = append(out, td)
+	}
+	return out
 }

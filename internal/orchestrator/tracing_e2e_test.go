@@ -1,0 +1,272 @@
+package orchestrator
+
+// End-to-end distributed-tracing tests: one request crossing two deployed
+// chains (via Ctx.TraceContext + core.WithTraceContext) and a DFR fan-out
+// must yield a single trace ID with correctly parented spans, visible
+// through the cluster observability layer's /traces?format=otlp endpoint;
+// and tail-based sampling must retain faulted / over-threshold requests
+// even when head sampling would drop them.
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/spright-go/spright/internal/core"
+	"github.com/spright-go/spright/internal/fault"
+)
+
+// handlerSpans returns the handler-stage spans of a trace keyed by function.
+func handlerSpans(tr *core.Trace) map[string][]core.Span {
+	out := make(map[string][]core.Span)
+	for _, s := range tr.Spans {
+		if s.Stage == core.StageHandler {
+			out[s.Function] = append(out[s.Function], s)
+		}
+	}
+	return out
+}
+
+func TestCrossChainFanOutSingleTrace(t *testing.T) {
+	cl := NewCluster(1)
+
+	// Downstream chain "beta": a plain echo, sampling every request so an
+	// adopted inbound context is always traced.
+	depB, err := cl.Controller.DeployChain(core.ChainSpec{
+		Name:             "beta",
+		TraceSampleEvery: 1,
+		Functions: []core.FunctionSpec{{
+			Name: "b1",
+			Handler: func(ctx *core.Ctx) error {
+				return ctx.SetPayload(append(ctx.Payload(), ":beta"...))
+			},
+		}},
+		Routes: []core.RouteSpec{{From: "", To: []string{"b1"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer depB.Close()
+
+	// Upstream chain "alpha": a1 fans out to {a2, a3}; a2 crosses into
+	// chain beta carrying the shared-memory trace context, then replies;
+	// a3 is a fire-and-forget branch that drops.
+	depA, err := cl.Controller.DeployChain(core.ChainSpec{
+		Name:             "alpha",
+		TraceSampleEvery: 1,
+		Functions: []core.FunctionSpec{
+			{Name: "a1", Handler: func(ctx *core.Ctx) error { return nil }},
+			{Name: "a2", Handler: func(ctx *core.Ctx) error {
+				downstream := core.WithTraceContext(context.Background(), ctx.TraceContext())
+				out, err := depB.Gateway.Invoke(downstream, "", ctx.Payload())
+				if err != nil {
+					return err
+				}
+				if err := ctx.SetPayload(out); err != nil {
+					return err
+				}
+				ctx.Reply()
+				return nil
+			}},
+			{Name: "a3", Handler: func(ctx *core.Ctx) error { ctx.Drop(); return nil }},
+		},
+		Routes: []core.RouteSpec{
+			{From: "", To: []string{"a1"}},
+			{From: "a1", To: []string{"a2", "a3"}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer depA.Close()
+
+	out, err := depA.Gateway.Invoke(context.Background(), "", []byte("req"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "req:beta" {
+		t.Fatalf("cross-chain payload %q, want %q", out, "req:beta")
+	}
+
+	trA, trB := depA.Chain.Tracer(), depB.Chain.Tracer()
+	if trA == nil || trB == nil {
+		t.Fatal("both chains must have tracers")
+	}
+
+	// Spans recorded on branch goroutines may land just after the waiter
+	// returns (the tracer keeps a late-attach window for them): poll until
+	// the full picture is visible.
+	var tA, tB *core.Trace
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if da, db := trA.Completed(), trB.Completed(); len(da) > 0 && len(db) > 0 {
+			tA, tB = da[len(da)-1], db[len(db)-1]
+			if len(handlerSpans(tA)) == 3 {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if tA == nil || tB == nil {
+		t.Fatalf("traces not retained: alpha=%d beta=%d",
+			trA.TotalSampled(), trB.TotalSampled())
+	}
+
+	// One distributed trace across both chains.
+	if tA.ID.IsZero() {
+		t.Fatal("alpha trace has a zero trace ID")
+	}
+	if tB.ID != tA.ID {
+		t.Fatalf("beta trace ID %s != alpha trace ID %s (context not propagated)",
+			tB.ID, tA.ID)
+	}
+
+	// The fan-out produced a handler span per branch plus the head.
+	hs := handlerSpans(tA)
+	for _, fn := range []string{"a1", "a2", "a3"} {
+		if len(hs[fn]) != 1 {
+			t.Fatalf("handler spans for %s: %d, want 1 (spans: %+v)", fn, len(hs[fn]), tA.Spans)
+		}
+	}
+
+	// Every parent resolves within the union of both chains' spans; beta's
+	// root must be parented on an alpha handler span (the cross-chain hop).
+	ids := make(map[uint64]core.Span)
+	for _, s := range append(append([]core.Span{}, tA.Spans...), tB.Spans...) {
+		if s.ID == 0 {
+			t.Fatalf("span with zero ID: %+v", s)
+		}
+		ids[s.ID] = s
+	}
+	roots := 0
+	for _, s := range append(append([]core.Span{}, tA.Spans...), tB.Spans...) {
+		if s.Parent == 0 {
+			roots++
+			continue
+		}
+		if _, ok := ids[s.Parent]; !ok {
+			t.Fatalf("span %016x (%s) has unresolvable parent %016x", s.ID, s.Stage, s.Parent)
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("%d parentless spans across both chains, want exactly 1 root", roots)
+	}
+	var bRoot *core.Span
+	for i, s := range tB.Spans {
+		if s.Stage == core.StageRequest {
+			bRoot = &tB.Spans[i]
+		}
+	}
+	if bRoot == nil {
+		t.Fatalf("beta trace has no request span: %+v", tB.Spans)
+	}
+	if p, ok := ids[bRoot.Parent]; !ok || p.Stage != core.StageHandler {
+		t.Fatalf("beta root parent %016x is not an alpha handler span (got %+v)",
+			bRoot.Parent, p)
+	}
+
+	// The distributed trace is visible on the admin surface as OTLP JSON.
+	mux := cl.Observability().AdminMux()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/traces?format=otlp", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/traces?format=otlp: code %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/traces Content-Type %q, want application/json", ct)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, `"resourceSpans"`) {
+		t.Fatalf("OTLP body missing resourceSpans: %s", body)
+	}
+	if !strings.Contains(body, tA.ID.String()) {
+		t.Fatalf("OTLP body missing trace ID %s:\n%s", tA.ID, body)
+	}
+	for _, svc := range []string{"spright/alpha", "spright/beta"} {
+		if !strings.Contains(body, svc) {
+			t.Fatalf("OTLP body missing service %q", svc)
+		}
+	}
+}
+
+// TestTailSamplingRetainsFaultedRequest: at the production head-sampling
+// period (1-in-1024) a single faulted request would normally be invisible;
+// tail-based sampling must retain it anyway.
+func TestTailSamplingRetainsFaultedRequest(t *testing.T) {
+	cl := NewCluster(1)
+	inj := fault.New(42).Add(fault.Rule{Op: fault.OpError, Function: "g1", Probability: 1})
+	dep, err := cl.Controller.DeployChain(core.ChainSpec{
+		Name:             "gamma",
+		TraceSampleEvery: 1024,
+		Injector:         inj,
+		Functions: []core.FunctionSpec{{
+			Name:    "g1",
+			Handler: func(ctx *core.Ctx) error { return nil },
+		}},
+		Routes: []core.RouteSpec{{From: "", To: []string{"g1"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	if _, err := dep.Gateway.Invoke(context.Background(), "", []byte("x")); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("injected fault not surfaced: %v", err)
+	}
+
+	tr := dep.Chain.Tracer()
+	tail := tr.TailRetained()
+	if len(tail) == 0 {
+		t.Fatal("faulted request not tail-retained at sample period 1024")
+	}
+	got := tail[len(tail)-1]
+	if !got.Tail {
+		t.Fatal("tail-retained trace not flagged Tail")
+	}
+	if got.Err == "" {
+		t.Fatalf("tail-retained trace has no error: %+v", got)
+	}
+	if got.ID.IsZero() {
+		t.Fatal("tail-retained trace has a zero trace ID")
+	}
+}
+
+// TestTailSamplingRetainsSlowRequest: a request slower than the chain's
+// TraceTailLatency threshold is retained even when head sampling skips it.
+func TestTailSamplingRetainsSlowRequest(t *testing.T) {
+	cl := NewCluster(1)
+	dep, err := cl.Controller.DeployChain(core.ChainSpec{
+		Name:             "delta",
+		TraceSampleEvery: 1024,
+		TraceTailLatency: time.Millisecond,
+		Functions: []core.FunctionSpec{{
+			Name:        "d1",
+			ServiceTime: 5 * time.Millisecond,
+			Handler:     func(ctx *core.Ctx) error { return nil },
+		}},
+		Routes: []core.RouteSpec{{From: "", To: []string{"d1"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	if _, err := dep.Gateway.Invoke(context.Background(), "", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	tr := dep.Chain.Tracer()
+	tail := tr.TailRetained()
+	if len(tail) == 0 {
+		t.Fatal("over-threshold request not tail-retained")
+	}
+	got := tail[len(tail)-1]
+	if !got.Tail || got.Err != "" {
+		t.Fatalf("tail trace: Tail=%v Err=%q, want latency-retained success", got.Tail, got.Err)
+	}
+	if got.Elapsed() < time.Millisecond {
+		t.Fatalf("tail trace elapsed %v, want >= threshold 1ms", got.Elapsed())
+	}
+}

@@ -66,7 +66,13 @@ type Ring struct {
 	enqueues atomic.Uint64 // items accepted
 	dequeues atomic.Uint64 // items removed
 	fulls    atomic.Uint64 // refused reservations (ring full)
-	_        pad
+
+	// queue-wait accounting: enqueue→dequeue residency of sampled
+	// descriptors, fed by the transport's dequeue hook (NoteWait). A
+	// sampled estimate — the ring itself never reads the clock.
+	waitNanos atomic.Uint64
+	waits     atomic.Uint64
+	_         pad
 }
 
 // New creates a ring with capacity rounded up to the next power of two.
@@ -248,17 +254,34 @@ type Stats struct {
 	// Fulls counts refused reservations — enqueue attempts (single or
 	// bulk) that found insufficient free slots.
 	Fulls uint64
+	// WaitNanos and Waits accumulate the measured enqueue→dequeue
+	// residencies reported through NoteWait (sampled descriptors only);
+	// WaitNanos/Waits is the mean sampled queue wait.
+	WaitNanos uint64
+	Waits     uint64
 }
 
 // Stats snapshots the ring's counters (approximate under concurrency,
 // exact when quiescent).
 func (r *Ring) Stats() Stats {
 	return Stats{
-		Capacity: len(r.slots),
-		Len:      r.Len(),
-		Enqueues: r.enqueues.Load(),
-		Dequeues: r.dequeues.Load(),
-		Fulls:    r.fulls.Load(),
+		Capacity:  len(r.slots),
+		Len:       r.Len(),
+		Enqueues:  r.enqueues.Load(),
+		Dequeues:  r.dequeues.Load(),
+		Fulls:     r.fulls.Load(),
+		WaitNanos: r.waitNanos.Load(),
+		Waits:     r.waits.Load(),
+	}
+}
+
+// NoteWait records one measured enqueue→dequeue residency. The consumer
+// side (which knows when each item was stamped) calls it for the sampled
+// subset of traffic; the ring only aggregates.
+func (r *Ring) NoteWait(nanos int64) {
+	if nanos > 0 {
+		r.waitNanos.Add(uint64(nanos))
+		r.waits.Add(1)
 	}
 }
 

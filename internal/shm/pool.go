@@ -32,6 +32,21 @@ type PoolStats struct {
 	Steals uint64
 }
 
+// traceHdr is one buffer's trace header: the buffer-resident half of the
+// distributed-tracing context (TraceContext) plus the enqueue timestamp the
+// receiving side turns into a queue-wait span. hi/lo are written once at
+// admission, before the descriptor is handed to the transport — the
+// channel/ring handoff orders them for every downstream reader. span and
+// stamp are updated per hop and may race between fan-out branches, so they
+// are atomic; attribution under fan-out is approximate by design (the
+// branches share one buffer).
+type traceHdr struct {
+	hi, lo uint64
+	span   atomic.Uint64
+	flags  atomic.Uint32
+	stamp  atomic.Int64 // UnixNano of the most recent enqueue of this buffer
+}
+
 // freelistShards is the number of independent freelist segments (power of
 // two, so the home shard of a handle is a mask away). Concurrent Get/Put
 // from different workers land on different shard locks instead of
@@ -62,6 +77,7 @@ type Pool struct {
 	slab    []byte
 	refs    []atomic.Int32 // 0 = free, >0 = live references
 	lens    []atomic.Int32 // valid payload length per buffer
+	trace   []traceHdr     // per-buffer trace context (the "mbuf headroom")
 
 	shards [freelistShards]freeShard
 	cursor atomic.Uint32
@@ -88,6 +104,7 @@ func NewPool(prefix string, n, bufSize int) (*Pool, error) {
 		slab:    make([]byte, n*bufSize),
 		refs:    make([]atomic.Int32, n),
 		lens:    make([]atomic.Int32, n),
+		trace:   make([]traceHdr, n),
 	}
 	for s := range p.shards {
 		p.shards[s].list = make([]uint32, 0, n/freelistShards+1)
@@ -127,6 +144,12 @@ func (p *Pool) Get() (uint32, error) {
 
 	p.refs[h].Store(1)
 	p.lens[h].Store(0)
+	// A recycled buffer must never look sampled to its next request. The
+	// load-then-store keeps the common case (previous user unsampled) a
+	// plain read: atomic stores are locked ops on amd64, loads are not.
+	if p.trace[h].flags.Load() != 0 {
+		p.trace[h].flags.Store(0)
+	}
 	p.allocs.Add(1)
 	in := p.inUse.Add(1)
 	for {
@@ -266,6 +289,68 @@ func (p *Pool) Len(h uint32) (int, error) {
 		return 0, ErrNotOwned
 	}
 	return int(p.lens[h].Load()), nil
+}
+
+// SetTraceContext installs tc in buffer h's trace header (gateway
+// admission: the context then rides the buffer across every hop, fan-out
+// branch and chain boundary without widening the 16-byte descriptor).
+// Flags are stored last so a reader that observes TraceSampled also
+// observes the trace ID.
+func (p *Pool) SetTraceContext(h uint32, tc TraceContext) {
+	if int(h) >= len(p.trace) {
+		return
+	}
+	t := &p.trace[h]
+	t.hi, t.lo = tc.TraceHi, tc.TraceLo
+	t.span.Store(tc.Span)
+	t.stamp.Store(0)
+	t.flags.Store(tc.Flags)
+}
+
+// TraceContext returns buffer h's trace header (zero value when the buffer
+// carries no sampled trace).
+func (p *Pool) TraceContext(h uint32) TraceContext {
+	if int(h) >= len(p.trace) {
+		return TraceContext{}
+	}
+	t := &p.trace[h]
+	fl := t.flags.Load()
+	if fl == 0 {
+		return TraceContext{}
+	}
+	return TraceContext{TraceHi: t.hi, TraceLo: t.lo, Span: t.span.Load(), Flags: fl}
+}
+
+// TraceSampled is the per-hop sampling gate: one atomic load decides
+// whether a stage records spans for this buffer.
+func (p *Pool) TraceSampled(h uint32) bool {
+	return int(h) < len(p.trace) && p.trace[h].flags.Load()&TraceSampled != 0
+}
+
+// SetTraceSpan updates the span downstream stages parent onto (each
+// handler installs its own span before forwarding).
+func (p *Pool) SetTraceSpan(h uint32, span uint64) {
+	if int(h) < len(p.trace) {
+		p.trace[h].span.Store(span)
+	}
+}
+
+// StampTrace records the enqueue time of the buffer's most recent send;
+// the receiving side subtracts it from its dequeue time to produce the
+// queue-wait span.
+func (p *Pool) StampTrace(h uint32, unixNano int64) {
+	if int(h) < len(p.trace) {
+		p.trace[h].stamp.Store(unixNano)
+	}
+}
+
+// TraceStamp returns the most recent enqueue stamp (0 when never stamped
+// since admission).
+func (p *Pool) TraceStamp(h uint32) int64 {
+	if int(h) >= len(p.trace) {
+		return 0
+	}
+	return p.trace[h].stamp.Load()
 }
 
 // InUse returns the number of currently allocated buffers — the chain's

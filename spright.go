@@ -35,6 +35,7 @@ import (
 	"github.com/spright-go/spright/internal/fault"
 	"github.com/spright-go/spright/internal/obs"
 	"github.com/spright-go/spright/internal/orchestrator"
+	"github.com/spright-go/spright/internal/shm"
 )
 
 // Core dataplane types, re-exported as the public API surface.
@@ -103,12 +104,25 @@ type (
 	// admin endpoints (/metrics, /healthz, /traces, /debug/pprof/) behind
 	// Cluster.Observability(). Mount it with Attach(mux) or AdminMux().
 	Observability = obs.Observability
-	// Tracer is a chain's sampled hop tracer (ChainSpec.TraceSampleEvery,
-	// Chain.EnableSampledTracing).
+	// Tracer is a chain's sampled distributed tracer
+	// (ChainSpec.TraceSampleEvery, Chain.EnableSampledTracing).
 	Tracer = core.Tracer
-	// Trace is one recorded request path through a chain.
+	// Trace is one recorded request: a span tree through a chain.
 	Trace = core.Trace
+	// Span is one stage of a traced request (queue wait, redirect,
+	// handler, drain, …).
+	Span = core.Span
+	// TraceID is a 128-bit distributed trace identity.
+	TraceID = core.TraceID
+	// TraceContext is the trace identity a request carries through the
+	// shared-memory path (and across chains via WithTraceContext).
+	TraceContext = shm.TraceContext
 )
+
+// WithTraceContext attaches an upstream trace context to a context.Context
+// so a Gateway.Invoke joins the caller's distributed trace; handlers get
+// their context from Ctx.TraceContext.
+var WithTraceContext = core.WithTraceContext
 
 // Transport modes.
 const (

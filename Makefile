@@ -1,8 +1,8 @@
 GO ?= go
 
-BENCH_OUT ?= BENCH_4.json
+BENCH_OUT ?= BENCH_5.json
 # the hot-path serial benchmarks tracked in BENCH_*.json snapshots
-BENCH_PAT ?= BenchmarkSProxySend$$|BenchmarkShmPool$$|BenchmarkEBPFInterpreter$$|BenchmarkE2E_SSpright|BenchmarkE2E_DSpright|BenchmarkE2E_GRPCBaseline|BenchmarkTraceUnsampled$$|BenchmarkTraceSampled$$
+BENCH_PAT ?= BenchmarkSProxySend$$|BenchmarkShmPool$$|BenchmarkEBPFInterpreter$$|BenchmarkE2E_SSpright|BenchmarkE2E_DSpright|BenchmarkE2E_GRPCBaseline|BenchmarkTraceUnsampled$$|BenchmarkTraceSampled$$|BenchmarkColdStartResume$$|BenchmarkColdStartPrewarmed$$|BenchmarkOverloadShed$$
 # the multicore RPS harness, swept across BENCH_CPUS
 BENCH_PAR_PAT ?= BenchmarkE2E_Parallel_
 # benchmark knobs: time per benchmark and the GOMAXPROCS sweep for the
@@ -10,10 +10,10 @@ BENCH_PAR_PAT ?= BenchmarkE2E_Parallel_
 BENCH_TIME ?= 1s
 BENCH_CPUS ?= 1,2,4,8
 # regression gate inputs for bench-compare
-OLD ?= BENCH_3.json
-NEW ?= BENCH_4.json
+OLD ?= BENCH_4.json
+NEW ?= BENCH_5.json
 
-.PHONY: build test race race-obs vet fmt-check verify bench bench-compare clean
+.PHONY: build test race race-obs race-scale vet fmt-check verify bench bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -38,10 +38,18 @@ race:
 race-obs:
 	$(GO) test -race -count=1 ./internal/obs/...
 
+# race-scale races the autoscaling control plane: park/resume, overload
+# shedding, scale-down drain chaos (ScaleDown racing RestartInstance), the
+# autoscaler's evaluate loop, and the burst acceptance scenario.
+race-scale:
+	$(GO) test -race -count=1 -run 'TestPark|TestPrewarm|TestMaxPending|TestServeHTTPSheds|TestScaleToZero|TestZeroReplica|TestScaleDown' ./internal/core/
+	$(GO) test -race -count=1 -run 'TestEvaluate|TestDecisionRing|TestUpCooldown|TestHysteresis|TestMaxStep|TestSelfHeal|TestEnableAutoscaling|TestBurst|TestAutoscaler' ./internal/orchestrator/
+
 # verify is the gate for every change: formatting, static analysis, and the
 # full test suite (chaos tests included) under the race detector, with the
-# observability conformance test raced explicitly.
-verify: fmt-check vet race race-obs
+# observability conformance test and the autoscaling control plane raced
+# explicitly.
+verify: fmt-check vet race race-obs race-scale
 
 # bench runs the tracked serial benchmarks, then the parallel RPS harness
 # across the BENCH_CPUS sweep, and writes one machine-readable snapshot

@@ -6,9 +6,12 @@ package spright_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	spright "github.com/spright-go/spright"
 	"github.com/spright-go/spright/internal/boutique"
@@ -584,5 +587,177 @@ func BenchmarkBoutiqueCh6(b *testing.B) {
 		if _, err := dep.Gateway.Invoke(ctx, "", boutique.EncodeRequest(5, []byte("u"))); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Autoscaling control-plane benchmarks (cold start, prewarm, shed path)
+// ---------------------------------------------------------------------------
+
+// benchParkChain deploys a single-function chain with request parking
+// enabled, for the scale-from-zero benchmarks.
+func benchParkChain(b *testing.B) *spright.Deployment {
+	b.Helper()
+	cluster := spright.NewCluster(1)
+	dep, err := cluster.Controller.DeployChain(spright.ChainSpec{
+		Name: fmt.Sprintf("bench-park-%d", benchChainSeq.Add(1)),
+		Functions: []spright.FunctionSpec{{
+			Name:    "f0",
+			Handler: func(ctx *spright.Ctx) error { return nil },
+		}},
+		Routes: []spright.RouteSpec{{From: "", To: []string{"f0"}}},
+		Admission: spright.AdmissionPolicy{
+			ParkCapacity: 64,
+			ParkTimeout:  10 * time.Second,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dep
+}
+
+// BenchmarkColdStartResume measures the full scale-from-zero path without
+// prewarming: the request parks at the gateway, a cold ScaleUp wires a
+// fresh instance (socket, sockmap entry, filter edges, worker pool), and
+// the park wake dispatches the request. Instance IDs are never reused, so
+// the chain is redeployed every ~200 iterations outside the timer.
+func BenchmarkColdStartResume(b *testing.B) {
+	var dep *spright.Deployment
+	budget := 0
+	payload := []byte("x")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if budget == 0 {
+			b.StopTimer()
+			if dep != nil {
+				dep.Close()
+			}
+			dep = benchParkChain(b)
+			budget = 200
+			b.StartTimer()
+		}
+		budget--
+		if _, err := dep.Chain.ScaleToZero("f0"); err != nil {
+			b.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() {
+			_, err := dep.Gateway.Invoke(context.Background(), "", payload)
+			done <- err
+		}()
+		for dep.Gateway.Parked() == 0 {
+			runtime.Gosched()
+		}
+		if _, err := dep.Chain.ScaleUp("f0"); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if dep != nil {
+		dep.Close()
+	}
+}
+
+// BenchmarkColdStartPrewarmed is the mitigated variant: the instance is
+// prewarmed (wired, authorized, pooled shm attach) outside the timer, so
+// the timed region is park → Activate (a router insert) → resume. The
+// delta against BenchmarkColdStartResume is the cold-start latency the
+// prewarm pool hides from the first request.
+func BenchmarkColdStartPrewarmed(b *testing.B) {
+	var dep *spright.Deployment
+	budget := 0
+	payload := []byte("x")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if budget == 0 {
+			if dep != nil {
+				dep.Close()
+			}
+			dep = benchParkChain(b)
+			budget = 120
+		}
+		budget--
+		if _, err := dep.Chain.ScaleToZero("f0"); err != nil {
+			b.Fatal(err)
+		}
+		pw, err := dep.Chain.Prewarm("f0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		done := make(chan error, 1)
+		go func() {
+			_, err := dep.Gateway.Invoke(context.Background(), "", payload)
+			done <- err
+		}()
+		for dep.Gateway.Parked() == 0 {
+			runtime.Gosched()
+		}
+		if _, err := dep.Chain.Activate(pw); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if dep != nil {
+		dep.Close()
+	}
+}
+
+// BenchmarkOverloadShed measures the admission-control fast path: with
+// MaxPending saturated by a blocked request, every invocation is refused
+// up front with a typed OverloadError — before touching the shared-memory
+// pool. This is the cost of saying no under overload.
+func BenchmarkOverloadShed(b *testing.B) {
+	cluster := spright.NewCluster(1)
+	block := make(chan struct{})
+	dep, err := cluster.Controller.DeployChain(spright.ChainSpec{
+		Name: fmt.Sprintf("bench-shed-%d", benchChainSeq.Add(1)),
+		Functions: []spright.FunctionSpec{{
+			Name: "f0",
+			Handler: func(ctx *spright.Ctx) error {
+				<-block
+				return nil
+			},
+		}},
+		Routes:    []spright.RouteSpec{{From: "", To: []string{"f0"}}},
+		Admission: spright.AdmissionPolicy{MaxPending: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(dep.Close)
+
+	occupied := make(chan error, 1)
+	go func() {
+		_, err := dep.Gateway.Invoke(context.Background(), "", []byte("hold"))
+		occupied <- err
+	}()
+	for dep.Gateway.Pending() == 0 {
+		runtime.Gosched()
+	}
+
+	ctx := context.Background()
+	payload := []byte("x")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dep.Gateway.Invoke(ctx, "", payload); !errors.Is(err, spright.ErrOverload) {
+			b.Fatalf("want ErrOverload, got %v", err)
+		}
+	}
+	b.StopTimer()
+	close(block)
+	if err := <-occupied; err != nil {
+		b.Fatal(err)
 	}
 }

@@ -28,6 +28,15 @@ func main() {
 	app := flag.String("app", "echo", "application to deploy: echo or boutique")
 	mode := flag.String("mode", "event", "descriptor transport: event (S-SPRIGHT) or polling (D-SPRIGHT)")
 	traceFile := flag.String("trace-file", "", "append completed traces to this file as OTLP JSON lines")
+	autoscale := flag.Bool("autoscale", false, "enable the autoscaling control plane (EWMA, hysteresis, scale-to-zero)")
+	asTarget := flag.Int("autoscale-target", 32, "concurrency target per instance")
+	minReplicas := flag.Int("min-replicas", 0, "replica floor per function (0 allows scale-to-zero)")
+	maxReplicas := flag.Int("max-replicas", 8, "replica ceiling per function")
+	scaleToZeroAfter := flag.Duration("scale-to-zero-after", 30*time.Second, "retire an idle chain to zero replicas after this long (0 disables)")
+	prewarm := flag.Int("prewarm", 1, "prewarmed instances to hold per function for fast scale-from-zero (0 disables)")
+	parkCapacity := flag.Int("park-capacity", 256, "requests parked at the gateway while a zero-replica function resumes (0 disables parking)")
+	parkTimeout := flag.Duration("park-timeout", time.Second, "longest a parked request waits for an instance before being shed")
+	maxPending := flag.Int("max-pending", 0, "admission ceiling on in-flight requests; beyond it requests shed with Retry-After (0 = unlimited)")
 	flag.Parse()
 
 	m := core.ModeEvent
@@ -68,12 +77,37 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *autoscale {
+		spec.Admission = core.AdmissionPolicy{
+			MaxPending:   *maxPending,
+			ParkCapacity: *parkCapacity,
+			ParkTimeout:  *parkTimeout,
+		}
+	}
+
 	dep, err := cluster.Controller.DeployChain(spec)
 	if err != nil {
 		log.Fatalf("deploy: %v", err)
 	}
 	log.Printf("chain %q deployed (%s) with %d function instances",
 		spec.Name, m, len(dep.Chain.Instances()))
+
+	if *autoscale {
+		as, err := cluster.Controller.EnableAutoscaling(spec.Name, orchestrator.AutoscalerConfig{
+			Target:           *asTarget,
+			MinReplicas:      *minReplicas,
+			MaxReplicas:      *maxReplicas,
+			ScaleToZeroAfter: *scaleToZeroAfter,
+			Prewarm:          *prewarm,
+			SelfHeal:         true,
+		})
+		if err != nil {
+			log.Fatalf("autoscale: %v", err)
+		}
+		defer as.Close()
+		log.Printf("autoscaling enabled: target=%d replicas=[%d,%d] scale-to-zero-after=%s prewarm=%d park=%d/%s max-pending=%d",
+			*asTarget, *minReplicas, *maxReplicas, *scaleToZeroAfter, *prewarm, *parkCapacity, *parkTimeout, *maxPending)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", boutiqueAware(cluster.Ingress, *app, spec.Name))
@@ -101,6 +135,15 @@ func main() {
 		if ep := dep.Gateway.EProxy(); ep != nil {
 			pkts, bytes := ep.L3Stats()
 			fmt.Fprintf(w, "eproxy L3: packets=%d bytes=%d\n", pkts, bytes)
+		}
+		if as := dep.Autoscaler(); as != nil {
+			fmt.Fprintf(w, "shed: overload=%d park_full=%d park_timeout=%d pool_exhausted=%d parked=%d resumed=%d coldstart_p99=%.3fms\n",
+				s.ShedOverload, s.ShedParkFull, s.ShedParkTimeout, s.ShedPoolExhausted,
+				s.ParkedTotal, s.Resumed, s.ColdStartP99*1e3)
+			for _, v := range as.Views() {
+				fmt.Fprintf(w, "scale %s: replicas=%d healthy=%d desired=%d ewma=%.1f parked=%d\n",
+					v.Function, v.Replicas, v.Healthy, v.Desired, v.EWMA, v.Parked)
+			}
 		}
 	})
 

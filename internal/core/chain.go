@@ -59,6 +59,11 @@ type ChainSpec struct {
 	// instances. The zero value disables the breaker.
 	Health HealthPolicy
 
+	// Admission configures overload shedding and scale-from-zero parking
+	// at the gateway. The zero value keeps the legacy behavior: no
+	// pending bound, no parking — pool exhaustion is the only refusal.
+	Admission AdmissionPolicy
+
 	// Injector, when set, injects seeded faults into the dataplane
 	// (chaos testing). nil disables injection.
 	Injector *fault.Injector
@@ -110,7 +115,9 @@ type Chain struct {
 
 	instMu    sync.Mutex
 	instances []*Instance
+	prewarmed []*Instance // transport-wired, workers running, not routable
 	byName    map[string]*FunctionSpec
+	fnOrder   []string // declared function order (immutable after NewChain)
 	routes    []RouteSpec
 	sockDepth int
 	nextID    uint32
@@ -133,6 +140,13 @@ type Chain struct {
 
 	failCbMu sync.RWMutex
 	failCb   func(caller uint32, err error)
+
+	// scaleCb fires whenever an instance becomes routable (ScaleUp,
+	// RestartInstance, Activate) — the gateway wakes parked requests.
+	scaleCbMu sync.RWMutex
+	scaleCb   func()
+
+	admission AdmissionPolicy
 
 	closed sync.Once
 }
@@ -315,15 +329,16 @@ func NewChain(kernel *ebpf.Kernel, manager *shm.Manager, spec ChainSpec) (*Chain
 	}()
 
 	c := &Chain{
-		name:     spec.Name,
-		mode:     spec.Mode,
-		pool:     pool,
-		router:   NewRouter(),
-		byName:   make(map[string]*FunctionSpec),
-		deadline: spec.Deadline,
-		retry:    spec.Retry,
-		health:   spec.Health,
-		injector: spec.Injector,
+		name:      spec.Name,
+		mode:      spec.Mode,
+		pool:      pool,
+		router:    NewRouter(),
+		byName:    make(map[string]*FunctionSpec),
+		deadline:  spec.Deadline,
+		retry:     spec.Retry,
+		health:    spec.Health,
+		injector:  spec.Injector,
+		admission: spec.Admission,
 	}
 	c.topics.init()
 	if c.retry.MaxAttempts > 1 {
@@ -408,6 +423,7 @@ func NewChain(kernel *ebpf.Kernel, manager *shm.Manager, spec ChainSpec) (*Chain
 			fs.Concurrency = 32
 		}
 		c.byName[fs.Name] = &fs
+		c.fnOrder = append(c.fnOrder, fs.Name)
 		for j := 0; j < fs.Instances; j++ {
 			inst := &Instance{
 				chain:       c,
@@ -509,6 +525,32 @@ func (c *Chain) Instances() []*Instance {
 	c.instMu.Lock()
 	defer c.instMu.Unlock()
 	return append([]*Instance(nil), c.instances...)
+}
+
+// Functions returns the chain's declared function names in spec order —
+// including functions currently at zero replicas, which Instances() cannot
+// surface. The control plane iterates this, never the instance list, so a
+// scaled-to-zero function is still a scaling target.
+func (c *Chain) Functions() []string {
+	return append([]string(nil), c.fnOrder...)
+}
+
+// setScaleNotifier registers the gateway's capacity-arrived callback.
+func (c *Chain) setScaleNotifier(fn func()) {
+	c.scaleCbMu.Lock()
+	c.scaleCb = fn
+	c.scaleCbMu.Unlock()
+}
+
+// notifyScaled announces that an instance just became routable; parked
+// requests re-attempt dispatch.
+func (c *Chain) notifyScaled() {
+	c.scaleCbMu.RLock()
+	cb := c.scaleCb
+	c.scaleCbMu.RUnlock()
+	if cb != nil {
+		cb()
+	}
 }
 
 func (c *Chain) setTopic(d shm.Descriptor, topic string) {
@@ -745,15 +787,102 @@ func (c *Chain) Errors() (uint64, []error) {
 	return c.errCnt, append([]error(nil), c.errs...)
 }
 
-// Close stops all instances and the transport.
+// Close stops all instances (including prewarmed ones) and the transport.
 func (c *Chain) Close() {
 	c.closed.Do(func() {
+		c.instMu.Lock()
+		warm := append([]*Instance(nil), c.prewarmed...)
+		c.prewarmed = nil
+		c.instMu.Unlock()
+		for _, in := range warm {
+			in.shutdown()
+		}
 		for _, in := range c.Instances() {
 			in.shutdown()
 		}
 		c.transport.Close()
 		c.pool.Close()
 	})
+}
+
+// PrewarmedInstance is an instance created ahead of demand: socket
+// registered with the transport, filter edges authorized, worker pool
+// running — but not routable. Activation is the cheap step (a router
+// insert plus an idempotent edge refresh), which is what makes resuming a
+// scaled-to-zero function fast: the expensive wiring already happened off
+// the request path.
+type PrewarmedInstance struct {
+	inst *Instance
+	used bool
+}
+
+// ID returns the prewarmed instance's dataplane ID.
+func (pw *PrewarmedInstance) ID() uint32 { return pw.inst.id }
+
+// Function returns the function this instance will serve.
+func (pw *PrewarmedInstance) Function() string { return pw.inst.fnName }
+
+// Prewarm creates one not-yet-routable instance of fn for later Activate.
+func (c *Chain) Prewarm(fn string) (*PrewarmedInstance, error) {
+	c.instMu.Lock()
+	defer c.instMu.Unlock()
+	inst, err := c.newWiredInstanceLocked(fn)
+	if err != nil {
+		return nil, err
+	}
+	c.prewarmed = append(c.prewarmed, inst)
+	inst.start()
+	return &PrewarmedInstance{inst: inst}, nil
+}
+
+// Activate makes a prewarmed instance routable. Filter edges are
+// re-authorized first (Allow is an idempotent map update), covering any
+// peer instances that appeared since the prewarm. A PrewarmedInstance can
+// be activated once; afterwards the instance is owned by the chain like
+// any other.
+func (c *Chain) Activate(pw *PrewarmedInstance) (*Instance, error) {
+	c.instMu.Lock()
+	if pw.used {
+		c.instMu.Unlock()
+		return nil, errors.New("core: prewarmed instance already consumed")
+	}
+	pw.used = true
+	for i, in := range c.prewarmed {
+		if in == pw.inst {
+			c.prewarmed = append(c.prewarmed[:i], c.prewarmed[i+1:]...)
+			break
+		}
+	}
+	if err := c.authorizeEdgesLocked(pw.inst); err != nil {
+		c.instMu.Unlock()
+		return nil, err
+	}
+	c.router.AddInstance(pw.inst.fnName, pw.inst)
+	c.instances = append(c.instances, pw.inst)
+	c.instMu.Unlock()
+	c.notifyScaled()
+	return pw.inst, nil
+}
+
+// DiscardPrewarmed tears down an unactivated prewarmed instance.
+func (c *Chain) DiscardPrewarmed(pw *PrewarmedInstance) {
+	c.instMu.Lock()
+	if pw.used {
+		c.instMu.Unlock()
+		return
+	}
+	pw.used = true
+	for i, in := range c.prewarmed {
+		if in == pw.inst {
+			c.prewarmed = append(c.prewarmed[:i], c.prewarmed[i+1:]...)
+			break
+		}
+	}
+	c.instMu.Unlock()
+	if err := c.transport.Unregister(pw.inst.id); err != nil {
+		c.noteError("prewarm", err)
+	}
+	pw.inst.shutdown()
 }
 
 // ScaleUp starts one additional instance of fn (vertical/horizontal pod
@@ -765,9 +894,24 @@ func (c *Chain) ScaleUp(fn string) (*Instance, error) {
 	return c.startInstanceLocked(fn)
 }
 
-// startInstanceLocked creates, wires and starts one fresh instance of fn.
-// Callers hold instMu.
+// startInstanceLocked creates, wires and starts one fresh instance of fn,
+// making it routable. Callers hold instMu.
 func (c *Chain) startInstanceLocked(fn string) (*Instance, error) {
+	inst, err := c.newWiredInstanceLocked(fn)
+	if err != nil {
+		return nil, err
+	}
+	c.router.AddInstance(fn, inst)
+	c.instances = append(c.instances, inst)
+	inst.start()
+	c.notifyScaled()
+	return inst, nil
+}
+
+// newWiredInstanceLocked creates one instance of fn, registers its socket
+// with the transport, and authorizes its filter edges — everything short of
+// routability. Callers hold instMu.
+func (c *Chain) newWiredInstanceLocked(fn string) (*Instance, error) {
 	fs, ok := c.byName[fn]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown function %q", fn)
@@ -789,8 +933,19 @@ func (c *Chain) startInstanceLocked(fn string) (*Instance, error) {
 	if err := c.transport.Register(inst.sock); err != nil {
 		return nil, err
 	}
-	// Authorize edges: sources routing *to* fn, targets fn routes *to*,
-	// and the reply edge to the gateway.
+	if err := c.authorizeEdgesLocked(inst); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// authorizeEdgesLocked installs the filter rules for one instance of fn:
+// sources routing *to* fn, targets fn routes *to*, and the reply edge to
+// the gateway. Allow is an idempotent map update, so re-authorizing at
+// prewarm activation (after topology changed underneath a warm instance)
+// is safe. Callers hold instMu.
+func (c *Chain) authorizeEdgesLocked(inst *Instance) error {
+	fn := inst.fnName
 	for _, r := range c.routes {
 		for _, to := range r.To {
 			if to == fn {
@@ -803,7 +958,7 @@ func (c *Chain) startInstanceLocked(fn string) (*Instance, error) {
 				}
 				for _, s := range srcs {
 					if err := c.transport.Allow(s, inst.ID()); err != nil {
-						return nil, err
+						return err
 					}
 				}
 			}
@@ -812,19 +967,13 @@ func (c *Chain) startInstanceLocked(fn string) (*Instance, error) {
 			for _, to := range r.To {
 				for _, dst := range c.router.Instances(to) {
 					if err := c.transport.Allow(inst.ID(), dst.ID()); err != nil {
-						return nil, err
+						return err
 					}
 				}
 			}
 		}
 	}
-	if err := c.transport.Allow(inst.ID(), GatewayID); err != nil {
-		return nil, err
-	}
-	c.router.AddInstance(fn, inst)
-	c.instances = append(c.instances, inst)
-	inst.start()
-	return inst, nil
+	return c.transport.Allow(inst.ID(), GatewayID)
 }
 
 // RestartInstance replaces a crashed or circuit-broken instance with a
@@ -862,9 +1011,11 @@ func (c *Chain) RestartInstance(id uint32) (*Instance, error) {
 			break
 		}
 	}
+	// Claim the victim out of the router under instMu too: a concurrent
+	// ScaleDown selecting its own victim can then never race this removal.
+	c.router.RemoveInstance(victim.fnName, id)
 	c.instMu.Unlock()
 
-	c.router.RemoveInstance(victim.fnName, id)
 	if err := c.transport.Unregister(id); err != nil {
 		c.noteError("restart", err)
 	}
@@ -876,32 +1027,74 @@ func (c *Chain) RestartInstance(id uint32) (*Instance, error) {
 }
 
 // ScaleDown stops one instance of fn (the one with the fewest in-flight
-// requests) and removes it from routing. The last instance of a function
-// cannot be removed — SPRIGHT keeps chains warm rather than scaling to
-// zero (§4.2.2).
+// requests) and removes it from routing. It refuses to remove the last
+// warm instance — scale-to-zero is a deliberate control-plane action
+// (ScaleToZero), never an accident of repeated downscaling.
 func (c *Chain) ScaleDown(fn string) error {
-	insts := c.router.Instances(fn)
-	if len(insts) <= 1 {
-		return fmt.Errorf("core: refusing to scale %q below one warm instance", fn)
+	return c.scaleDown(fn, 1)
+}
+
+// scaleDown removes one instance of fn, refusing to drop below floor.
+// Victim selection and removal from both the instance list and the router
+// happen under instMu, so a concurrent ScaleDown or RestartInstance can
+// never claim the same victim; the synchronous drain (shutdown waits out
+// in-flight work, then reclaims the socket queue) runs outside the lock.
+func (c *Chain) scaleDown(fn string, floor int) error {
+	if _, ok := c.byName[fn]; !ok {
+		return fmt.Errorf("core: unknown function %q", fn)
 	}
-	victim := insts[0]
-	for _, in := range insts[1:] {
-		if in.Inflight() < victim.Inflight() {
+	c.instMu.Lock()
+	var victim *Instance
+	live := 0
+	for _, in := range c.instances {
+		if in.fnName != fn {
+			continue
+		}
+		live++
+		if victim == nil || in.Inflight() < victim.Inflight() {
 			victim = in
 		}
 	}
-	c.router.RemoveInstance(fn, victim.ID())
-	if err := c.transport.Unregister(victim.ID()); err != nil {
-		return err
+	if live <= floor || victim == nil {
+		c.instMu.Unlock()
+		if floor > 0 {
+			return fmt.Errorf("core: refusing to scale %q below %d warm instance(s)", fn, floor)
+		}
+		return fmt.Errorf("core: %q already at zero instances", fn)
 	}
-	victim.shutdown()
-	c.instMu.Lock()
 	for i, in := range c.instances {
 		if in == victim {
 			c.instances = append(c.instances[:i], c.instances[i+1:]...)
 			break
 		}
 	}
+	c.router.RemoveInstance(fn, victim.ID())
 	c.instMu.Unlock()
+
+	if err := c.transport.Unregister(victim.ID()); err != nil {
+		c.noteError("scaledown", err)
+	}
+	victim.shutdown()
 	return nil
+}
+
+// ScaleToZero retires every instance of fn — the idle-chain end state the
+// paper's warm-instance economics make affordable (§4.2.2). Each retiring
+// instance drains synchronously: in-flight requests complete (their
+// replies route through the still-registered reverse edge) and queued
+// descriptors are reclaimed with their callers failed. Returns how many
+// instances were removed. The first request arriving afterwards parks at
+// the gateway (given an AdmissionPolicy) until the control plane resumes
+// capacity.
+func (c *Chain) ScaleToZero(fn string) (int, error) {
+	if _, ok := c.byName[fn]; !ok {
+		return 0, fmt.Errorf("core: unknown function %q", fn)
+	}
+	removed := 0
+	for {
+		if err := c.scaleDown(fn, 0); err != nil {
+			return removed, nil
+		}
+		removed++
+	}
 }

@@ -79,14 +79,19 @@ func (r *Router) AddInstance(fn string, inst *Instance) {
 	r.instances[fn] = append(r.instances[fn], inst)
 }
 
-// RemoveInstance deregisters an instance (scale-down).
+// RemoveInstance deregisters an instance (scale-down). Removal is
+// copy-on-write: PickInstance iterates a lock-free snapshot of the list,
+// so the shared backing array must never be shifted in place.
 func (r *Router) RemoveInstance(fn string, id uint32) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	list := r.instances[fn]
 	for i, in := range list {
 		if in.ID() == id {
-			r.instances[fn] = append(list[:i], list[i+1:]...)
+			replaced := make([]*Instance, 0, len(list)-1)
+			replaced = append(replaced, list[:i]...)
+			replaced = append(replaced, list[i+1:]...)
+			r.instances[fn] = replaced
 			return
 		}
 	}

@@ -131,6 +131,10 @@ func (in *Instance) Function() string { return in.fnName }
 // Inflight returns the number of requests currently being processed.
 func (in *Instance) Inflight() int { return int(in.inflight.Load()) }
 
+// QueueDepth returns the number of delivered-but-unclaimed descriptors in
+// this instance's socket queue.
+func (in *Instance) QueueDepth() int { return in.sock.QueueLen() }
+
 // Handled returns the number of completed invocations.
 func (in *Instance) Handled() uint64 { return in.handled.Load() }
 

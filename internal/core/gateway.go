@@ -8,6 +8,7 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,6 +35,27 @@ type Gateway struct {
 	rejected  atomic.Uint64
 	completed atomic.Uint64
 	failed    atomic.Uint64
+
+	// Deliberate-shed counters, one per Shed* reason (overload-graceful
+	// admission: every refused request is attributable, never blackholed).
+	admission         AdmissionPolicy
+	shedOverload      atomic.Uint64
+	shedParkFull      atomic.Uint64
+	shedParkTimeout   atomic.Uint64
+	shedPoolExhausted atomic.Uint64
+
+	// parks is the bounded scale-from-zero park queue; coldStart records
+	// park-to-dispatch latency (the cold-start cost the prewarm pool is
+	// there to shrink).
+	parks       parkTable
+	parkedTotal atomic.Uint64
+	resumed     atomic.Uint64
+	coldStart   *metrics.StripedHistogram
+
+	// parkCb notifies the control plane that a request parked for fn and
+	// capacity must be resumed (the autoscaler's kick).
+	parkCbMu sync.RWMutex
+	parkCb   func(fn string)
 
 	lat *metrics.StripedHistogram
 
@@ -80,9 +102,12 @@ type pendShard struct {
 	_  [6]uint64 // pad: neighbouring shard locks must not share a cache line
 }
 
-// pendTable is the sharded caller→waiter map.
+// pendTable is the sharded caller→waiter map. count mirrors the table size
+// so the admission path reads the inflight gauge in one atomic load instead
+// of sweeping 64 shard locks per request.
 type pendTable struct {
 	shards [pendShardCount]pendShard
+	count  atomic.Int64
 }
 
 func (t *pendTable) init() {
@@ -100,6 +125,7 @@ func (t *pendTable) put(caller uint32, ch chan gwResult) {
 	s.mu.Lock()
 	s.m[caller] = ch
 	s.mu.Unlock()
+	t.count.Add(1)
 }
 
 // size counts registered waiters across all shards (tests, introspection).
@@ -124,6 +150,9 @@ func (t *pendTable) take(caller uint32) (chan gwResult, bool) {
 		delete(s.m, caller)
 	}
 	s.mu.Unlock()
+	if ok {
+		t.count.Add(-1)
+	}
 	return ch, ok
 }
 
@@ -157,12 +186,21 @@ func (g *Gateway) getWaiter() chan gwResult {
 // EPROXY monitor programs.
 func NewGateway(c *Chain) (*Gateway, error) {
 	g := &Gateway{
-		chain:    c,
-		sock:     NewSocket(GatewayID, c.pool.Capacity()),
-		adapters: NewAdapterRegistry(),
-		lat:      metrics.NewStripedHistogram(),
-		stop:     make(chan struct{}),
+		chain:     c,
+		sock:      NewSocket(GatewayID, c.pool.Capacity()),
+		adapters:  NewAdapterRegistry(),
+		lat:       metrics.NewStripedHistogram(),
+		coldStart: metrics.NewStripedHistogram(),
+		admission: c.admission,
+		stop:      make(chan struct{}),
 	}
+	if g.admission.ParkCapacity > 0 && g.admission.ParkTimeout <= 0 {
+		g.admission.ParkTimeout = defaultParkTimeout
+	}
+	if g.admission.RetryAfter <= 0 {
+		g.admission.RetryAfter = defaultRetryAfter
+	}
+	g.parks.init(g.admission.ParkCapacity)
 	g.pending.init()
 	if err := c.transport.Register(g.sock); err != nil {
 		return nil, err
@@ -178,6 +216,9 @@ func NewGateway(c *Chain) (*Gateway, error) {
 	// instances) complete the waiting caller with an error instead of
 	// letting it block until its deadline.
 	c.setFailureNotifier(g.fail)
+	// New routable capacity (scale-up, restart, prewarm activation) wakes
+	// requests parked on a zero-replica function.
+	c.setScaleNotifier(g.wakeParked)
 	// One completion consumer per P: response descriptors from different
 	// requests complete independently (the pending table is sharded), so a
 	// single consumer goroutine would serialize the whole response path
@@ -222,7 +263,48 @@ func (g *Gateway) LastScrapeRate() float64 {
 
 // Pending returns the number of requests currently awaiting a response —
 // registered waiters across the pending table.
-func (g *Gateway) Pending() int { return g.pending.size() }
+func (g *Gateway) Pending() int { return int(g.pending.count.Load()) }
+
+// Admitted returns the all-time count of admitted requests (a cheap
+// atomic read for control loops that poll it every tick).
+func (g *Gateway) Admitted() uint64 { return g.admitted.Load() }
+
+// Parked returns the number of requests currently parked awaiting
+// scale-from-zero capacity.
+func (g *Gateway) Parked() int { return g.parks.parked() }
+
+// ParkedFor returns the number of requests parked on fn specifically —
+// the autoscaler's resume signal.
+func (g *Gateway) ParkedFor(fn string) int { return g.parks.parkedFor(fn) }
+
+// SetParkNotifier registers the control-plane callback invoked (once per
+// parked request) when a request parks because fn has no routable
+// instance. The callback must not block: it runs on the request path.
+func (g *Gateway) SetParkNotifier(fn func(function string)) {
+	g.parkCbMu.Lock()
+	g.parkCb = fn
+	g.parkCbMu.Unlock()
+}
+
+func (g *Gateway) notifyParked(fn string) {
+	g.parkCbMu.RLock()
+	cb := g.parkCb
+	g.parkCbMu.RUnlock()
+	if cb != nil {
+		cb(fn)
+	}
+}
+
+// wakeParked releases every parked request to re-attempt dispatch; the
+// chain calls it whenever an instance becomes routable.
+func (g *Gateway) wakeParked() { g.parks.wakeAll() }
+
+// ColdStartLatency returns a merged copy of the cold-start histogram:
+// park-to-successful-dispatch latency of requests that arrived while their
+// function was at zero replicas.
+func (g *Gateway) ColdStartLatency() *metrics.Histogram {
+	return g.coldStart.Snapshot()
+}
 
 // SocketStats reports the gateway socket's delivered/dropped descriptor
 // counters (the response path).
@@ -312,6 +394,7 @@ func (g *Gateway) admit(topic string, payload []byte, caller uint32) (shm.Descri
 	h, err := g.chain.pool.Get()
 	if err != nil {
 		g.rejected.Add(1)
+		g.shedPoolExhausted.Add(1)
 		return shm.Descriptor{}, fmt.Errorf("%w: %v", ErrBackpressure, err)
 	}
 	n, err := g.chain.pool.Write(h, payload)
@@ -330,7 +413,10 @@ func (g *Gateway) admit(topic string, payload []byte, caller uint32) (shm.Descri
 }
 
 // dispatch resolves the head function via DFR and sends the descriptor.
-func (g *Gateway) dispatch(topic string, d shm.Descriptor) error {
+// When the head function has no routable instance (scale-to-zero) and
+// parking is enabled, the request parks until the control plane resumes
+// capacity instead of failing.
+func (g *Gateway) dispatch(ctx context.Context, topic string, d shm.Descriptor) error {
 	next, ok := g.chain.router.Next(topic, "")
 	if !ok || len(next) == 0 {
 		g.chain.releaseBuffer(d.Buf)
@@ -338,23 +424,96 @@ func (g *Gateway) dispatch(topic string, d shm.Descriptor) error {
 	}
 	// The gateway invokes only the head function (① in Fig. 4); the rest
 	// of the chain routes function-to-function.
-	inst, err := g.chain.router.PickInstance(next[0])
-	if err != nil {
-		g.chain.releaseBuffer(d.Buf)
-		return err
+	err := g.dispatchTo(next[0], d)
+	if err != nil && errors.Is(err, ErrNoInstance) && g.admission.ParkCapacity > 0 {
+		err = g.parkAndDispatch(ctx, next[0], d)
 	}
-	d.NextFn = inst.ID()
-	if err := g.chain.send(GatewayID, "gateway", next[0], d); err != nil {
+	if err != nil {
 		g.chain.releaseBuffer(d.Buf)
 		return err
 	}
 	return nil
 }
 
+// dispatchTo picks a routable instance of fn and sends d to it.
+func (g *Gateway) dispatchTo(fn string, d shm.Descriptor) error {
+	inst, err := g.chain.router.PickInstance(fn)
+	if err != nil {
+		return err
+	}
+	d.NextFn = inst.ID()
+	return g.chain.send(GatewayID, "gateway", fn, d)
+}
+
+// parkAndDispatch parks one admitted request whose head function is at
+// zero replicas, kicks the control plane, and re-attempts dispatch on
+// every capacity wakeup until success, timeout, or cancellation. The
+// caller owns d's buffer on error. The park wait is deadline-aware: it
+// never outlives the request's own context deadline, and a shed parked
+// request is an explicit ShedParkTimeout — not a deadline blackhole.
+func (g *Gateway) parkAndDispatch(ctx context.Context, fn string, d shm.Descriptor) error {
+	if !g.parks.tryAdd(fn) {
+		g.rejected.Add(1)
+		g.shedParkFull.Add(1)
+		return &OverloadError{Reason: ShedParkFull, RetryAfter: g.admission.RetryAfter}
+	}
+	defer g.parks.remove(fn)
+	g.parkedTotal.Add(1)
+	start := time.Now()
+	g.notifyParked(fn)
+
+	wait := g.admission.ParkTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		if r := time.Until(dl); r < wait {
+			wait = r
+		}
+	}
+	if wait <= 0 {
+		g.rejected.Add(1)
+		g.shedParkTimeout.Add(1)
+		return &OverloadError{Reason: ShedParkTimeout, RetryAfter: g.admission.RetryAfter}
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	for {
+		// Fetch the wake generation before attempting: capacity that
+		// arrives after a failed attempt still closes this generation.
+		wake := g.parks.waitCh()
+		err := g.dispatchTo(fn, d)
+		if err == nil {
+			g.resumed.Add(1)
+			g.coldStart.Observe(uint64(d.Caller), time.Since(start).Seconds())
+			return nil
+		}
+		if !errors.Is(err, ErrNoInstance) {
+			return err
+		}
+		select {
+		case <-wake:
+		case <-timer.C:
+			g.rejected.Add(1)
+			g.shedParkTimeout.Add(1)
+			return &OverloadError{Reason: ShedParkTimeout, RetryAfter: g.admission.RetryAfter}
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-g.stop:
+			return ErrGatewayClosed
+		}
+	}
+}
+
 // invoke drives one request through the chain and returns the raw result.
 // The caller owns res.gb (when set) and must return it to the buffer pool.
 func (g *Gateway) invoke(ctx context.Context, topic string, payload []byte) (gwResult, error) {
 	start := time.Now()
+	// Overload shed point: beyond MaxPending the gateway refuses load
+	// deliberately (explicit reason + retry-after) instead of letting the
+	// burst blackhole into pool exhaustion mid-scale-up.
+	if mp := g.admission.MaxPending; mp > 0 && int(g.pending.count.Load()) >= mp {
+		g.rejected.Add(1)
+		g.shedOverload.Add(1)
+		return gwResult{}, &OverloadError{Reason: ShedOverload, RetryAfter: g.admission.RetryAfter}
+	}
 	if dl := g.chain.deadline; dl > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, dl)
@@ -399,7 +558,7 @@ func (g *Gateway) invoke(ctx context.Context, topic string, payload []byte) (gwR
 		// every downstream stage keys off it.
 		g.chain.pool.SetTraceContext(d.Buf, tc)
 	}
-	if err := g.dispatch(topic, d); err != nil {
+	if err := g.dispatch(ctx, topic, d); err != nil {
 		g.recycleWaiter(caller, ch)
 		if tr != nil {
 			tr.FinishRequest(caller, sampled, err, start, time.Since(start))
@@ -500,7 +659,7 @@ func (g *Gateway) InvokeAsync(topic string, payload []byte) error {
 	if err != nil {
 		return err
 	}
-	return g.dispatch(topic, d)
+	return g.dispatch(context.Background(), topic, d)
 }
 
 // forget removes a pending entry, reporting whether it was still present
@@ -563,7 +722,17 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		rctx = WithTraceContext(rctx, tc)
 	}
 	out, err := g.Invoke(rctx, topic, body)
+	var oe *OverloadError
 	switch {
+	case errors.As(err, &oe):
+		// Deliberate shed: 503 with an honest Retry-After so well-behaved
+		// clients back off for the scale-up window instead of hammering.
+		secs := int(oe.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case errors.Is(err, ErrBackpressure):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case err != nil:
@@ -598,8 +767,23 @@ type GatewayStats struct {
 	DeadlinesExceeded uint64
 	// FaultsInjected counts faults fired by the chain's injector.
 	FaultsInjected uint64
-	P95            float64
-	Mean           float64
+	// Shed* break Rejected down by admission-control reason; a request
+	// refused for any reason increments Rejected plus exactly one of
+	// these.
+	ShedOverload      uint64
+	ShedParkFull      uint64
+	ShedParkTimeout   uint64
+	ShedPoolExhausted uint64
+	// Parked is the current scale-from-zero park-queue depth;
+	// ParkedTotal counts every request that ever parked, and Resumed the
+	// parked requests that went on to dispatch successfully.
+	Parked      int
+	ParkedTotal uint64
+	Resumed     uint64
+	// ColdStartP99 is the 99th-percentile park-to-dispatch latency.
+	ColdStartP99 float64
+	P95          float64
+	Mean         float64
 }
 
 // Stats returns a snapshot and publishes the failure counters to the
@@ -622,6 +806,14 @@ func (g *Gateway) Stats() GatewayStats {
 		Reclaimed:         fs.Reclaimed,
 		DeadlinesExceeded: fs.DeadlinesExceeded,
 		FaultsInjected:    fs.FaultsInjected,
+		ShedOverload:      g.shedOverload.Load(),
+		ShedParkFull:      g.shedParkFull.Load(),
+		ShedParkTimeout:   g.shedParkTimeout.Load(),
+		ShedPoolExhausted: g.shedPoolExhausted.Load(),
+		Parked:            g.parks.parked(),
+		ParkedTotal:       g.parkedTotal.Load(),
+		Resumed:           g.resumed.Load(),
+		ColdStartP99:      g.coldStart.Snapshot().Quantile(0.99),
 		P95:               lat.Quantile(0.95),
 		Mean:              lat.Mean(),
 	}

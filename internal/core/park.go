@@ -1,0 +1,148 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// AdmissionPolicy governs what the gateway does when offered load exceeds
+// capacity — the deliberate-degradation half of the autoscaling control
+// plane. Without it a burst that outruns scale-up burns pool buffers until
+// ErrPoolExhausted blackholes the excess; with it the gateway sheds early
+// with an explicit reason and retry-after, and parks scale-from-zero
+// requests instead of failing them.
+type AdmissionPolicy struct {
+	// MaxPending bounds concurrently admitted requests (registered
+	// waiters). Requests beyond it are shed with ShedOverload before they
+	// touch the pool. 0 disables the bound.
+	MaxPending int
+
+	// ParkCapacity bounds requests parked at the gateway while their head
+	// function resumes from zero replicas. 0 disables parking: a request
+	// hitting a zero-replica function fails with ErrNoInstance as before.
+	ParkCapacity int
+
+	// ParkTimeout bounds how long a parked request waits for capacity
+	// before it is shed with ShedParkTimeout. The wait is additionally
+	// clipped to the request's own context deadline. 0 picks the default
+	// of 1s.
+	ParkTimeout time.Duration
+
+	// RetryAfter is the hint attached to shed responses (the HTTP
+	// Retry-After header). 0 picks the default of 250ms.
+	RetryAfter time.Duration
+}
+
+// Defaults for the admission policy.
+const (
+	defaultParkTimeout = time.Second
+	defaultRetryAfter  = 250 * time.Millisecond
+)
+
+// Shed reasons — the labels on the gateway's shed counters. Every shed
+// request carries exactly one.
+const (
+	// ShedOverload: admitted load already at AdmissionPolicy.MaxPending.
+	ShedOverload = "overload"
+	// ShedParkFull: the bounded park queue was full.
+	ShedParkFull = "park_full"
+	// ShedParkTimeout: a parked request outwaited ParkTimeout (or its
+	// deadline) without capacity appearing.
+	ShedParkTimeout = "park_timeout"
+	// ShedPoolExhausted: the legacy backstop — the shared-memory pool had
+	// no free buffer (surfaced as ErrBackpressure).
+	ShedPoolExhausted = "pool_exhausted"
+)
+
+// ErrOverload marks requests deliberately shed by admission control.
+// OverloadError wraps it with the reason and retry-after hint.
+var ErrOverload = errors.New("core: request shed by admission control")
+
+// OverloadError is the typed shed error: errors.Is(err, ErrOverload)
+// matches it, and errors.As recovers the reason and retry hint.
+type OverloadError struct {
+	// Reason is one of the Shed* constants.
+	Reason string
+	// RetryAfter is the suggested backoff before retrying.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("core: request shed (%s), retry after %v", e.Reason, e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrOverload) hold.
+func (e *OverloadError) Unwrap() error { return ErrOverload }
+
+// parkTable is the gateway's bounded park queue: requests whose head
+// function is at zero replicas wait here for the control plane to resume
+// capacity. Wakeups broadcast by generation — wakeAll closes the current
+// generation's channel and installs a fresh one, so every parked request
+// re-attempts dispatch without the table tracking them individually.
+type parkTable struct {
+	mu       sync.Mutex
+	wake     chan struct{}
+	capacity int
+	count    int
+	byFn     map[string]int
+}
+
+func (t *parkTable) init(capacity int) {
+	t.wake = make(chan struct{})
+	t.capacity = capacity
+	t.byFn = make(map[string]int)
+}
+
+// tryAdd registers one parked request for fn, failing when the queue is at
+// capacity.
+func (t *parkTable) tryAdd(fn string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.count >= t.capacity {
+		return false
+	}
+	t.count++
+	t.byFn[fn]++
+	return true
+}
+
+func (t *parkTable) remove(fn string) {
+	t.mu.Lock()
+	t.count--
+	if t.byFn[fn]--; t.byFn[fn] <= 0 {
+		delete(t.byFn, fn)
+	}
+	t.mu.Unlock()
+}
+
+// waitCh returns the current wake generation. A parked request must fetch
+// it before each dispatch attempt: capacity arriving between the attempt
+// and the select still closes this generation's channel.
+func (t *parkTable) waitCh() <-chan struct{} {
+	t.mu.Lock()
+	ch := t.wake
+	t.mu.Unlock()
+	return ch
+}
+
+// wakeAll releases every parked request to re-attempt dispatch.
+func (t *parkTable) wakeAll() {
+	t.mu.Lock()
+	close(t.wake)
+	t.wake = make(chan struct{})
+	t.mu.Unlock()
+}
+
+func (t *parkTable) parked() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+func (t *parkTable) parkedFor(fn string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byFn[fn]
+}

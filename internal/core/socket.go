@@ -162,4 +162,9 @@ func (s *Socket) Stats() (delivered, dropped uint64) {
 	return s.delivered.Load(), s.dropped.Load()
 }
 
+// QueueLen reports how many descriptors are buffered in the socket queue
+// awaiting a worker — the per-instance backlog signal the autoscaler
+// folds into its demand estimate.
+func (s *Socket) QueueLen() int { return len(s.ch) }
+
 func (s *Socket) String() string { return fmt.Sprintf("sock(%d)", s.id) }

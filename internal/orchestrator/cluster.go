@@ -60,10 +60,33 @@ type Deployment struct {
 	Gateway *core.Gateway
 
 	unobserve func() // drops the chain's obs registrations (may be nil)
+
+	asMu        sync.Mutex
+	autoscaler  *Autoscaler
+	unobserveAS func()
+}
+
+// Autoscaler returns the deployment's autoscaling control plane (nil
+// until EnableAutoscaling).
+func (d *Deployment) Autoscaler() *Autoscaler {
+	d.asMu.Lock()
+	defer d.asMu.Unlock()
+	return d.autoscaler
 }
 
 // Close tears the deployment down.
 func (d *Deployment) Close() {
+	// The control plane goes first: no scale actions may race teardown.
+	d.asMu.Lock()
+	as, unobsAS := d.autoscaler, d.unobserveAS
+	d.autoscaler, d.unobserveAS = nil, nil
+	d.asMu.Unlock()
+	if as != nil {
+		as.Close()
+	}
+	if unobsAS != nil {
+		unobsAS()
+	}
 	if d.unobserve != nil {
 		d.unobserve()
 	}
@@ -254,6 +277,41 @@ func (ctl *Controller) DeployChain(spec core.ChainSpec) (*Deployment, error) {
 	ctl.deploys[spec.Name] = d
 	ctl.mu.Unlock()
 	return d, nil
+}
+
+// EnableAutoscaling attaches the autoscaling control plane to a deployed
+// chain: an EWMA controller evaluating every cfg.Interval (kicked awake
+// immediately when a request parks on a zero-replica function), an
+// optional prewarm pool, and an obs collector exporting the controller's
+// state. Returns the running autoscaler; call Deployment.Close (or
+// Autoscaler.Close) to stop it.
+func (ctl *Controller) EnableAutoscaling(name string, cfg AutoscalerConfig) (*Autoscaler, error) {
+	d, ok := ctl.Deployment(name)
+	if !ok {
+		return nil, fmt.Errorf("orchestrator: chain %q not deployed", name)
+	}
+	d.asMu.Lock()
+	defer d.asMu.Unlock()
+	if d.autoscaler != nil {
+		return nil, fmt.Errorf("orchestrator: chain %q already autoscaled", name)
+	}
+	as := NewAutoscalerWithConfig(d, cfg)
+	if cfg.Prewarm > 0 {
+		as.prewarm = NewPrewarmPool(d, cfg.Prewarm)
+		as.prewarm.Fill()
+	}
+	// A parked request kicks the controller awake: resume latency is the
+	// scheduler's, not the evaluation interval's.
+	d.Gateway.SetParkNotifier(func(string) { as.Kick() })
+	if ctl.obsv != nil {
+		key := "autoscaler:" + name
+		o := ctl.obsv
+		o.Registry().Register(key, func() []obs.Family { return collectAutoscaler(d, as) })
+		d.unobserveAS = func() { o.Registry().Unregister(key) }
+	}
+	as.Start(as.cfg.Interval)
+	d.autoscaler = as
+	return as, nil
 }
 
 // DeleteChain tears down a chain.

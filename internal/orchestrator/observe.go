@@ -79,6 +79,40 @@ func collectChain(d *Deployment) []obs.Family {
 			"End-to-end invocation latency through the chain.", chain, g.Latency()),
 	}
 
+	// Admission control: shed counters by reason, the park queue, and the
+	// cold-start latency of parked requests that resumed.
+	shed := obs.Family{
+		Name: "spright_gateway_shed_total",
+		Help: "Requests deliberately refused by admission control, by reason.",
+		Type: obs.Counter,
+	}
+	for _, kv := range []struct {
+		reason string
+		v      uint64
+	}{
+		{core.ShedOverload, gs.ShedOverload},
+		{core.ShedParkFull, gs.ShedParkFull},
+		{core.ShedParkTimeout, gs.ShedParkTimeout},
+		{core.ShedPoolExhausted, gs.ShedPoolExhausted},
+	} {
+		shed.Samples = append(shed.Samples, obs.Sample{
+			Labels: obs.L("chain", c.Name(), "reason", kv.reason),
+			Value:  float64(kv.v),
+		})
+	}
+	fams = append(fams, shed,
+		obs.GaugeFamily("spright_gateway_parked",
+			"Requests currently parked awaiting scale-from-zero capacity.",
+			chain, float64(gs.Parked)),
+		obs.CounterFamily("spright_gateway_parked_total",
+			"Requests that parked at the gateway.", chain, float64(gs.ParkedTotal)),
+		obs.CounterFamily("spright_gateway_resumed_total",
+			"Parked requests dispatched after capacity resumed.", chain, float64(gs.Resumed)),
+		obs.SummaryFamily("spright_coldstart_seconds",
+			"Park-to-dispatch latency of requests that arrived at zero replicas.",
+			chain, g.ColdStartLatency()),
+	)
+
 	// Failure counters, read back from the EPROXY failure map when the
 	// chain has one (the kernel-side path an external scraper would see);
 	// chains without an EPROXY (polling mode) report userspace counters.
@@ -251,6 +285,75 @@ func collectChain(d *Deployment) []obs.Family {
 			fams = append(fams, ex)
 		}
 	}
+	return fams
+}
+
+// collectAutoscaler snapshots the autoscaling control plane of one chain:
+// per-function replica/desired/EWMA state, decision counters by reason,
+// prewarm pool activity, and the node manager's pooled-attach counters.
+func collectAutoscaler(d *Deployment, a *Autoscaler) []obs.Family {
+	name := d.Chain.Name()
+	chain := obs.L("chain", name)
+
+	replicas := obs.Family{Name: "spright_autoscaler_replicas",
+		Help: "Routable instances per function.", Type: obs.Gauge}
+	healthy := obs.Family{Name: "spright_autoscaler_healthy_replicas",
+		Help: "Routable instances whose circuit breaker is closed.", Type: obs.Gauge}
+	desired := obs.Family{Name: "spright_autoscaler_desired_replicas",
+		Help: "Controller-computed desired instances per function.", Type: obs.Gauge}
+	ewma := obs.Family{Name: "spright_autoscaler_demand_ewma",
+		Help: "Smoothed demand signal (inflight + backlog + parked).", Type: obs.Gauge}
+	parked := obs.Family{Name: "spright_autoscaler_parked",
+		Help: "Requests parked per function awaiting resume.", Type: obs.Gauge}
+	for _, v := range a.Views() {
+		ls := obs.L("chain", name, "function", v.Function)
+		replicas.Samples = append(replicas.Samples, obs.Sample{Labels: ls, Value: float64(v.Replicas)})
+		healthy.Samples = append(healthy.Samples, obs.Sample{Labels: ls, Value: float64(v.Healthy)})
+		desired.Samples = append(desired.Samples, obs.Sample{Labels: ls, Value: float64(v.Desired)})
+		ewma.Samples = append(ewma.Samples, obs.Sample{Labels: ls, Value: v.EWMA})
+		parked.Samples = append(parked.Samples, obs.Sample{Labels: ls, Value: float64(v.Parked)})
+	}
+
+	decisions := obs.Family{Name: "spright_autoscaler_decisions_total",
+		Help: "Scaling actions taken, by reason.", Type: obs.Counter}
+	for reason, n := range a.DecisionCounts() {
+		decisions.Samples = append(decisions.Samples, obs.Sample{
+			Labels: obs.L("chain", name, "reason", reason),
+			Value:  float64(n),
+		})
+	}
+
+	fams := []obs.Family{replicas, healthy, desired, ewma, parked, decisions,
+		obs.GaugeFamily("spright_autoscaler_admit_rate_rps",
+			"Smoothed gateway admission rate between evaluations.", chain, a.AdmitRate()),
+	}
+
+	if pw := a.PrewarmPool(); pw != nil {
+		ps := pw.Stats()
+		fams = append(fams,
+			obs.GaugeFamily("spright_prewarm_pool_size",
+				"Warm instances held ready for activation.", chain, float64(ps.Size)),
+			obs.CounterFamily("spright_prewarm_hits_total",
+				"Scale-ups served by activating a prewarmed instance.", chain, float64(ps.Hits)),
+			obs.CounterFamily("spright_prewarm_misses_total",
+				"Scale-ups that fell back to a cold instance start.", chain, float64(ps.Misses)),
+		)
+	}
+
+	as := d.Node.ShmMgr.AttachStats()
+	node := obs.L("node", d.Node.Name)
+	fams = append(fams,
+		obs.CounterFamily("spright_shm_attaches_total",
+			"Fresh secondary-process pool attaches on the node.", node, float64(as.Attaches)),
+		obs.CounterFamily("spright_shm_attach_reuses_total",
+			"Attaches served from the pooled-attach free list.", node, float64(as.Reuses)),
+		obs.CounterFamily("spright_shm_detaches_total",
+			"Attach handles recycled to the free list.", node, float64(as.Detaches)),
+		obs.GaugeFamily("spright_shm_attach_live",
+			"Attach handles currently checked out.", node, float64(as.Live)),
+		obs.GaugeFamily("spright_shm_attach_pooled",
+			"Attach handles waiting on free lists.", node, float64(as.Pooled)),
+	)
 	return fams
 }
 

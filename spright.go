@@ -96,8 +96,23 @@ type (
 	Deployment = orchestrator.Deployment
 	// WorkerNode is one node's kernels and shared-memory manager.
 	WorkerNode = orchestrator.WorkerNode
-	// Autoscaler scales a deployment's functions on concurrency.
+	// Autoscaler scales a deployment's functions on concurrency: EWMA
+	// demand signals, hysteresis, scale-to-zero and self-healing.
 	Autoscaler = orchestrator.Autoscaler
+	// AutoscalerConfig tunes the autoscaler (smoothing, hysteresis,
+	// cooldowns, scale-to-zero, prewarm). The zero value of each knob
+	// reproduces the legacy instantaneous controller.
+	AutoscalerConfig = orchestrator.AutoscalerConfig
+	// ScaleDecision is one recorded autoscaling action.
+	ScaleDecision = orchestrator.ScaleDecision
+	// PrewarmPool holds pre-wired instances for fast scale-from-zero.
+	PrewarmPool = orchestrator.PrewarmPool
+	// AdmissionPolicy configures gateway overload shedding and
+	// scale-from-zero request parking (ChainSpec.Admission).
+	AdmissionPolicy = core.AdmissionPolicy
+	// OverloadError is the typed shed error carrying reason and
+	// retry-after; errors.Is(err, ErrOverload) matches it.
+	OverloadError = core.OverloadError
 
 	// Observability is a cluster's metrics/health/trace layer: the
 	// Prometheus registry every deployed chain registers into and the
@@ -166,6 +181,9 @@ var (
 	ErrInjected = fault.ErrInjected
 	// ErrShortBuffer signals Gateway.InvokeInto's dst was too small.
 	ErrShortBuffer = core.ErrShortBuffer
+	// ErrOverload signals a request deliberately shed by admission
+	// control (overload, full park queue, or park timeout).
+	ErrOverload = core.ErrOverload
 )
 
 // NewFaultInjector builds a deterministic injector from a seed; add rules
@@ -179,4 +197,12 @@ func NewCluster(n int) *Cluster { return orchestrator.NewCluster(n) }
 // NewAutoscaler builds a concurrency-target autoscaler for a deployment.
 func NewAutoscaler(dep *Deployment, target int) *Autoscaler {
 	return orchestrator.NewAutoscaler(dep, target)
+}
+
+// NewAutoscalerWithConfig builds an autoscaler from an explicit config —
+// the full control plane: EWMA smoothing, hysteresis, cooldowns,
+// scale-to-zero and prewarming. Prefer Controller.EnableAutoscaling,
+// which also wires the gateway's park notifier and the obs collector.
+func NewAutoscalerWithConfig(dep *Deployment, cfg AutoscalerConfig) *Autoscaler {
+	return orchestrator.NewAutoscalerWithConfig(dep, cfg)
 }

@@ -1,19 +1,21 @@
 GO ?= go
 
-BENCH_OUT ?= BENCH_5.json
+BENCH_OUT ?= BENCH_6.json
 # the hot-path serial benchmarks tracked in BENCH_*.json snapshots
-BENCH_PAT ?= BenchmarkSProxySend$$|BenchmarkShmPool$$|BenchmarkEBPFInterpreter$$|BenchmarkE2E_SSpright|BenchmarkE2E_DSpright|BenchmarkE2E_GRPCBaseline|BenchmarkTraceUnsampled$$|BenchmarkTraceSampled$$|BenchmarkColdStartResume$$|BenchmarkColdStartPrewarmed$$|BenchmarkOverloadShed$$
+BENCH_PAT ?= BenchmarkSProxySend$$|BenchmarkShmPool$$|BenchmarkEBPFInterpreter$$|BenchmarkJIT_vs_Interp/|BenchmarkE2E_SSpright|BenchmarkE2E_DSpright|BenchmarkE2E_GRPCBaseline|BenchmarkTraceUnsampled$$|BenchmarkTraceSampled$$|BenchmarkColdStartResume$$|BenchmarkColdStartPrewarmed$$|BenchmarkOverloadShed$$
 # the multicore RPS harness, swept across BENCH_CPUS
 BENCH_PAR_PAT ?= BenchmarkE2E_Parallel_
 # benchmark knobs: time per benchmark and the GOMAXPROCS sweep for the
 # parallel suite (testing's -benchtime / -cpu flags)
 BENCH_TIME ?= 1s
 BENCH_CPUS ?= 1,2,4,8
-# regression gate inputs for bench-compare
-OLD ?= BENCH_4.json
-NEW ?= BENCH_5.json
+# regression gate inputs for bench-compare; BENCH_GAIN lists benchmarks
+# that must have IMPROVED between the snapshots (the JIT acceptance gate)
+OLD ?= BENCH_5.json
+NEW ?= BENCH_6.json
+BENCH_GAIN ?= BenchmarkSProxySend=0.30
 
-.PHONY: build test race race-obs race-scale vet fmt-check verify bench bench-compare clean
+.PHONY: build test race race-obs race-scale race-ebpf vet fmt-check verify bench bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -45,11 +47,19 @@ race-scale:
 	$(GO) test -race -count=1 -run 'TestPark|TestPrewarm|TestMaxPending|TestServeHTTPSheds|TestScaleToZero|TestZeroReplica|TestScaleDown' ./internal/core/
 	$(GO) test -race -count=1 -run 'TestEvaluate|TestDecisionRing|TestUpCooldown|TestHysteresis|TestMaxStep|TestSelfHeal|TestEnableAutoscaling|TestBurst|TestAutoscaler' ./internal/orchestrator/
 
+# race-ebpf races the eBPF execution engines specifically: the JIT/interp
+# differential suites, concurrent Load/Run/SetJIT on one kernel, and the
+# dataplane engine-parity scenario — the gate for the compiled dispatch
+# path.
+race-ebpf:
+	$(GO) test -race -count=1 ./internal/ebpf/
+	$(GO) test -race -count=1 -run 'TestEngineParity|TestProxyProgramsCompile' ./internal/core/
+
 # verify is the gate for every change: formatting, static analysis, and the
 # full test suite (chaos tests included) under the race detector, with the
 # observability conformance test and the autoscaling control plane raced
 # explicitly.
-verify: fmt-check vet race race-obs race-scale
+verify: fmt-check vet race race-obs race-scale race-ebpf
 
 # bench runs the tracked serial benchmarks, then the parallel RPS harness
 # across the BENCH_CPUS sweep, and writes one machine-readable snapshot
@@ -62,11 +72,12 @@ bench:
 	@rm -f bench.out
 	@echo "wrote $(BENCH_OUT)"
 
-# bench-compare diffs two snapshots and fails on >10% ns/op regression in
-# any tracked serial benchmark (parallel results are informational):
-#   make bench-compare OLD=BENCH_1.json NEW=BENCH_2.json
+# bench-compare diffs two snapshots: it fails on >10% ns/op regression in
+# any tracked serial benchmark, and on any BENCH_GAIN benchmark that did
+# not improve by its required fraction:
+#   make bench-compare OLD=BENCH_5.json NEW=BENCH_6.json
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)
+	$(GO) run ./cmd/benchjson -compare -mingain '$(BENCH_GAIN)' $(OLD) $(NEW)
 
 clean:
 	$(GO) clean ./...

@@ -420,9 +420,13 @@ func BenchmarkShmPool(b *testing.B) {
 	}
 }
 
-// BenchmarkEBPFInterpreter measures the VM on the SPROXY-sized program.
+// BenchmarkEBPFInterpreter measures the bytecode interpreter — the
+// differential oracle — on the SPROXY-sized program. The JIT is switched
+// off explicitly so this tracked series keeps measuring the oracle across
+// snapshots; BenchmarkJIT_vs_Interp carries the engine comparison.
 func BenchmarkEBPFInterpreter(b *testing.B) {
 	kernel := ebpf.NewKernel()
+	kernel.SetJIT(false)
 	m, _ := kernel.CreateMap(ebpf.MapSpec{Name: "m", Type: ebpf.MapTypeArray, KeySize: 4, ValueSize: 8, MaxEntries: 8})
 	bl := ebpf.NewBuilder("bench", ebpf.ProgTypeXDP)
 	bl.Ins(
@@ -448,6 +452,104 @@ func BenchmarkEBPFInterpreter(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkJIT_vs_Interp compares the execution engines on each program
+// shape: the shape-specialized SPROXY and EPROXY fast paths (through the
+// real dataplane entry points), and the general closure-chain backend on
+// the map-lookup XDP program. The interp variants run the same programs
+// with the JIT switched off — the per-shape delta is the compilation win.
+func BenchmarkJIT_vs_Interp(b *testing.B) {
+	engines := []struct {
+		name string
+		jit  bool
+	}{{"jit", true}, {"interp", false}}
+
+	b.Run("sproxy", func(b *testing.B) {
+		for _, eng := range engines {
+			b.Run(eng.name, func(b *testing.B) {
+				kernel := ebpf.NewKernel()
+				kernel.SetJIT(eng.jit)
+				sp, err := core.NewSProxy(kernel, "jb")
+				if err != nil {
+					b.Fatal(err)
+				}
+				sock := core.NewSocket(7, 1024)
+				if err := sp.RegisterSocket(sock); err != nil {
+					b.Fatal(err)
+				}
+				if err := sp.Allow(1, 7); err != nil {
+					b.Fatal(err)
+				}
+				d := shm.Descriptor{NextFn: 7, Buf: 1, Len: 100, Caller: 1}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := sp.Send(1, d); err != nil {
+						b.Fatal(err)
+					}
+					<-sock.Recv()
+				}
+				b.StopTimer()
+				sock.Close()
+			})
+		}
+	})
+
+	b.Run("eproxy", func(b *testing.B) {
+		for _, eng := range engines {
+			b.Run(eng.name, func(b *testing.B) {
+				kernel := ebpf.NewKernel()
+				kernel.SetJIT(eng.jit)
+				ep, err := core.NewEProxy(kernel, "jb")
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ep.OnIngress(128)
+				}
+			})
+		}
+	})
+
+	b.Run("closure-chain", func(b *testing.B) {
+		for _, eng := range engines {
+			b.Run(eng.name, func(b *testing.B) {
+				kernel := ebpf.NewKernel()
+				kernel.SetJIT(eng.jit)
+				m, _ := kernel.CreateMap(ebpf.MapSpec{Name: "m", Type: ebpf.MapTypeArray, KeySize: 4, ValueSize: 8, MaxEntries: 8})
+				bl := ebpf.NewBuilder("jb", ebpf.ProgTypeXDP)
+				bl.Ins(
+					ebpf.StoreImm(ebpf.R10, -4, 0, ebpf.W),
+					ebpf.LoadMapFD(ebpf.R1, m.FD()),
+					ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+					ebpf.Add64Imm(ebpf.R2, -4),
+					ebpf.Call(ebpf.HelperMapLookupElem),
+				)
+				bl.Jmp(ebpf.JeqImm(ebpf.R0, 0, 0), "out")
+				bl.Ins(ebpf.Mov64Imm(ebpf.R2, 1), ebpf.AtomicAdd(ebpf.R0, 0, ebpf.R2, ebpf.DW))
+				bl.Label("out")
+				bl.Ins(ebpf.Mov64Imm(ebpf.R0, ebpf.XDPPass), ebpf.Exit())
+				prog, err := kernel.Load(bl.MustProgram())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if eng.jit && prog.Engine() == ebpf.EngineInterp {
+					b.Fatalf("program did not compile: %s", prog.FallbackReason())
+				}
+				data := make([]byte, 64)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := kernel.Run(prog, data, 0, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	})
 }
 
 // BenchmarkProtoCodecs measures the L7 codecs the gateway executes.

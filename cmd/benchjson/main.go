@@ -50,6 +50,7 @@ type Report struct {
 func main() {
 	compare := flag.Bool("compare", false, "compare two snapshots: benchjson -compare OLD NEW")
 	threshold := flag.Float64("threshold", 0.10, "max allowed ns/op regression fraction in -compare mode")
+	mingain := flag.String("mingain", "", "required ns/op improvements in -compare mode, e.g. 'BenchmarkFoo=0.30,BenchmarkBar=0.10'")
 	flag.Parse()
 
 	if *compare {
@@ -57,7 +58,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "usage: benchjson -compare OLD.json NEW.json")
 			os.Exit(2)
 		}
-		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold))
+		gains, err := parseMinGains(*mingain)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold, gains))
 	}
 
 	rep := Report{Results: []Result{}}
@@ -185,11 +191,39 @@ func loadReport(path string) (map[benchKey]Result, error) {
 	return m, nil
 }
 
+// parseMinGains parses the -mingain spec: comma-separated name=fraction
+// pairs, each requiring the named serial benchmark's new ns/op to be at
+// least that fraction below the baseline.
+func parseMinGains(spec string) (map[string]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -mingain entry %q (want name=fraction)", part)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f <= 0 || f >= 1 {
+			return nil, fmt.Errorf("bad -mingain fraction %q (want 0 < f < 1)", val)
+		}
+		out[strings.TrimSpace(name)] = f
+	}
+	return out, nil
+}
+
 // runCompare diffs two snapshots. Serial benchmarks (names not containing
 // "Parallel") gate the exit status: any ns/op regression beyond threshold
-// fails. Parallel benchmarks are informational — their ns/op depends on
+// fails, and a benchmark named in mingain must have improved by at least
+// its required fraction (the gate for a change whose whole point is a
+// speedup). Parallel benchmarks are informational — their ns/op depends on
 // GOMAXPROCS and machine load, so they are printed but never gate.
-func runCompare(oldPath, newPath string, threshold float64) int {
+func runCompare(oldPath, newPath string, threshold float64, mingain map[string]float64) int {
 	oldRes, err := loadReport(oldPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -250,7 +284,14 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 		delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp
 		status := "ok"
 		gated := !strings.Contains(k.name, "Parallel")
-		if gated && delta > threshold {
+		if need, wantGain := mingain[k.name]; gated && wantGain {
+			if -delta < need {
+				status = fmt.Sprintf("TOO SLOW (need >=%.0f%% gain)", need*100)
+				failed++
+			} else {
+				status = "gain ok"
+			}
+		} else if gated && delta > threshold {
 			status = "REGRESSED"
 			failed++
 		} else if !gated {
@@ -258,6 +299,12 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 		}
 		fmt.Printf("%-60s cpus=%-2d %12.1f -> %12.1f ns/op  %+6.1f%%  %s\n",
 			k.name, k.cpus, o.NsPerOp, n.NsPerOp, delta*100, status)
+	}
+	for name := range mingain {
+		if _, ok := newRes[benchKey{name, 1}]; !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: -mingain benchmark %q missing from new snapshot\n", name)
+			failed++
+		}
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%%\n",

@@ -31,7 +31,7 @@ func TestCompareMissingBenchesAreInformational(t *testing.T) {
 		{Name: "BenchmarkAdded", Cpus: 1, NsPerOp: 70},
 	})
 	// A bench present only in one snapshot must neither gate nor crash.
-	if code := runCompare(oldPath, newPath, 0.10); code != 0 {
+	if code := runCompare(oldPath, newPath, 0.10, nil); code != 0 {
 		t.Fatalf("exit %d, want 0: added/removed benches must be informational", code)
 	}
 }
@@ -46,7 +46,7 @@ func TestCompareZeroBaselineNotComparable(t *testing.T) {
 	newPath := writeSnapshot(t, dir, "new.json", []Result{
 		{Name: "BenchmarkZeroBase", Cpus: 1, NsPerOp: 9999},
 	})
-	if code := runCompare(oldPath, newPath, 0.10); code != 0 {
+	if code := runCompare(oldPath, newPath, 0.10, nil); code != 0 {
 		t.Fatalf("exit %d, want 0: zero baseline must be informational", code)
 	}
 }
@@ -59,7 +59,7 @@ func TestCompareRealRegressionStillGates(t *testing.T) {
 	newPath := writeSnapshot(t, dir, "new.json", []Result{
 		{Name: "BenchmarkHot", Cpus: 1, NsPerOp: 150},
 	})
-	if code := runCompare(oldPath, newPath, 0.10); code != 1 {
+	if code := runCompare(oldPath, newPath, 0.10, nil); code != 1 {
 		t.Fatalf("exit %d, want 1: 50%% serial regression must gate", code)
 	}
 }
@@ -72,7 +72,7 @@ func TestCompareParallelNeverGates(t *testing.T) {
 	newPath := writeSnapshot(t, dir, "new.json", []Result{
 		{Name: "BenchmarkHotParallel", Cpus: 8, NsPerOp: 500},
 	})
-	if code := runCompare(oldPath, newPath, 0.10); code != 0 {
+	if code := runCompare(oldPath, newPath, 0.10, nil); code != 0 {
 		t.Fatalf("exit %d, want 0: parallel benches are informational", code)
 	}
 }
@@ -81,7 +81,7 @@ func TestCompareEmptySnapshots(t *testing.T) {
 	dir := t.TempDir()
 	oldPath := writeSnapshot(t, dir, "old.json", nil)
 	newPath := writeSnapshot(t, dir, "new.json", nil)
-	if code := runCompare(oldPath, newPath, 0.10); code != 2 {
+	if code := runCompare(oldPath, newPath, 0.10, nil); code != 2 {
 		t.Fatalf("exit %d, want 2: nothing to compare is a usage error", code)
 	}
 }
@@ -93,5 +93,56 @@ func TestParseBenchLine(t *testing.T) {
 	}
 	if r.Name != "BenchmarkSProxySend" || r.Cpus != 4 || r.NsPerOp != 256.1 {
 		t.Fatalf("parsed %+v", r)
+	}
+}
+
+func TestCompareMinGainGates(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnapshot(t, dir, "old.json", []Result{
+		{Name: "BenchmarkHot", Cpus: 1, NsPerOp: 100},
+	})
+	newPath := writeSnapshot(t, dir, "new.json", []Result{
+		{Name: "BenchmarkHot", Cpus: 1, NsPerOp: 80},
+	})
+	// 20% faster, but the gate demands 30%: must fail.
+	if code := runCompare(oldPath, newPath, 0.10, map[string]float64{"BenchmarkHot": 0.30}); code != 1 {
+		t.Fatalf("exit %d, want 1: 20%% gain below a 30%% -mingain must fail", code)
+	}
+	// Same snapshots with a 10% requirement: passes.
+	if code := runCompare(oldPath, newPath, 0.10, map[string]float64{"BenchmarkHot": 0.10}); code != 0 {
+		t.Fatalf("exit %d, want 0: 20%% gain satisfies a 10%% -mingain", code)
+	}
+}
+
+func TestCompareMinGainMissingBenchmarkFails(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnapshot(t, dir, "old.json", []Result{
+		{Name: "BenchmarkHot", Cpus: 1, NsPerOp: 100},
+	})
+	newPath := writeSnapshot(t, dir, "new.json", []Result{
+		{Name: "BenchmarkHot", Cpus: 1, NsPerOp: 60},
+	})
+	// A -mingain name absent from the new snapshot means the speedup the PR
+	// promises was never measured; that must fail loudly, not pass silently.
+	if code := runCompare(oldPath, newPath, 0.10, map[string]float64{"BenchmarkGone": 0.30}); code != 1 {
+		t.Fatalf("exit %d, want 1: -mingain benchmark missing from new snapshot", code)
+	}
+}
+
+func TestParseMinGains(t *testing.T) {
+	gains, err := parseMinGains("BenchmarkA=0.30, BenchmarkB=0.05")
+	if err != nil {
+		t.Fatalf("parseMinGains: %v", err)
+	}
+	if gains["BenchmarkA"] != 0.30 || gains["BenchmarkB"] != 0.05 {
+		t.Fatalf("parsed %v", gains)
+	}
+	for _, bad := range []string{"NoEquals", "BenchmarkA=1.5", "BenchmarkA=0", "BenchmarkA=x"} {
+		if _, err := parseMinGains(bad); err == nil {
+			t.Fatalf("parseMinGains(%q): want error", bad)
+		}
+	}
+	if gains, err := parseMinGains(""); err != nil || gains != nil {
+		t.Fatalf("empty spec: got %v, %v", gains, err)
 	}
 }

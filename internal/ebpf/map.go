@@ -411,6 +411,42 @@ func (m *Map) LookupSock(key uint32) (SockRef, error) {
 	return s, nil
 }
 
+// Range calls fn for every populated entry with copies of the key and
+// value (array maps: every index; hash maps: every present key; sockmaps
+// are not supported). Iteration order is unspecified. It stops early if fn
+// returns false. Differential tests use this to compare full map state
+// across engines.
+func (m *Map) Range(fn func(key, value []byte) bool) {
+	switch m.spec.Type {
+	case MapTypeArray, MapTypePerCPUArray:
+		for i := 0; i < m.spec.MaxEntries; i++ {
+			key := make([]byte, 4)
+			binary.LittleEndian.PutUint32(key, uint32(i))
+			val := make([]byte, m.spec.ValueSize)
+			m.atomicReadInto(i, val)
+			if !fn(key, val) {
+				return
+			}
+		}
+	case MapTypeHash:
+		m.mu.RLock()
+		type kv struct{ k, v []byte }
+		entries := make([]kv, 0, len(m.hash))
+		for k, v := range m.hash {
+			key := []byte(k)
+			val := make([]byte, len(v))
+			copy(val, v)
+			entries = append(entries, kv{key, val})
+		}
+		m.mu.RUnlock()
+		for _, e := range entries {
+			if !fn(e.k, e.v) {
+				return
+			}
+		}
+	}
+}
+
 // Entries returns the number of populated entries (hash and sockmap).
 func (m *Map) Entries() int {
 	switch m.spec.Type {

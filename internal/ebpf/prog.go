@@ -77,6 +77,15 @@ type LoadedProgram struct {
 	kernel *Kernel
 	fd     int
 	maps   []progMapRef
+
+	// Compiled forms, built at Load time after verification succeeds.
+	// jit is the general closure-chain translation (nil when the program
+	// uses an interpreter-only helper; jitReason says why), and fast is a
+	// shape-specialized runner when the program matched a recognized
+	// SPROXY/EPROXY shape.
+	jit       *jitProg
+	fast      fastRunner
+	jitReason string
 }
 
 // FD returns the program's file descriptor.
@@ -90,6 +99,24 @@ func (lp *LoadedProgram) Type() ProgType { return lp.prog.Type }
 
 // Len returns the instruction count.
 func (lp *LoadedProgram) Len() int { return len(lp.prog.Insns) }
+
+// Engine reports the fastest backend this program can execute on. The
+// kernel-level JIT switch (SetJIT) can still force the interpreter at run
+// time.
+func (lp *LoadedProgram) Engine() EngineKind {
+	switch {
+	case lp.fast != nil:
+		return EngineFast
+	case lp.jit != nil:
+		return EngineJIT
+	default:
+		return EngineInterp
+	}
+}
+
+// FallbackReason explains why a program was not compiled (empty when it
+// was).
+func (lp *LoadedProgram) FallbackReason() string { return lp.jitReason }
 
 // envBox wraps the Env interface in a struct so atomic.Value sees one
 // consistent concrete type across stores of different Env implementations.
@@ -109,6 +136,19 @@ type Kernel struct {
 	// stats
 	runs      atomic.Uint64
 	insnTotal atomic.Uint64
+
+	// per-engine accounting: how many runs executed compiled code vs the
+	// interpreter, and how many programs are loaded/compiled. Fallback
+	// regressions (a hot program silently dropping to the interpreter)
+	// show up here and in /metrics.
+	jitRuns       atomic.Uint64
+	interpRuns    atomic.Uint64
+	loadedProgs   atomic.Int64
+	compiledProgs atomic.Int64
+
+	// jitOff disables compiled dispatch kernel-wide, forcing every run
+	// through the interpreter — the differential-test oracle switch.
+	jitOff atomic.Bool
 }
 
 // NewKernel creates an empty eBPF subsystem with a null environment.
@@ -156,9 +196,14 @@ func (k *Kernel) mapByFD(fd int) *Map {
 
 // Load verifies a program and makes it executable. The maps referenced by
 // OpLoadMapFD instructions are resolved here, once, into the program's map
-// table; executions resolve handles against that table lock-free.
+// table; executions resolve handles against that table lock-free. After
+// verification the program is compiled (closure chains, plus a
+// shape-specialized fast path when it matches a recognized SPROXY/EPROXY
+// shape); programs the compiler declines keep the interpreter as their
+// backend.
 func (k *Kernel) Load(p *Program) (*LoadedProgram, error) {
-	if err := k.verify(p); err != nil {
+	an, err := k.verify(p)
+	if err != nil {
 		return nil, fmt.Errorf("load %q: %w", p.Name, err)
 	}
 	k.mu.Lock()
@@ -180,19 +225,81 @@ func (k *Kernel) Load(p *Program) (*LoadedProgram, error) {
 			lp.maps = append(lp.maps, progMapRef{fd: fd, m: k.maps[fd]})
 		}
 	}
+	lp.jit, lp.jitReason = compile(p, an)
+	if lp.jit != nil {
+		lp.fast = matchFast(lp)
+		k.compiledProgs.Add(1)
+	}
+	k.loadedProgs.Add(1)
 	k.next++
 	k.progs[lp.fd] = lp
 	return lp, nil
 }
+
+// SetJIT enables or disables compiled dispatch kernel-wide. Disabling it
+// forces every run through the interpreter — differential tests run the
+// same programs on both settings and compare everything observable.
+func (k *Kernel) SetJIT(on bool) { k.jitOff.Store(!on) }
+
+// JITEnabled reports whether compiled dispatch is active.
+func (k *Kernel) JITEnabled() bool { return !k.jitOff.Load() }
 
 // Stats reports cumulative execution statistics.
 func (k *Kernel) Stats() (runs, insns uint64) {
 	return k.runs.Load(), k.insnTotal.Load()
 }
 
-func (k *Kernel) noteRun(insns int) {
+// EngineStats is the per-engine execution breakdown exported to /metrics.
+type EngineStats struct {
+	JITRuns    uint64 // runs executed by compiled code (closure chain or fast path)
+	InterpRuns uint64 // runs executed by the interpreter
+	Loaded     int64  // programs loaded
+	Compiled   int64  // programs with a compiled form
+}
+
+// EngineStats reports the compiled-vs-interpreted run counters and the
+// loaded/compiled program gauges.
+func (k *Kernel) EngineStats() EngineStats {
+	return EngineStats{
+		JITRuns:    k.jitRuns.Load(),
+		InterpRuns: k.interpRuns.Load(),
+		Loaded:     k.loadedProgs.Load(),
+		Compiled:   k.compiledProgs.Load(),
+	}
+}
+
+func (k *Kernel) noteRun(insns int, jit bool) {
 	k.runs.Add(1)
 	k.insnTotal.Add(uint64(insns))
+	if jit {
+		k.jitRuns.Add(1)
+	} else {
+		k.interpRuns.Add(1)
+	}
+}
+
+// fastOf returns lp's shape-specialized runner if compiled dispatch is on.
+func (k *Kernel) fastOf(lp *LoadedProgram) fastRunner {
+	if k.jitOff.Load() {
+		return nil
+	}
+	return lp.fast
+}
+
+// execute runs a prepared exec state through the best available engine: the
+// compiled closure chain when the program has one and the kernel-level JIT
+// switch is on, the interpreter otherwise. A compiled run that bails to the
+// interpreter at the budget boundary still counts as a JIT run — dispatch
+// chose the compiled engine.
+func (k *Kernel) execute(st *execState) (Result, error) {
+	if lp := st.prog; lp.jit != nil && !k.jitOff.Load() {
+		res, err := lp.jit.run(st)
+		k.noteRun(res.Insns, true)
+		return res, err
+	}
+	res, err := st.run()
+	k.noteRun(res.Insns, false)
+	return res, err
 }
 
 // ctx layouts. All context structs start with data/data_end pointers like
@@ -262,6 +369,7 @@ func putExec(st *execState) {
 	}
 	st.overflow = nil
 	st.nSlots = 0
+	st.jitErr = nil
 	st.res = Result{} // drops the RedirectSock reference
 	execPool.Put(st)
 }
@@ -270,12 +378,16 @@ func putExec(st *execState) {
 // the given ingress ifindex. The program reads and writes data in place.
 // It is the common engine behind the hook dispatchers in hooks.go.
 func (k *Kernel) Run(lp *LoadedProgram, data []byte, ifindex uint32, env Env) (Result, error) {
+	if f := k.fastOf(lp); f != nil {
+		res, err := f(data, len(data), ifindex)
+		k.noteRun(res.Insns, true)
+		return res, err
+	}
 	st := k.getExec(lp, len(data), ifindex, env)
 	st.packet = data
 	st.pktWrite = true
 	st.msgData = data
-	res, err := st.run()
-	k.noteRun(res.Insns)
+	res, err := k.execute(st)
 	putExec(st)
 	return res, err
 }
@@ -285,6 +397,27 @@ func (k *Kernel) Run(lp *LoadedProgram, data []byte, ifindex uint32, env Env) (R
 // (descriptors) are staged in the exec state's inline buffer, so the send
 // path does not allocate; larger frames fall back to an explicit copy.
 func (k *Kernel) RunCopy(lp *LoadedProgram, data []byte, ifindex uint32, env Env) (Result, error) {
+	if f := k.fastOf(lp); f != nil {
+		// The fast paths neither write nor retain the frame, but f is an
+		// indirect call, so escape analysis must assume it leaks its
+		// arguments — running directly over the caller's bytes would heap-
+		// allocate stack-backed frames (e.g. the marshaled descriptor in
+		// SProxy.Send). Stage small frames through a pooled buffer to keep
+		// the send path at zero allocations.
+		var res Result
+		var err error
+		if len(data) <= pktCopySize {
+			buf := fastBufPool.Get().(*[pktCopySize]byte)
+			n := copy(buf[:], data)
+			res, err = f(buf[:n], n, ifindex)
+			fastBufPool.Put(buf)
+		} else {
+			big := append([]byte(nil), data...)
+			res, err = f(big, len(big), ifindex)
+		}
+		k.noteRun(res.Insns, true)
+		return res, err
+	}
 	if len(data) > pktCopySize {
 		buf := append([]byte(nil), data...)
 		return k.Run(lp, buf, ifindex, env)
@@ -294,8 +427,7 @@ func (k *Kernel) RunCopy(lp *LoadedProgram, data []byte, ifindex uint32, env Env
 	st.packet = st.pktCopy[:n]
 	st.pktWrite = true
 	st.msgData = st.packet
-	res, err := st.run()
-	k.noteRun(res.Insns)
+	res, err := k.execute(st)
 	putExec(st)
 	return res, err
 }
@@ -325,6 +457,24 @@ func (k *Kernel) RunCopyEach(lp *LoadedProgram, ifindex uint32, env Env, n int,
 	if env == nil {
 		st.env = k.currentEnv()
 	}
+	if f := k.fastOf(lp); f != nil {
+		// Shape-specialized burst: the pooled exec state is kept only for
+		// its inline staging buffer (a local array would escape through
+		// the stage callback and allocate per batch); no per-frame reset.
+		for i := 0; i < n; i++ {
+			ln := stage(i, st.pktCopy[:])
+			if ln > pktCopySize {
+				ln = pktCopySize
+			}
+			res, err := f(st.pktCopy[:ln], ln, ifindex)
+			k.noteRun(res.Insns, true)
+			if !each(i, res, err) {
+				break
+			}
+		}
+		putExec(st)
+		return
+	}
 	for i := 0; i < n; i++ {
 		ln := stage(i, st.pktCopy[:])
 		if ln > pktCopySize {
@@ -334,8 +484,7 @@ func (k *Kernel) RunCopyEach(lp *LoadedProgram, ifindex uint32, env Env, n int,
 		st.packet = st.pktCopy[:ln]
 		st.pktWrite = true
 		st.msgData = st.packet
-		res, err := st.run()
-		k.noteRun(res.Insns)
+		res, err := k.execute(st)
 		if !each(i, res, err) {
 			break
 		}
@@ -349,9 +498,13 @@ func (k *Kernel) RunCopyEach(lp *LoadedProgram, ifindex uint32, env Env, n int,
 // EPROXY monitor reads just data/data_end from the ctx) run this way
 // without the caller materializing a frame at all.
 func (k *Kernel) RunMeta(lp *LoadedProgram, frameLen int, ifindex uint32, env Env) (Result, error) {
+	if f := k.fastOf(lp); f != nil {
+		res, err := f(nil, frameLen, ifindex)
+		k.noteRun(res.Insns, true)
+		return res, err
+	}
 	st := k.getExec(lp, frameLen, ifindex, env)
-	res, err := st.run()
-	k.noteRun(res.Insns)
+	res, err := k.execute(st)
 	putExec(st)
 	return res, err
 }

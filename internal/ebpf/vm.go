@@ -46,6 +46,16 @@ var (
 	ErrBadMapHandle = errors.New("ebpf: register does not hold a map handle")
 )
 
+// Pre-built fault errors. Faults are returned from inside the execution hot
+// loop (interpreted or compiled), so they must not allocate: a program that
+// faults on every run would otherwise turn the 0 allocs/op guarantee into a
+// per-fault fmt.Errorf. The sentinels carry the fault class; the faulting
+// address is diagnosable from the program counter in Result.Insns.
+var (
+	errReadOnlyWrite = fmt.Errorf("%w: write to read-only region", ErrOutOfBounds)
+	errPCOutOfRange  = errors.New("ebpf: pc out of program bounds")
+)
+
 // maxInlineMapVals is how many distinct map-value regions one run can map
 // before spilling to a heap slice. SPROXY maps two (filter hit + metrics
 // slot); eight leaves generous headroom without growing the exec state.
@@ -114,6 +124,13 @@ type execState struct {
 
 	// msgData is the SK_MSG payload (for msg_redirect_map delivery).
 	msgData []byte
+
+	// JIT bookkeeping. blockBase is the dynamic instruction count at entry
+	// to the currently executing compiled block (so a faulting instruction
+	// can rewind Result.Insns to its exact position), and jitErr carries a
+	// fault out of a compiled closure chain to the block driver.
+	blockBase int
+	jitErr    error
 }
 
 func (st *execState) slot(i int) []byte {
@@ -169,7 +186,7 @@ func (st *execState) access(addr uint64, size int, write bool) ([]byte, error) {
 	case packetBase >> regionShift:
 		if off := addr - packetBase; off < uint64(len(st.packet)) && off+n <= uint64(len(st.packet)) {
 			if write && !st.pktWrite {
-				return nil, fmt.Errorf("%w: write to read-only region at %#x", ErrOutOfBounds, addr)
+				return nil, errReadOnlyWrite
 			}
 			return st.packet[off : off+n], nil
 		}
@@ -188,7 +205,7 @@ func (st *execState) access(addr uint64, size int, write bool) ([]byte, error) {
 			}
 		}
 	}
-	return nil, fmt.Errorf("%w: %d bytes at %#x", ErrOutOfBounds, size, addr)
+	return nil, ErrOutOfBounds
 }
 
 func loadUint(b []byte, size Size) uint64 {
@@ -250,14 +267,24 @@ func atomicAddBytes(b []byte, size Size, delta uint64) {
 
 // run interprets the program until exit, error, or budget exhaustion.
 func (st *execState) run() (Result, error) {
+	return st.runFrom(0)
+}
+
+// runFrom interprets the program starting at pc, against the exec state's
+// current registers, stack and map-value table. Besides backing run, it is
+// the bail-out continuation for compiled programs: when a closure-chain
+// block cannot guarantee exact per-instruction budget accounting (the run
+// is within one block of MaxRuntimeInsns), the block driver hands the
+// machine state back to the interpreter here, which finishes the run with
+// the canonical per-instruction semantics.
+func (st *execState) runFrom(pc int) (Result, error) {
 	insns := st.prog.prog.Insns
-	pc := 0
 	for {
 		if st.res.Insns >= MaxRuntimeInsns {
 			return st.res, ErrBudget
 		}
 		if pc < 0 || pc >= len(insns) {
-			return st.res, fmt.Errorf("ebpf: pc %d out of program bounds", pc)
+			return st.res, errPCOutOfRange
 		}
 		in := insns[pc]
 		st.res.Insns++

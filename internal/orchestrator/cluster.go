@@ -235,6 +235,12 @@ func NewCluster(n int) *Cluster {
 		nodes[i] = NewWorkerNode(fmt.Sprintf("worker-%d", i+1))
 	}
 	o := obs.New()
+	// Each node's eBPF engine counters are scraped for the node's lifetime
+	// (nodes are never removed from a cluster).
+	for _, wn := range nodes {
+		wn := wn
+		o.Registry().Register("node:"+wn.Name, func() []obs.Family { return collectNode(wn) })
+	}
 	ctrl := &Controller{
 		sched:   &Scheduler{nodes: nodes},
 		obsv:    o,

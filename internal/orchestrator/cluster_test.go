@@ -2,6 +2,7 @@ package orchestrator
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -251,5 +252,69 @@ func TestEmptySchedulerFails(t *testing.T) {
 	s := &Scheduler{}
 	if _, err := s.Place(); err != ErrNoNodes {
 		t.Fatalf("want ErrNoNodes, got %v", err)
+	}
+}
+
+// TestNodeEngineMetricsExposed: the cluster exposition carries per-node
+// eBPF engine series, and driving traffic through a deployed chain moves
+// the jit counter (the dataplane programs compile to the fast paths) while
+// the interpreter counter stays put.
+func TestNodeEngineMetricsExposed(t *testing.T) {
+	cl := NewCluster(1)
+	d, err := cl.Controller.DeployChain(upperSpec("engmet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Gateway.Invoke(context.Background(), "", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	scrape := func() string {
+		rec := httptest.NewRecorder()
+		cl.Observability().Registry().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		return rec.Body.String()
+	}
+	body := scrape()
+	for _, want := range []string{
+		`spright_ebpf_runs_total{engine="jit",node="worker-1"}`,
+		`spright_ebpf_runs_total{engine="interp",node="worker-1"}`,
+		`spright_ebpf_loaded_programs{node="worker-1"}`,
+		`spright_ebpf_compiled_programs{node="worker-1"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %s:\n%s", want, body)
+		}
+	}
+	val := func(body, series string) float64 {
+		for _, line := range strings.Split(body, "\n") {
+			if strings.HasPrefix(line, series+" ") {
+				var v float64
+				if _, err := fmt.Sscanf(strings.TrimPrefix(line, series+" "), "%g", &v); err != nil {
+					t.Fatalf("parse %q: %v", line, err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("series %s not found", series)
+		return 0
+	}
+	jit := val(body, `spright_ebpf_runs_total{engine="jit",node="worker-1"}`)
+	if jit <= 0 {
+		t.Fatalf("jit runs = %v, want > 0 after traffic", jit)
+	}
+	if interp := val(body, `spright_ebpf_runs_total{engine="interp",node="worker-1"}`); interp != 0 {
+		t.Fatalf("interp runs = %v, want 0 (dataplane programs should be compiled)", interp)
+	}
+	if compiled := val(body, `spright_ebpf_compiled_programs{node="worker-1"}`); compiled < 2 {
+		t.Fatalf("compiled programs = %v, want >= 2 (sproxy + eproxy)", compiled)
+	}
+
+	// More traffic moves the counter monotonically.
+	if _, err := d.Gateway.Invoke(context.Background(), "", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if jit2 := val(scrape(), `spright_ebpf_runs_total{engine="jit",node="worker-1"}`); jit2 <= jit {
+		t.Fatalf("jit runs did not advance: %v -> %v", jit, jit2)
 	}
 }

@@ -1,21 +1,30 @@
 GO ?= go
 
-BENCH_OUT ?= BENCH_6.json
+BENCH_OUT ?= BENCH_7.json
 # the hot-path serial benchmarks tracked in BENCH_*.json snapshots
-BENCH_PAT ?= BenchmarkSProxySend$$|BenchmarkShmPool$$|BenchmarkEBPFInterpreter$$|BenchmarkJIT_vs_Interp/|BenchmarkE2E_SSpright|BenchmarkE2E_DSpright|BenchmarkE2E_GRPCBaseline|BenchmarkTraceUnsampled$$|BenchmarkTraceSampled$$|BenchmarkColdStartResume$$|BenchmarkColdStartPrewarmed$$|BenchmarkOverloadShed$$
+BENCH_PAT ?= BenchmarkSProxySend$$|BenchmarkShmPool$$|BenchmarkEBPFInterpreter$$|BenchmarkJIT_vs_Interp/|BenchmarkE2E_SSpright|BenchmarkE2E_DSpright|BenchmarkE2E_CrossNode|BenchmarkE2E_GRPCBaseline|BenchmarkTraceUnsampled$$|BenchmarkTraceSampled$$|BenchmarkColdStartResume$$|BenchmarkColdStartPrewarmed$$|BenchmarkOverloadShed$$
 # the multicore RPS harness, swept across BENCH_CPUS
 BENCH_PAR_PAT ?= BenchmarkE2E_Parallel_
-# benchmark knobs: time per benchmark and the GOMAXPROCS sweep for the
-# parallel suite (testing's -benchtime / -cpu flags)
+# benchmark knobs: time per benchmark, samples per serial benchmark
+# (benchjson keeps the fastest — the noise floor on a shared host), and
+# the GOMAXPROCS sweep for the parallel suite
 BENCH_TIME ?= 1s
+BENCH_COUNT ?= 3
 BENCH_CPUS ?= 1,2,4,8
 # regression gate inputs for bench-compare; BENCH_GAIN lists benchmarks
-# that must have IMPROVED between the snapshots (the JIT acceptance gate)
-OLD ?= BENCH_5.json
-NEW ?= BENCH_6.json
-BENCH_GAIN ?= BenchmarkSProxySend=0.30
+# that must have IMPROVED between the snapshots (empty: regressions only —
+# the multi-node PR must leave the intra-node serial benches unchanged).
+# BENCH_6R.json re-records the BENCH_6 code on the current host: the host
+# slowed between sessions (pristine-HEAD measurements confirmed the drift
+# is environmental) and its speed oscillates in multi-minute windows, so
+# both snapshots' serial suites were recorded in interleaved rounds (old
+# tree / new tree alternating, best-of-3 via benchjson's min-dedupe) to
+# keep the diff measuring the PR. BENCH_6.json stays PR 7's record.
+OLD ?= BENCH_6R.json
+NEW ?= BENCH_7.json
+BENCH_GAIN ?=
 
-.PHONY: build test race race-obs race-scale race-ebpf vet fmt-check verify bench bench-compare clean
+.PHONY: build test race race-obs race-scale race-ebpf race-net vet fmt-check verify bench bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -31,8 +40,11 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# -p 1 runs one package's race binary at a time: the control-plane scenarios
+# (burst capacity, autoscaler evaluate) assert replica growth under a timed
+# load window and get starved when other packages' race tests share the host.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -p 1 ./...
 
 # race-obs races the observability layer and its exporter conformance test
 # specifically (concurrent scrapes against live counters) — an explicit
@@ -55,18 +67,25 @@ race-ebpf:
 	$(GO) test -race -count=1 ./internal/ebpf/
 	$(GO) test -race -count=1 -run 'TestEngineParity|TestProxyProgramsCompile' ./internal/core/
 
+# race-net races the multi-node path specifically: the wire codec, the
+# batched mesh transport (reconnect/backlog/chaos paths), and the placed
+# cross-node deployment scenarios (E2E, chaos, exporter conformance).
+race-net:
+	$(GO) test -race -count=1 ./internal/wire/ ./internal/transport/
+	$(GO) test -race -count=1 -run 'TestPlacedChain|TestNetMetrics' ./internal/orchestrator/
+
 # verify is the gate for every change: formatting, static analysis, and the
 # full test suite (chaos tests included) under the race detector, with the
-# observability conformance test and the autoscaling control plane raced
-# explicitly.
-verify: fmt-check vet race race-obs race-scale race-ebpf
+# observability conformance test, the autoscaling control plane, and the
+# multi-node transport raced explicitly.
+verify: fmt-check vet race race-obs race-scale race-ebpf race-net
 
 # bench runs the tracked serial benchmarks, then the parallel RPS harness
 # across the BENCH_CPUS sweep, and writes one machine-readable snapshot
 # (ns/op, B/op, allocs/op, derived RPS, p50/p99) to $(BENCH_OUT) via
 # cmd/benchjson. Raw output stays in bench.out until the JSON is written.
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem -benchtime $(BENCH_TIME) . | tee bench.out
+	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) . | tee bench.out
 	$(GO) test -run '^$$' -bench '$(BENCH_PAR_PAT)' -benchmem -benchtime $(BENCH_TIME) -cpu $(BENCH_CPUS) . | tee -a bench.out
 	$(GO) run ./cmd/benchjson < bench.out > $(BENCH_OUT)
 	@rm -f bench.out

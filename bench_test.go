@@ -290,6 +290,91 @@ func BenchmarkE2E_Parallel_DSpright(b *testing.B) {
 	}
 }
 
+// benchPlacedChain builds a 2-node cluster joined by the loopback mesh and
+// deploys a 2-function chain with f0 on worker-1 and f1 on worker-2, so
+// every request crosses the wire twice (forward + response).
+func benchPlacedChain(b *testing.B) (*spright.Cluster, *spright.PlacedDeployment) {
+	b.Helper()
+	cluster := spright.NewCluster(2)
+	if err := cluster.StartMesh(spright.MeshConfig{}); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cluster.StopMesh)
+	pd, err := cluster.Controller.DeployPlacedChain(spright.ChainSpec{
+		Name: fmt.Sprintf("bench-xnode-%d", benchChainSeq.Add(1)),
+		Mode: spright.ModeEvent,
+		Functions: []spright.FunctionSpec{
+			{Name: "f0", Node: "worker-1", Handler: func(ctx *spright.Ctx) error { return nil }},
+			{Name: "f1", Node: "worker-2", Handler: func(ctx *spright.Ctx) error { return nil }},
+		},
+		Routes: []spright.RouteSpec{
+			{From: "", To: []string{"f0"}},
+			{From: "f0", To: []string{"f1"}},
+		},
+		BufSize: 128 << 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(pd.Close)
+	return cluster, pd
+}
+
+// BenchmarkE2E_CrossNode is the 2-node variant of BenchmarkE2E_SSpright:
+// the f0→f1 hop leaves the node over the batched TCP mesh and the response
+// rides it back, so ns/op is the per-request cross-node tax on top of the
+// shared-memory path (which BenchmarkE2E_SSpright shows unchanged).
+func BenchmarkE2E_CrossNode(b *testing.B) {
+	for _, size := range e2eSizes {
+		b.Run(sizeName(size), func(b *testing.B) {
+			_, pd := benchPlacedChain(b)
+			payload := make([]byte, size)
+			resp := make([]byte, size)
+			ctx := context.Background()
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pd.Gateway().InvokeInto(ctx, "", payload, resp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2E_Parallel_CrossNode is the closed-loop multicore harness over
+// the 2-node placement. Concurrent requests share the per-peer send ring,
+// so the writer coalesces frames: the reported frames/write is the batching
+// amortization the serial bench cannot show (1.0 = no coalescing).
+func BenchmarkE2E_Parallel_CrossNode(b *testing.B) {
+	for _, size := range e2eSizes {
+		b.Run(sizeName(size), func(b *testing.B) {
+			cluster, pd := benchPlacedChain(b)
+			ctx := context.Background()
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				payload := make([]byte, size)
+				resp := make([]byte, size)
+				for pb.Next() {
+					if _, err := pd.Gateway().InvokeInto(ctx, "", payload, resp); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			for _, ps := range cluster.Nodes()[0].Mesh.Stats().Sent {
+				if ps.Peer == "worker-2" && ps.Writes > 0 {
+					b.ReportMetric(float64(ps.FramesSent)/float64(ps.Writes), "frames/write")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkE2E_GRPCBaseline runs the same 2-function workload over the
 // real gRPC direct-call baseline (net.Pipe + per-hop serialization) for a
 // like-for-like comparison with BenchmarkE2E_SSpright: the delta is the

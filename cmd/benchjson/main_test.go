@@ -146,3 +146,27 @@ func TestParseMinGains(t *testing.T) {
 		t.Fatalf("empty spec: got %v, %v", gains, err)
 	}
 }
+
+func TestDedupeMinKeepsFastestSample(t *testing.T) {
+	in := []Result{
+		{Name: "BenchmarkA", Cpus: 1, NsPerOp: 120, AllocsPerOp: 1},
+		{Name: "BenchmarkB", Cpus: 1, NsPerOp: 50},
+		{Name: "BenchmarkA", Cpus: 1, NsPerOp: 100, AllocsPerOp: 2},
+		{Name: "BenchmarkA", Cpus: 2, NsPerOp: 90}, // distinct cpus: kept apart
+		{Name: "BenchmarkA", Cpus: 1, NsPerOp: 130},
+	}
+	out := dedupeMin(in)
+	if len(out) != 3 {
+		t.Fatalf("got %d results, want 3: %+v", len(out), out)
+	}
+	if out[0].Name != "BenchmarkA" || out[0].Cpus != 1 || out[0].NsPerOp != 100 {
+		t.Fatalf("first entry not the fastest cpus=1 sample: %+v", out[0])
+	}
+	// The whole winning sample rides along, not just its ns/op.
+	if out[0].AllocsPerOp != 2 {
+		t.Fatalf("winning sample's fields not preserved: %+v", out[0])
+	}
+	if out[1].Name != "BenchmarkB" || out[2].Cpus != 2 {
+		t.Fatalf("first-seen order not preserved: %+v", out)
+	}
+}

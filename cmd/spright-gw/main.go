@@ -5,6 +5,11 @@
 //
 //	spright-gw -listen :8080 -app boutique
 //	curl -d 'hello' http://localhost:8080/boutique/   (chain 0, GET "/")
+//
+// With -nodes N the cluster simulates N worker nodes joined by the
+// loopback mesh transport, and -place pins functions to nodes:
+//
+//	spright-gw -app echo -nodes 2 -place upper=worker-1,exclaim=worker-2
 package main
 
 import (
@@ -16,11 +21,13 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/spright-go/spright/internal/boutique"
 	"github.com/spright-go/spright/internal/core"
 	"github.com/spright-go/spright/internal/orchestrator"
+	"github.com/spright-go/spright/internal/transport"
 )
 
 func main() {
@@ -37,14 +44,21 @@ func main() {
 	parkCapacity := flag.Int("park-capacity", 256, "requests parked at the gateway while a zero-replica function resumes (0 disables parking)")
 	parkTimeout := flag.Duration("park-timeout", time.Second, "longest a parked request waits for an instance before being shed")
 	maxPending := flag.Int("max-pending", 0, "admission ceiling on in-flight requests; beyond it requests shed with Retry-After (0 = unlimited)")
+	nodes := flag.Int("nodes", 1, "simulated worker nodes; >1 starts the loopback mesh transport between them")
+	place := flag.String("place", "", "comma-separated fn=node placements, e.g. upper=worker-1,exclaim=worker-2")
 	flag.Parse()
+
+	if *nodes < 1 {
+		fmt.Fprintln(os.Stderr, "-nodes must be >= 1")
+		os.Exit(2)
+	}
 
 	m := core.ModeEvent
 	if *mode == "polling" {
 		m = core.ModePolling
 	}
 
-	cluster := orchestrator.NewCluster(1)
+	cluster := orchestrator.NewCluster(*nodes)
 	var spec core.ChainSpec
 	switch *app {
 	case "echo":
@@ -85,22 +99,67 @@ func main() {
 		}
 	}
 
-	dep, err := cluster.Controller.DeployChain(spec)
-	if err != nil {
-		log.Fatalf("deploy: %v", err)
+	if *place != "" {
+		byFn := make(map[string]int, len(spec.Functions))
+		for i := range spec.Functions {
+			byFn[spec.Functions[i].Name] = i
+		}
+		for _, kv := range strings.Split(*place, ",") {
+			fn, node, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok || fn == "" || node == "" {
+				fmt.Fprintf(os.Stderr, "bad -place entry %q (want fn=node)\n", kv)
+				os.Exit(2)
+			}
+			i, known := byFn[fn]
+			if !known {
+				fmt.Fprintf(os.Stderr, "-place names unknown function %q\n", fn)
+				os.Exit(2)
+			}
+			spec.Functions[i].Node = node
+		}
+	}
+
+	var (
+		dep *orchestrator.Deployment
+		pd  *orchestrator.PlacedDeployment
+		err error
+	)
+	if *nodes > 1 || *place != "" {
+		if err = cluster.StartMesh(transport.Config{}); err != nil {
+			log.Fatalf("mesh: %v", err)
+		}
+		pd, err = cluster.Controller.DeployPlacedChain(spec)
+		if err != nil {
+			log.Fatalf("deploy: %v", err)
+		}
+		dep = pd.Head()
+		for fn, node := range pd.Placement() {
+			log.Printf("placed %s on %s", fn, node)
+		}
+	} else {
+		dep, err = cluster.Controller.DeployChain(spec)
+		if err != nil {
+			log.Fatalf("deploy: %v", err)
+		}
 	}
 	log.Printf("chain %q deployed (%s) with %d function instances",
 		spec.Name, m, len(dep.Chain.Instances()))
 
 	if *autoscale {
-		as, err := cluster.Controller.EnableAutoscaling(spec.Name, orchestrator.AutoscalerConfig{
+		asCfg := orchestrator.AutoscalerConfig{
 			Target:           *asTarget,
 			MinReplicas:      *minReplicas,
 			MaxReplicas:      *maxReplicas,
 			ScaleToZeroAfter: *scaleToZeroAfter,
 			Prewarm:          *prewarm,
 			SelfHeal:         true,
-		})
+		}
+		var as *orchestrator.Autoscaler
+		if pd != nil {
+			as, err = pd.EnableAutoscaling(asCfg)
+		} else {
+			as, err = cluster.Controller.EnableAutoscaling(spec.Name, asCfg)
+		}
 		if err != nil {
 			log.Fatalf("autoscale: %v", err)
 		}

@@ -19,6 +19,12 @@ type FunctionSpec struct {
 	Instances   int           // pods to start (default 1)
 	Concurrency int           // per-pod concurrent invocations (default 32)
 	ServiceTime time.Duration // optional simulated CPU time per invocation
+
+	// Node optionally places the function on a named worker node in a
+	// multi-node deployment. Core ignores it — the orchestrator's placed
+	// deployment reads it to decide which node runs the real handler and
+	// which nodes get a transport stub ("" = the chain's head node).
+	Node string
 }
 
 // RouteSpec declares one DFR routing-table entry. From "" routes the
@@ -117,7 +123,8 @@ type Chain struct {
 	instances []*Instance
 	prewarmed []*Instance // transport-wired, workers running, not routable
 	byName    map[string]*FunctionSpec
-	fnOrder   []string // declared function order (immutable after NewChain)
+	gwIngress map[string]bool // fns the gateway may dispatch to directly
+	fnOrder   []string        // declared function order (immutable after NewChain)
 	routes    []RouteSpec
 	sockDepth int
 	nextID    uint32
@@ -973,7 +980,36 @@ func (c *Chain) authorizeEdgesLocked(inst *Instance) error {
 			}
 		}
 	}
+	if c.gwIngress[fn] {
+		if err := c.transport.Allow(GatewayID, inst.ID()); err != nil {
+			return err
+		}
+	}
 	return c.transport.Allow(inst.ID(), GatewayID)
+}
+
+// AllowGatewayIngress authorizes the gateway to dispatch directly to fn —
+// the entry edge for requests arriving from a peer node, where the logical
+// source instance lives on the other side of the wire and the local gateway
+// re-injects the descriptor on its behalf. The grant is persistent:
+// instances of fn added later (scale-up, restart, prewarm activation)
+// inherit it through authorizeEdgesLocked.
+func (c *Chain) AllowGatewayIngress(fn string) error {
+	c.instMu.Lock()
+	defer c.instMu.Unlock()
+	if _, ok := c.byName[fn]; !ok {
+		return fmt.Errorf("core: unknown function %q", fn)
+	}
+	if c.gwIngress == nil {
+		c.gwIngress = make(map[string]bool)
+	}
+	c.gwIngress[fn] = true
+	for _, in := range c.router.Instances(fn) {
+		if err := c.transport.Allow(GatewayID, in.ID()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RestartInstance replaces a crashed or circuit-broken instance with a

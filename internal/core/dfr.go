@@ -21,11 +21,15 @@ type RouteKey struct {
 }
 
 // Router is the DFR routing table plus the instance registry used for
-// residual-capacity load balancing.
+// residual-capacity load balancing. In a multi-node deployment each entry
+// additionally resolves to a placement node: routing stays {topic, from} →
+// function, and the placement map turns the function into {node, instance}
+// — local instances for functions placed here, a transport stub otherwise.
 type Router struct {
 	mu        sync.RWMutex
 	routes    map[RouteKey][]string
 	instances map[string][]*Instance
+	placement map[string]string // function → node name ("" = local/unplaced)
 }
 
 // Router errors.
@@ -39,7 +43,38 @@ func NewRouter() *Router {
 	return &Router{
 		routes:    make(map[RouteKey][]string),
 		instances: make(map[string][]*Instance),
+		placement: make(map[string]string),
 	}
+}
+
+// SetPlacement records which node runs fn. An empty node clears the entry
+// (fn is local / unplaced).
+func (r *Router) SetPlacement(fn, node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if node == "" {
+		delete(r.placement, fn)
+		return
+	}
+	r.placement[fn] = node
+}
+
+// NodeOf returns the node fn is placed on ("" when local or unplaced).
+func (r *Router) NodeOf(fn string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.placement[fn]
+}
+
+// Placements returns a copy of the full placement map.
+func (r *Router) Placements() map[string]string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]string, len(r.placement))
+	for fn, node := range r.placement {
+		out[fn] = node
+	}
+	return out
 }
 
 // SetRoute installs (or replaces) the next hops for key. The SPRIGHT

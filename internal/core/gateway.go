@@ -424,9 +424,17 @@ func (g *Gateway) dispatch(ctx context.Context, topic string, d shm.Descriptor) 
 	}
 	// The gateway invokes only the head function (① in Fig. 4); the rest
 	// of the chain routes function-to-function.
-	err := g.dispatchTo(next[0], d)
+	return g.dispatchAt(ctx, next[0], d)
+}
+
+// dispatchAt sends d directly to fn, parking on scale-to-zero when parking
+// is enabled. On error the buffer has been released. It is dispatch minus
+// the ingress DFR lookup — the entry point for requests whose routing was
+// already resolved, such as frames arriving from a peer node.
+func (g *Gateway) dispatchAt(ctx context.Context, fn string, d shm.Descriptor) error {
+	err := g.dispatchTo(fn, d)
 	if err != nil && errors.Is(err, ErrNoInstance) && g.admission.ParkCapacity > 0 {
-		err = g.parkAndDispatch(ctx, next[0], d)
+		err = g.parkAndDispatch(ctx, fn, d)
 	}
 	if err != nil {
 		g.chain.releaseBuffer(d.Buf)
@@ -660,6 +668,145 @@ func (g *Gateway) InvokeAsync(topic string, payload []byte) error {
 		return err
 	}
 	return g.dispatch(context.Background(), topic, d)
+}
+
+// InvokeRemote admits a payload that arrived from a peer node's gateway and
+// dispatches it directly to fn (the sending node's DFR already resolved the
+// hop — no ingress route lookup here). The payload is copied into the local
+// shm pool before InvokeRemote returns, so the caller may recycle it
+// immediately. tc is the trace context carried on the wire frame: when
+// sampled, the local tracer adopts it, so both nodes' spans share one trace
+// ID and the remote spans parent under the forwarding stub's span.
+//
+// For noReply requests done must be nil: the frame is fire-and-forget.
+// Otherwise done is called exactly once, from a gateway goroutine, with the
+// response payload or a terminal error; the payload is only valid for the
+// duration of the call (it is returned to a pool after).
+func (g *Gateway) InvokeRemote(fn, topic string, payload []byte, tc shm.TraceContext, noReply bool, done func([]byte, error)) error {
+	select {
+	case <-g.stop:
+		return ErrGatewayClosed
+	default:
+	}
+	if noReply {
+		d, err := g.admit(topic, payload, NoReply)
+		if err != nil {
+			return err
+		}
+		if tc.Sampled() {
+			g.chain.pool.SetTraceContext(d.Buf, tc)
+		}
+		return g.dispatchAt(context.Background(), fn, d)
+	}
+	// Same overload shed point as local ingress: a remote hop must not
+	// bypass admission control.
+	if mp := g.admission.MaxPending; mp > 0 && int(g.pending.count.Load()) >= mp {
+		g.rejected.Add(1)
+		g.shedOverload.Add(1)
+		return &OverloadError{Reason: ShedOverload, RetryAfter: g.admission.RetryAfter}
+	}
+	start := time.Now()
+	caller := g.nextID.Add(1)
+	if caller == NoReply {
+		caller = g.nextID.Add(1)
+	}
+	ch := g.getWaiter()
+	g.pending.put(caller, ch)
+	tr := g.chain.currentTracer()
+	var ltc shm.TraceContext
+	if tr != nil {
+		// Adopt the inbound sampled context: same trace ID, and this
+		// node's request span parents under the remote stub's span.
+		ltc = tr.BeginRequest(caller, tc, start)
+	}
+	sampled := ltc.Sampled()
+	d, err := g.admit(topic, payload, caller)
+	if err != nil {
+		g.recycleWaiter(caller, ch)
+		if tr != nil {
+			tr.FinishRequest(caller, sampled, err, start, time.Since(start))
+		}
+		return err
+	}
+	if sampled {
+		g.chain.pool.SetTraceContext(d.Buf, ltc)
+	}
+	// The payload now lives in the local pool; dispatch and the response
+	// wait move off the transport's receive loop.
+	go g.remoteWait(fn, d, caller, ch, tr, sampled, start, done)
+	return nil
+}
+
+// remoteWait drives one remote-originated request from dispatch to
+// completion and hands the outcome to done.
+func (g *Gateway) remoteWait(fn string, d shm.Descriptor, caller uint32, ch chan gwResult,
+	tr *Tracer, sampled bool, start time.Time, done func([]byte, error)) {
+	ctx := context.Background()
+	if dl := g.chain.deadline; dl > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, dl)
+		defer cancel()
+	}
+	if err := g.dispatchAt(ctx, fn, d); err != nil {
+		g.recycleWaiter(caller, ch)
+		if tr != nil {
+			tr.FinishRequest(caller, sampled, err, start, time.Since(start))
+		}
+		done(nil, err)
+		return
+	}
+	select {
+	case res := <-ch:
+		el := time.Since(start)
+		g.lat.Observe(uint64(caller), el.Seconds())
+		if tr != nil {
+			tr.FinishRequest(caller, sampled, res.err, start, el)
+		}
+		if res.err != nil || res.gb == nil {
+			done(nil, res.err)
+		} else {
+			done(res.gb.b[:res.n], nil)
+			g.putBuf(res.gb)
+		}
+		g.waiterPool.Put(ch)
+	case <-ctx.Done():
+		g.recycleWaiter(caller, ch)
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			g.chain.failures.deadlines.Add(1)
+		}
+		if tr != nil {
+			tr.FinishRequest(caller, sampled, ctx.Err(), start, time.Since(start))
+		}
+		done(nil, ctx.Err())
+	case <-g.stop:
+		if tr != nil {
+			tr.FinishRequest(caller, sampled, ErrGatewayClosed, start, time.Since(start))
+		}
+		done(nil, ErrGatewayClosed)
+	}
+}
+
+// CompleteRemote finishes a pending request with a response (or transport
+// failure) that arrived from a peer node: the cross-node analogue of the
+// response descriptor returning to the gateway socket. The payload is
+// copied before CompleteRemote returns. false means no waiter was
+// registered for caller (late, duplicate, or already-failed request).
+func (g *Gateway) CompleteRemote(caller uint32, payload []byte, err error) bool {
+	ch, ok := g.pending.take(caller)
+	if !ok {
+		g.chain.noteError("gateway", fmt.Errorf("%w: remote %d", ErrNoWaiter, caller))
+		return false
+	}
+	if err != nil {
+		g.failed.Add(1)
+		ch <- gwResult{err: err}
+		return true
+	}
+	gb := g.getBuf(len(payload))
+	n := copy(gb.b[:len(payload)], payload)
+	g.completed.Add(1)
+	ch <- gwResult{gb: gb, n: n}
+	return true
 }
 
 // forget removes a pending entry, reporting whether it was still present

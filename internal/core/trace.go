@@ -56,6 +56,10 @@ const (
 	StageHandler = "handler"
 	// StageDrain is the response copy out of shared memory at the gateway.
 	StageDrain = "gateway.drain"
+	// StageXNodeForward is one cross-node hop: the stub handler's wire
+	// forward to the peer node's gateway. Its children on the remote
+	// tracer parent under the same trace ID (the context rides the frame).
+	StageXNodeForward = "xnode.forward"
 )
 
 // TraceID is a 128-bit trace identity.

@@ -52,6 +52,12 @@ type Autoscaler struct {
 	lastEval     time.Time
 	admitRate    float64
 
+	// remoteBacklog, when set, reports frames queued on inter-node send
+	// rings bound for fn — cross-node demand the local queueing signals
+	// cannot see (a backed-up mesh link means the remote replica set is
+	// undersized exactly like a deep local socket queue would).
+	remoteBacklog func(fn string) int
+
 	ticker  *time.Ticker
 	stop    chan struct{}
 	kick    chan struct{}
@@ -203,6 +209,16 @@ func NewAutoscalerWithConfig(dep *Deployment, cfg AutoscalerConfig) *Autoscaler 
 // Config returns the resolved configuration.
 func (a *Autoscaler) Config() AutoscalerConfig { return a.cfg }
 
+// SetRemoteBacklog installs the cross-node demand hook: fn's queued frame
+// count on this node's outbound mesh rings is folded into fn's demand
+// signal each evaluation. Safe to call while the evaluate loop runs (the
+// placed deployment wires it after EnableAutoscaling has started it).
+func (a *Autoscaler) SetRemoteBacklog(f func(fn string) int) {
+	a.mu.Lock()
+	a.remoteBacklog = f
+	a.mu.Unlock()
+}
+
 // Kick requests an immediate out-of-band evaluation — the gateway calls
 // this (via the park notifier) when a request parks on a zero-replica
 // function, so resume latency is bounded by the scheduler, not the
@@ -294,6 +310,9 @@ func (a *Autoscaler) evaluateLocked(now time.Time) []ScaleDecision {
 				healthy++
 			}
 			demand += float64(in.Inflight() + in.QueueDepth() + ringLen[in.ID()])
+		}
+		if a.remoteBacklog != nil {
+			demand += float64(a.remoteBacklog(fn))
 		}
 		totalDemand += demand
 

@@ -18,6 +18,7 @@ import (
 	"github.com/spright-go/spright/internal/netstack"
 	"github.com/spright-go/spright/internal/obs"
 	"github.com/spright-go/spright/internal/shm"
+	"github.com/spright-go/spright/internal/transport"
 )
 
 // WorkerNode is one node's infrastructure: its eBPF kernel, its shared
@@ -29,8 +30,14 @@ type WorkerNode struct {
 	Net     *netstack.Node
 	Kubelet *Kubelet
 
+	// Mesh is the node's inter-node transport endpoint (nil until
+	// Cluster.StartMesh). placed maps base chain name → this node's
+	// variant of a placed chain, the frame handler's dispatch table.
+	Mesh *transport.Mesh
+
 	mu     sync.Mutex
 	chains map[string]*Deployment
+	placed map[string]*Deployment
 }
 
 // NewWorkerNode provisions a node.
@@ -41,6 +48,7 @@ func NewWorkerNode(name string) *WorkerNode {
 		ShmMgr: shm.NewManager(),
 		Net:    netstack.NewNode(name),
 		chains: make(map[string]*Deployment),
+		placed: make(map[string]*Deployment),
 	}
 	n.Kubelet = &Kubelet{node: n}
 	return n

@@ -1,0 +1,333 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/spright-go/spright/internal/metrics"
+	"github.com/spright-go/spright/internal/ring"
+	"github.com/spright-go/spright/internal/wire"
+)
+
+// dialTimeout bounds one connect attempt so a dead peer costs at most
+// MaxAttempts × (dialTimeout + backoff) before the batch is dropped.
+const dialTimeout = 250 * time.Millisecond
+
+// slot is one reusable encode cell of a peer's send ring: the frame bytes
+// (length prefix included) plus the header-only metadata needed to attribute
+// a drop back to its pending caller.
+type slot struct {
+	buf  []byte
+	meta FrameMeta
+}
+
+// Peer is one outbound link: a fixed pool of encode slots cycled through two
+// rte_rings (free → staged → free), and a single writer goroutine that
+// drains staged slots in bursts and flushes each burst as one
+// writev-style net.Buffers write. Send never blocks and never allocates in
+// steady state — a full ring is explicit backpressure (ErrBacklog), exactly
+// like a full SPROXY ring inside a node.
+type Peer struct {
+	mesh *Mesh
+	name string
+	addr string
+
+	slots []slot
+	free  *ring.Ring // slot indices available for staging (MP: many senders)
+	send  *ring.Ring // slot indices staged for the writer   (MP prod, SP cons)
+
+	// notify wakes the writer; capacity 1 so senders never block on it.
+	notify chan struct{}
+
+	// Writer-owned connection state: only the writer goroutine touches it.
+	conn      net.Conn
+	connected bool
+
+	framesSent atomic.Uint64
+	bytesSent  atomic.Uint64
+	writes     atomic.Uint64
+	reconnects atomic.Uint64
+
+	dropMu sync.Mutex
+	drops  map[string]uint64
+
+	// perWrite records the batch size of every successful flush — the
+	// batching-factor distribution exported as a summary.
+	perWrite *metrics.StripedHistogram
+}
+
+func newPeer(m *Mesh, name, addr string) *Peer {
+	n := m.cfg.SendRing
+	free, err := ring.New(n, ring.MP)
+	if err != nil {
+		panic("transport: bad send ring size: " + err.Error())
+	}
+	send, err := ring.New(n, ring.MP)
+	if err != nil {
+		panic("transport: bad send ring size: " + err.Error())
+	}
+	p := &Peer{
+		mesh:     m,
+		name:     name,
+		addr:     addr,
+		slots:    make([]slot, free.Capacity()),
+		free:     free,
+		send:     send,
+		notify:   make(chan struct{}, 1),
+		drops:    make(map[string]uint64),
+		perWrite: metrics.NewStripedHistogram(),
+	}
+	// Seed the free ring with every slot index.
+	idxs := make([]uint64, len(p.slots))
+	for i := range idxs {
+		idxs[i] = uint64(i)
+	}
+	if got := p.free.EnqueueBulk(idxs); got != len(idxs) {
+		panic("transport: seeding free ring failed")
+	}
+	return p
+}
+
+// Name returns the peer's node name.
+func (p *Peer) Name() string { return p.name }
+
+// Send encodes f into a free slot and stages it for the writer. Non-blocking:
+// a full ring returns ErrBacklog (counted), leaving ownership of the request
+// with the caller. The frame is copied during encode, so f and its Payload
+// may be reused immediately after Send returns.
+func (p *Peer) Send(f *wire.Frame) error {
+	select {
+	case <-p.mesh.stop:
+		return ErrMeshClosed
+	default:
+	}
+	ix, err := p.free.Dequeue()
+	if err != nil {
+		p.countDrop(DropBacklog)
+		return ErrBacklog
+	}
+	s := &p.slots[ix]
+	buf, err := wire.AppendFrame(s.buf[:0], f)
+	if err != nil {
+		p.freeSlot(ix)
+		return err
+	}
+	s.buf = buf
+	s.meta = FrameMeta{Type: f.Type, Flags: f.Flags, Chain: f.Chain, Fn: f.Fn, Caller: f.Caller}
+	var one [1]uint64
+	one[0] = ix
+	// Cannot fail: free+send+in-flight never exceed the slot count, and we
+	// hold one slot out of the free ring right now.
+	if p.send.EnqueueBulk(one[:]) != 1 {
+		p.freeSlot(ix)
+		p.countDrop(DropBacklog)
+		return ErrBacklog
+	}
+	select {
+	case p.notify <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+func (p *Peer) freeSlot(ix uint64) {
+	var one [1]uint64
+	one[0] = ix
+	p.free.EnqueueBulk(one[:])
+}
+
+func (p *Peer) countDrop(reason string) {
+	p.dropMu.Lock()
+	p.drops[reason]++
+	p.dropMu.Unlock()
+}
+
+// writer is the peer's single flush goroutine: drain staged slots in bursts
+// of MaxBatch, write each burst as one net.Buffers (writev) call, return the
+// slots to the free ring. Connection failures reconnect with exponential
+// backoff; an exhausted attempt budget drops the burst with reason conn_down
+// so the origin gateway can fail the pending callers attributably.
+func (p *Peer) writer() {
+	defer p.mesh.wg.Done()
+	defer func() {
+		if p.conn != nil {
+			p.conn.Close()
+		}
+	}()
+	idxs := make([]uint64, p.mesh.cfg.MaxBatch)
+	bufs := make(net.Buffers, 0, p.mesh.cfg.MaxBatch)
+	for {
+		n := p.send.DequeueBurst(idxs)
+		if n == 0 {
+			select {
+			case <-p.notify:
+				continue
+			case <-p.mesh.stop:
+				p.drainClosed(idxs)
+				return
+			}
+		}
+		p.flush(idxs[:n], &bufs)
+		select {
+		case <-p.mesh.stop:
+			p.drainClosed(idxs)
+			return
+		default:
+		}
+	}
+}
+
+// flush delivers one burst. Delivery is at-most-once per frame per
+// connection: on a write error, frames the kernel fully accepted are counted
+// sent and freed; a partially-written frame is resent in full on a fresh
+// connection (the receiver discards the truncated prefix at EOF).
+func (p *Peer) flush(idxs []uint64, bufs *net.Buffers) {
+	cfg := p.mesh.cfg
+	attempts := 0
+	backoff := cfg.DialBackoff
+	for len(idxs) > 0 {
+		if cfg.Injector != nil && p.conn != nil {
+			// Chaos hook: a queue-full rule on the net:src→net:dst hop
+			// models a link failure by killing the live connection.
+			if cfg.Injector.DecideSend("net:"+p.mesh.node, "net:"+p.name) {
+				p.conn.Close()
+				p.conn = nil
+			}
+		}
+		if p.conn == nil {
+			if attempts >= cfg.MaxAttempts {
+				p.dropBatch(idxs, DropConnDown, ErrPeerDown)
+				return
+			}
+			attempts++
+			conn, err := net.DialTimeout("tcp", p.addr, dialTimeout)
+			if err != nil {
+				if !p.sleepBackoff(backoff) {
+					p.dropBatch(idxs, DropClosed, ErrMeshClosed)
+					return
+				}
+				backoff *= 2
+				if backoff > cfg.MaxBackoff {
+					backoff = cfg.MaxBackoff
+				}
+				continue
+			}
+			if p.connected {
+				p.reconnects.Add(1)
+			}
+			p.connected = true
+			p.conn = conn
+			if err := p.sendHello(conn); err != nil {
+				conn.Close()
+				p.conn = nil
+				continue
+			}
+		}
+		*bufs = (*bufs)[:0]
+		total := 0
+		for _, ix := range idxs {
+			b := p.slots[ix].buf
+			*bufs = append(*bufs, b)
+			total += len(b)
+		}
+		batch := len(idxs)
+		// net.Buffers.WriteTo consumes the slice (writev under the hood);
+		// bufs is rebuilt from the slots on every attempt.
+		nw, err := bufs.WriteTo(p.conn)
+		if err == nil {
+			p.writes.Add(1)
+			p.perWrite.Observe(p.writes.Load(), float64(batch))
+			p.framesSent.Add(uint64(batch))
+			p.bytesSent.Add(uint64(total))
+			p.freeBatch(idxs)
+			return
+		}
+		// Partial write: credit fully-accepted frames, keep the rest.
+		written := nw
+		for len(idxs) > 0 {
+			b := p.slots[idxs[0]].buf
+			if written < int64(len(b)) {
+				break
+			}
+			written -= int64(len(b))
+			p.framesSent.Add(1)
+			p.bytesSent.Add(uint64(len(b)))
+			p.freeSlot(idxs[0])
+			idxs = idxs[1:]
+		}
+		p.conn.Close()
+		p.conn = nil
+	}
+}
+
+// sendHello writes the per-connection hello frame announcing this node's
+// name, so the receiver attributes inbound counters to the right peer.
+func (p *Peer) sendHello(conn net.Conn) error {
+	hello, err := wire.AppendFrame(nil, &wire.Frame{Type: wire.TypeHello, Fn: p.mesh.node})
+	if err != nil {
+		return err
+	}
+	_, err = conn.Write(hello)
+	return err
+}
+
+func (p *Peer) sleepBackoff(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-p.mesh.stop:
+		return false
+	}
+}
+
+func (p *Peer) freeBatch(idxs []uint64) {
+	for _, ix := range idxs {
+		p.freeSlot(ix)
+	}
+}
+
+// dropBatch gives up on a burst: every frame is reported to the mesh's drop
+// callback with its attributed reason, then its slot is recycled.
+func (p *Peer) dropBatch(idxs []uint64, reason string, err error) {
+	for _, ix := range idxs {
+		meta := p.slots[ix].meta
+		p.countDrop(reason)
+		p.freeSlot(ix)
+		p.mesh.notifyDrop(meta, reason, err)
+	}
+}
+
+// drainClosed empties the send ring at shutdown, dropping staged frames
+// with reason closed.
+func (p *Peer) drainClosed(idxs []uint64) {
+	for {
+		n := p.send.DequeueBurst(idxs)
+		if n == 0 {
+			return
+		}
+		p.dropBatch(idxs[:n], DropClosed, ErrMeshClosed)
+	}
+}
+
+func (p *Peer) snapshot(name string) PeerStatsSnapshot {
+	p.dropMu.Lock()
+	drops := make(map[string]uint64, len(p.drops))
+	for k, v := range p.drops {
+		drops[k] = v
+	}
+	p.dropMu.Unlock()
+	return PeerStatsSnapshot{
+		Peer:           name,
+		FramesSent:     p.framesSent.Load(),
+		BytesSent:      p.bytesSent.Load(),
+		Writes:         p.writes.Load(),
+		Reconnects:     p.reconnects.Load(),
+		QueueDepth:     p.send.Len(),
+		Drops:          drops,
+		FramesPerWrite: p.perWrite.Snapshot(),
+	}
+}

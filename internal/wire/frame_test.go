@@ -1,0 +1,191 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func sampleFrame() *Frame {
+	return &Frame{
+		Type:       TypeRequest,
+		Flags:      FlagNoReply,
+		Caller:     0xDEADBEEF,
+		TraceHi:    0x0123456789ABCDEF,
+		TraceLo:    0xFEDCBA9876543210,
+		TraceSpan:  42,
+		TraceFlags: 3,
+		Chain:      "boutique",
+		Fn:         "currency",
+		Topic:      "/checkout",
+		Payload:    []byte("hello across nodes"),
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := sampleFrame()
+	enc, err := AppendFrame(nil, f)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if got, want := len(enc), EncodedSize(f); got != want {
+		t.Fatalf("EncodedSize %d, encoded %d", want, got)
+	}
+	if got := binary.LittleEndian.Uint32(enc); int(got) != len(enc)-PrefixLen {
+		t.Fatalf("length prefix %d, body %d", got, len(enc)-PrefixLen)
+	}
+	dec, err := DecodeFrame(enc[PrefixLen:])
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	assertFrameEqual(t, f, &dec)
+}
+
+func TestFrameRoundTripEmptyFields(t *testing.T) {
+	f := &Frame{Type: TypeResponse, Flags: FlagError, Err: "boom"}
+	enc, err := AppendFrame(nil, f)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	dec, err := DecodeFrame(enc[PrefixLen:])
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	assertFrameEqual(t, f, &dec)
+}
+
+func TestFrameEncodeReusesCapacity(t *testing.T) {
+	f := sampleFrame()
+	buf := make([]byte, 0, 4096)
+	enc, err := AppendFrame(buf, f)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if &buf[:1][0] != &enc[:1][0] {
+		t.Fatalf("encode reallocated despite sufficient capacity")
+	}
+}
+
+func TestFrameTruncatedEveryPrefix(t *testing.T) {
+	enc, err := AppendFrame(nil, sampleFrame())
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	body := enc[PrefixLen:]
+	for n := 0; n < len(body); n++ {
+		if _, err := DecodeFrame(body[:n]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded without error", n, len(body))
+		}
+	}
+}
+
+func TestFrameTrailingBytes(t *testing.T) {
+	enc, err := AppendFrame(nil, sampleFrame())
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if _, err := DecodeFrame(append(enc[PrefixLen:], 0xFF)); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("trailing byte: got %v, want ErrTrailing", err)
+	}
+}
+
+func TestFrameBadVersionAndType(t *testing.T) {
+	enc, _ := AppendFrame(nil, sampleFrame())
+	body := append([]byte(nil), enc[PrefixLen:]...)
+	body[0] = 99
+	if _, err := DecodeFrame(body); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: got %v", err)
+	}
+	body[0] = Version
+	body[1] = 0
+	if _, err := DecodeFrame(body); !errors.Is(err, ErrBadType) {
+		t.Fatalf("bad type: got %v", err)
+	}
+}
+
+func TestFrameStringTooBig(t *testing.T) {
+	f := &Frame{Type: TypeRequest, Chain: strings.Repeat("x", 0x10000)}
+	if _, err := AppendFrame(nil, f); !errors.Is(err, ErrStringTooBig) {
+		t.Fatalf("oversized string: got %v", err)
+	}
+}
+
+func TestFrameOversizedRejected(t *testing.T) {
+	if _, err := DecodeFrame(make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversized body: got %v", err)
+	}
+}
+
+func assertFrameEqual(t *testing.T, want, got *Frame) {
+	t.Helper()
+	if got.Type != want.Type || got.Flags != want.Flags || got.Caller != want.Caller {
+		t.Fatalf("header mismatch: got %+v want %+v", got, want)
+	}
+	if got.TraceHi != want.TraceHi || got.TraceLo != want.TraceLo ||
+		got.TraceSpan != want.TraceSpan || got.TraceFlags != want.TraceFlags {
+		t.Fatalf("trace context mismatch: got %+v want %+v", got, want)
+	}
+	if got.Chain != want.Chain || got.Fn != want.Fn || got.Topic != want.Topic || got.Err != want.Err {
+		t.Fatalf("string fields mismatch: got %+v want %+v", got, want)
+	}
+	if !bytes.Equal(got.Payload, want.Payload) {
+		t.Fatalf("payload mismatch: got %q want %q", got.Payload, want.Payload)
+	}
+}
+
+// FuzzFrameRoundTrip fuzzes both directions: a structured frame must survive
+// encode→decode bit-exactly, and the decoder must never panic on arbitrary
+// bytes — including every truncation of a valid encoding.
+func FuzzFrameRoundTrip(f *testing.F) {
+	seed, _ := AppendFrame(nil, sampleFrame())
+	f.Add(uint8(TypeRequest), uint8(0), uint32(1), uint64(1), uint64(2), uint64(3), uint32(1),
+		"chain", "fn", "topic", "", []byte("payload"), seed)
+	f.Add(uint8(TypeResponse), uint8(FlagError), uint32(7), uint64(0), uint64(0), uint64(0), uint32(0),
+		"", "", "", "remote: boom", []byte{}, []byte{0, 1, 2})
+	f.Fuzz(func(t *testing.T, typ, flags uint8, caller uint32, hi, lo, span uint64, tflags uint32,
+		chain, fn, topic, errMsg string, payload, raw []byte) {
+		// Direction 1: arbitrary bytes must decode or error, never panic.
+		if fr, err := DecodeFrame(raw); err == nil {
+			// A successful decode must re-encode to the identical body.
+			re, err := AppendFrame(nil, &fr)
+			if err != nil {
+				t.Fatalf("re-encode of decoded frame: %v", err)
+			}
+			if !bytes.Equal(re[PrefixLen:], raw) {
+				t.Fatalf("decode/encode not canonical:\n in %x\nout %x", raw, re[PrefixLen:])
+			}
+		}
+
+		// Direction 2: structured round-trip.
+		want := Frame{
+			Type: typ, Flags: flags, Caller: caller,
+			TraceHi: hi, TraceLo: lo, TraceSpan: span, TraceFlags: tflags,
+			Chain: chain, Fn: fn, Topic: topic, Err: errMsg, Payload: payload,
+		}
+		enc, err := AppendFrame(nil, &want)
+		if err != nil {
+			return // oversized string/frame: rejected is the contract
+		}
+		dec, err := DecodeFrame(enc[PrefixLen:])
+		if typ != TypeRequest && typ != TypeResponse && typ != TypeHello {
+			if err == nil {
+				t.Fatalf("invalid type %d decoded", typ)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("round-trip decode: %v", err)
+		}
+		assertFrameEqual(t, &want, &dec)
+
+		// Every truncation of the valid body must error, never panic.
+		body := enc[PrefixLen:]
+		for n := 0; n < len(body); n++ {
+			if _, err := DecodeFrame(body[:n]); err == nil {
+				t.Fatalf("truncation to %d bytes decoded", n)
+			}
+		}
+	})
+}

@@ -36,6 +36,7 @@ import (
 	"github.com/spright-go/spright/internal/obs"
 	"github.com/spright-go/spright/internal/orchestrator"
 	"github.com/spright-go/spright/internal/shm"
+	"github.com/spright-go/spright/internal/transport"
 )
 
 // Core dataplane types, re-exported as the public API surface.
@@ -132,6 +133,18 @@ type (
 	// TraceContext is the trace identity a request carries through the
 	// shared-memory path (and across chains via WithTraceContext).
 	TraceContext = shm.TraceContext
+
+	// PlacedDeployment is one chain spread across worker nodes by
+	// FunctionSpec.Node: intra-node hops stay on the zero-copy
+	// shared-memory path, cross-node hops ride the batched mesh
+	// transport (Cluster.StartMesh, Controller.DeployPlacedChain).
+	PlacedDeployment = orchestrator.PlacedDeployment
+	// MeshConfig tunes the inter-node transport: send-ring capacity,
+	// write batching, reconnect backoff and the chaos injector. The
+	// zero value picks the defaults.
+	MeshConfig = transport.Config
+	// Mesh is one node's inter-node transport endpoint (stats, peers).
+	Mesh = transport.Mesh
 )
 
 // WithTraceContext attaches an upstream trace context to a context.Context

@@ -21,6 +21,7 @@ import (
 	"github.com/spright-go/spright/internal/grpcbase"
 	"github.com/spright-go/spright/internal/proto"
 	"github.com/spright-go/spright/internal/shm"
+	"github.com/spright-go/spright/internal/shm/objstore"
 )
 
 // ---------------------------------------------------------------------------
@@ -500,6 +501,131 @@ func BenchmarkShmPool(b *testing.B) {
 			b.Fatal(err)
 		}
 		if err := pool.Put(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchObjStore builds a pool + object store sized for the 10MB
+// intermediate (640 × 16KiB slabs, with headroom).
+func benchObjStore(b *testing.B, cfg objstore.Config) (*shm.Pool, *objstore.Store) {
+	b.Helper()
+	pool, err := shm.NewPool("bench-obj", 1024, 16*1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pool, objstore.New(pool, cfg)
+}
+
+// BenchmarkObjStorePut10MB measures materialising the ROADMAP item 4
+// intermediate: one 10MB object written into pool slabs and released.
+// This is the write-once cost the fan-out DAG pays exactly once per
+// request, regardless of the consumer count.
+func BenchmarkObjStorePut10MB(b *testing.B) {
+	_, st := benchObjStore(b, objstore.Config{})
+	data := make([]byte, 10<<20)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := st.Put("", data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Release(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObjStoreOpenRead10MB is the consumer side of the fan-out DAG:
+// open the shared 10MB object, walk every slab view in place, close. The
+// reader is pooled and the slab views alias pool memory, so steady state
+// is allocation-free — the acceptance bar for the zero-copy N-consumer
+// read path.
+func BenchmarkObjStoreOpenRead10MB(b *testing.B) {
+	_, st := benchObjStore(b, objstore.Config{})
+	h, err := st.Put("intermediate", make([]byte, 10<<20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Release(h)
+	b.SetBytes(10 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink byte
+	for i := 0; i < b.N; i++ {
+		r, err := st.Open(h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for s := 0; s < r.Slabs(); s++ {
+			v := r.Slab(s)
+			sink += v[0] + v[len(v)-1]
+		}
+		if err := r.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkObjStoreSpillReload1MB measures one full eviction round trip:
+// a 1MB object spilled to the file tier and transparently reloaded into
+// pool slabs on the next Open. This is the cost of overflowing
+// MaxResidentBytes — the price of keeping the pool available for the hot
+// path when cold intermediates pile up.
+func BenchmarkObjStoreSpillReload1MB(b *testing.B) {
+	_, st := benchObjStore(b, objstore.Config{SpillDir: b.TempDir()})
+	h, err := st.Put("cold", make([]byte, 1<<20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Release(h)
+	b.SetBytes(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Spill(h); err != nil {
+			b.Fatal(err)
+		}
+		r, err := st.Open(h) // transparent reload
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2E_LargePayload drives a >BufSize request end to end through
+// the gateway's chunked-object admission: a 1MB body over a 16KiB-buffer
+// chain rides as an attached object handle and is reassembled for the
+// response — the path a serializing transport would pay per hop for.
+func BenchmarkE2E_LargePayload(b *testing.B) {
+	cluster := spright.NewCluster(1)
+	dep, err := cluster.Controller.DeployChain(spright.ChainSpec{
+		Name:        fmt.Sprintf("bench-large-%d", benchChainSeq.Add(1)),
+		Mode:        spright.ModeEvent,
+		PoolBuffers: 512,
+		BufSize:     16 * 1024,
+		Functions: []spright.FunctionSpec{
+			{Name: "f0", Handler: func(ctx *spright.Ctx) error { return nil }},
+		},
+		Routes: []spright.RouteSpec{{From: "", To: []string{"f0"}}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(dep.Close)
+	payload := make([]byte, 1<<20)
+	ctx := context.Background()
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dep.Gateway.Invoke(ctx, "", payload); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"github.com/spright-go/spright/internal/ebpf"
 	"github.com/spright-go/spright/internal/fault"
 	"github.com/spright-go/spright/internal/shm"
+	"github.com/spright-go/spright/internal/shm/objstore"
 )
 
 // FunctionSpec declares one function of a chain.
@@ -94,7 +95,34 @@ type ChainSpec struct {
 	// failure counters into the EPROXY metrics map (§3.3). 0 picks the
 	// default of 500ms; negative disables the agent.
 	ScrapeInterval time.Duration
+
+	// Objects configures the chain's ephemeral object store — the keyed,
+	// ref-counted multi-slab tier for intermediates that exceed one pool
+	// buffer or outlive one hop. The zero value enables it with defaults.
+	Objects ObjectPolicy
 }
+
+// ObjectPolicy tunes a chain's ephemeral object store.
+type ObjectPolicy struct {
+	// Disable turns the object tier off entirely: >BufSize payloads are
+	// rejected at admission (HTTP 413) and Ctx object APIs fail.
+	Disable bool
+	// MaxResidentBytes bounds the store's shared-memory footprint before
+	// cold objects spill to the file tier (0: spill only on pool
+	// exhaustion).
+	MaxResidentBytes int64
+	// MaxObjectBytes caps one object (0 picks the 64 MiB default;
+	// negative removes the cap).
+	MaxObjectBytes int64
+	// SpillDir is the file-backed cold tier's directory ("" = the
+	// system temp dir).
+	SpillDir string
+}
+
+// defaultMaxObjectBytes caps a single stored object unless the spec says
+// otherwise — large enough for data-intensive intermediates, small enough
+// that one request cannot silently consume the node's disk via spill.
+const defaultMaxObjectBytes = 64 << 20
 
 // RetryPolicy bounds descriptor re-sends on transient transport errors —
 // exponential backoff with seeded jitter, the per-hop retry discipline
@@ -115,6 +143,7 @@ type Chain struct {
 	name      string
 	mode      Mode
 	pool      *shm.Pool
+	store     *objstore.Store // nil when ObjectPolicy.Disable
 	transport Transport
 	sproxy    *SProxy // nil in polling mode
 	router    *Router
@@ -348,6 +377,20 @@ func NewChain(kernel *ebpf.Kernel, manager *shm.Manager, spec ChainSpec) (*Chain
 		admission: spec.Admission,
 	}
 	c.topics.init()
+	if !spec.Objects.Disable {
+		maxObj := spec.Objects.MaxObjectBytes
+		switch {
+		case maxObj == 0:
+			maxObj = defaultMaxObjectBytes
+		case maxObj < 0:
+			maxObj = 0
+		}
+		c.store = objstore.New(pool, objstore.Config{
+			MaxResidentBytes: spec.Objects.MaxResidentBytes,
+			MaxObjectBytes:   maxObj,
+			SpillDir:         spec.Objects.SpillDir,
+		})
+	}
 	if c.retry.MaxAttempts > 1 {
 		if c.retry.BaseBackoff <= 0 {
 			c.retry.BaseBackoff = 100 * time.Microsecond
@@ -520,6 +563,10 @@ func (c *Chain) Mode() Mode { return c.mode }
 
 // Pool exposes the chain's shared-memory pool (metrics, tests).
 func (c *Chain) Pool() *shm.Pool { return c.pool }
+
+// ObjectStore exposes the chain's ephemeral object store (nil when the
+// spec disabled it).
+func (c *Chain) ObjectStore() *objstore.Store { return c.store }
 
 // Router exposes the DFR router (controller-driven route updates).
 func (c *Chain) Router() *Router { return c.router }
@@ -808,6 +855,12 @@ func (c *Chain) Close() {
 			in.shutdown()
 		}
 		c.transport.Close()
+		// The store closes before the pool: spill files are removed while
+		// Release still works for late drains, and leaked objects' resident
+		// slabs stay visible to the pool's LeakCheck.
+		if c.store != nil {
+			c.store.Close()
+		}
 		c.pool.Close()
 	})
 }

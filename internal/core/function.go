@@ -9,7 +9,12 @@ import (
 
 	"github.com/spright-go/spright/internal/fault"
 	"github.com/spright-go/spright/internal/shm"
+	"github.com/spright-go/spright/internal/shm/objstore"
 )
+
+// ErrObjectsDisabled marks object-tier use on a chain whose spec disabled
+// the store (ObjectPolicy.Disable).
+var ErrObjectsDisabled = errors.New("core: object store disabled for this chain")
 
 // NoReply is the Caller sentinel for fire-and-forget events (asynchronous
 // IoT-style invocations with no response expected).
@@ -84,6 +89,94 @@ func (c *Ctx) FunctionName() string { return c.inst.fnName }
 // WithTraceContext(ctx, c.TraceContext()) parents its spans correctly.
 func (c *Ctx) TraceContext() shm.TraceContext {
 	return c.inst.chain.pool.TraceContext(c.desc.Buf)
+}
+
+// Objects returns the chain's ephemeral object store (nil when the spec
+// disabled it) — the tier for intermediates that exceed one pool buffer or
+// must be read by many consumers without copying.
+func (c *Ctx) Objects() *objstore.Store { return c.inst.chain.store }
+
+// PutObject stores data as one multi-slab object ("" = anonymous key) and
+// returns its handle, with one reference owned by the caller. Attach the
+// handle to the message (AttachObject) to hand that reference to the
+// request's lifetime, or release it explicitly.
+func (c *Ctx) PutObject(key string, data []byte) (objstore.Handle, error) {
+	st := c.inst.chain.store
+	if st == nil {
+		return 0, ErrObjectsDisabled
+	}
+	return st.Put(key, data)
+}
+
+// CreateObject starts a chunked object write (io.Writer) for payloads the
+// handler produces incrementally. Commit returns the handle; Abort
+// discards the staged slabs.
+func (c *Ctx) CreateObject(key string) (*objstore.Writer, error) {
+	st := c.inst.chain.store
+	if st == nil {
+		return nil, ErrObjectsDisabled
+	}
+	return st.Create(key), nil
+}
+
+// AttachObject rides h on the message: the handle travels in the buffer's
+// descriptor-adjacent headroom across every hop and fan-out branch, and
+// the caller's reference transfers to the buffer — when the request's
+// buffer dies, the reference is released, so a forgotten object surfaces
+// in LeakCheck instead of lingering. A previously attached handle is
+// displaced and its reference released.
+func (c *Ctx) AttachObject(h objstore.Handle) error {
+	st := c.inst.chain.store
+	if st == nil {
+		return ErrObjectsDisabled
+	}
+	if prev := c.inst.chain.pool.SetObjHandle(c.desc.Buf, uint64(h)); prev != 0 {
+		_ = st.Release(objstore.Handle(prev))
+	}
+	return nil
+}
+
+// ObjectHandle returns the handle riding the message (0 when none).
+func (c *Ctx) ObjectHandle() objstore.Handle {
+	return objstore.Handle(c.inst.chain.pool.ObjHandle(c.desc.Buf))
+}
+
+// OpenObject opens the message's attached object for zero-copy reading.
+// Fan-out consumers all receive the same handle on their shared buffer, so
+// N branches read one set of shared-memory pages. The returned reader must
+// be Closed before the handler returns.
+func (c *Ctx) OpenObject() (*objstore.Object, error) {
+	st := c.inst.chain.store
+	if st == nil {
+		return nil, ErrObjectsDisabled
+	}
+	return st.Open(objstore.Handle(c.inst.chain.pool.ObjHandle(c.desc.Buf)))
+}
+
+// DetachObject removes the message's attached handle and releases the
+// reference the buffer carried (e.g. a head function that consumed the
+// request object and replies with a small payload).
+func (c *Ctx) DetachObject() {
+	st := c.inst.chain.store
+	if st == nil {
+		return
+	}
+	st.Detach(c.desc.Buf)
+}
+
+// ReplyObject terminates the flow replying with object h instead of the
+// in-buffer payload: the handle is attached (transferring the caller's
+// reference), the buffer payload is cleared, and the gateway assembles the
+// external response from the object — the >BufSize response path.
+func (c *Ctx) ReplyObject(h objstore.Handle) error {
+	if err := c.AttachObject(h); err != nil {
+		return err
+	}
+	if err := c.SetPayload(nil); err != nil {
+		return err
+	}
+	c.Reply()
+	return nil
 }
 
 // ForwardTo overrides DFR's routing table for this invocation and sends

@@ -15,6 +15,7 @@ import (
 
 	"github.com/spright-go/spright/internal/metrics"
 	"github.com/spright-go/spright/internal/shm"
+	"github.com/spright-go/spright/internal/shm/objstore"
 )
 
 // Gateway is the chain's SPRIGHT gateway (§3.1): the reverse proxy that
@@ -38,11 +39,12 @@ type Gateway struct {
 
 	// Deliberate-shed counters, one per Shed* reason (overload-graceful
 	// admission: every refused request is attributable, never blackholed).
-	admission         AdmissionPolicy
-	shedOverload      atomic.Uint64
-	shedParkFull      atomic.Uint64
-	shedParkTimeout   atomic.Uint64
-	shedPoolExhausted atomic.Uint64
+	admission           AdmissionPolicy
+	shedOverload        atomic.Uint64
+	shedParkFull        atomic.Uint64
+	shedParkTimeout     atomic.Uint64
+	shedPoolExhausted   atomic.Uint64
+	shedPayloadTooLarge atomic.Uint64
 
 	// parks is the bounded scale-from-zero park queue; coldStart records
 	// park-to-dispatch latency (the cold-start cost the prewarm pool is
@@ -367,18 +369,43 @@ func (g *Gateway) complete(d shm.Descriptor) {
 	// The single response copy out of shared memory: the gateway owns
 	// constructing the external HTTP response (§3.1). The copy lands in a
 	// pooled staging buffer the waiter returns after consuming it.
-	var res gwResult
-	payload, err := g.chain.pool.Payload(d.Buf)
-	if err == nil {
-		n := min(int(d.Len), len(payload))
-		gb := g.getBuf(n)
-		res = gwResult{gb: gb, n: copy(gb.b[:n], payload)}
-	} else {
-		res.err = err
-	}
+	res := g.assemble(d)
 	g.chain.releaseBuffer(d.Buf)
 	g.completed.Add(1)
 	ch <- res
+}
+
+// assemble builds one response: from the reply's attached object when it
+// carries one and the in-buffer payload is empty (the >BufSize response
+// path — Ctx.ReplyObject, or a large request echoed back), otherwise the
+// usual copy out of the reply buffer.
+func (g *Gateway) assemble(d shm.Descriptor) gwResult {
+	if st := g.chain.store; st != nil && d.Len == 0 {
+		if h := objstore.Handle(g.chain.pool.ObjHandle(d.Buf)); h.Valid() {
+			r, err := st.Open(h)
+			if err != nil {
+				return gwResult{err: err}
+			}
+			n := int(r.Size())
+			gb := g.getBuf(n)
+			if n > 0 {
+				if _, err := r.ReadAt(gb.b[:n], 0); err != nil {
+					_ = r.Close()
+					g.putBuf(gb)
+					return gwResult{err: err}
+				}
+			}
+			_ = r.Close()
+			return gwResult{gb: gb, n: n}
+		}
+	}
+	payload, err := g.chain.pool.Payload(d.Buf)
+	if err != nil {
+		return gwResult{err: err}
+	}
+	n := min(int(d.Len), len(payload))
+	gb := g.getBuf(n)
+	return gwResult{gb: gb, n: copy(gb.b[:n], payload)}
 }
 
 func min(a, b int) int {
@@ -389,8 +416,12 @@ func min(a, b int) int {
 }
 
 // admit writes the payload into the pool and builds the descriptor. It is
-// the backpressure point: pool exhaustion rejects the request.
+// the backpressure point: pool exhaustion rejects the request. Payloads
+// one buffer cannot hold take the object path (admitLarge).
 func (g *Gateway) admit(topic string, payload []byte, caller uint32) (shm.Descriptor, error) {
+	if len(payload) > g.chain.pool.BufSize() {
+		return g.admitLarge(topic, payload, caller)
+	}
 	h, err := g.chain.pool.Get()
 	if err != nil {
 		g.rejected.Add(1)
@@ -404,6 +435,55 @@ func (g *Gateway) admit(topic string, payload []byte, caller uint32) (shm.Descri
 		return shm.Descriptor{}, err
 	}
 	d := shm.Descriptor{Buf: h, Len: uint32(n), Caller: caller}
+	g.chain.setTopic(d, topic)
+	if g.eprox != nil {
+		g.eprox.OnIngress(len(payload))
+	}
+	g.admitted.Add(1)
+	return d, nil
+}
+
+// admitLarge admits a >BufSize payload via the object tier: one chunked
+// write assembles the payload into a multi-slab object, whose handle rides
+// an otherwise-empty descriptor buffer downstream — handlers read it in
+// place through Ctx.OpenObject. A chain without an object store (or a
+// payload over its per-object cap) is shed with a distinct reason, which
+// ServeHTTP maps to HTTP 413.
+func (g *Gateway) admitLarge(topic string, payload []byte, caller uint32) (shm.Descriptor, error) {
+	st := g.chain.store
+	if st == nil {
+		g.rejected.Add(1)
+		g.shedPayloadTooLarge.Add(1)
+		return shm.Descriptor{}, fmt.Errorf("%w: %d bytes > %d-byte buffer (object store disabled)",
+			shm.ErrPayloadTooLarge, len(payload), g.chain.pool.BufSize())
+	}
+	h, err := st.Put("", payload)
+	if err != nil {
+		g.rejected.Add(1)
+		if errors.Is(err, shm.ErrPayloadTooLarge) {
+			g.shedPayloadTooLarge.Add(1)
+			return shm.Descriptor{}, err
+		}
+		if errors.Is(err, shm.ErrPoolExhausted) {
+			g.shedPoolExhausted.Add(1)
+			return shm.Descriptor{}, fmt.Errorf("%w: %v", ErrBackpressure, err)
+		}
+		return shm.Descriptor{}, err
+	}
+	buf, err := g.chain.pool.Get()
+	if err != nil {
+		_ = st.Release(h)
+		g.rejected.Add(1)
+		g.shedPoolExhausted.Add(1)
+		return shm.Descriptor{}, fmt.Errorf("%w: %v", ErrBackpressure, err)
+	}
+	// The creator's object reference transfers to the buffer: when the
+	// request's buffer dies, the pool hook releases the object, so request
+	// completion is object completion.
+	if prev := g.chain.pool.SetObjHandle(buf, uint64(h)); prev != 0 {
+		_ = st.Release(objstore.Handle(prev))
+	}
+	d := shm.Descriptor{Buf: buf, Len: 0, Caller: caller}
 	g.chain.setTopic(d, topic)
 	if g.eprox != nil {
 		g.eprox.OnIngress(len(payload))
@@ -880,6 +960,11 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, shm.ErrPayloadTooLarge):
+		// Distinct refusal, not a generic failure: the payload exceeds what
+		// this chain will store (no object tier, or over its per-object
+		// cap). Retrying the same body cannot succeed, so no Retry-After.
+		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
 	case errors.Is(err, ErrBackpressure):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case err != nil:
@@ -917,10 +1002,11 @@ type GatewayStats struct {
 	// Shed* break Rejected down by admission-control reason; a request
 	// refused for any reason increments Rejected plus exactly one of
 	// these.
-	ShedOverload      uint64
-	ShedParkFull      uint64
-	ShedParkTimeout   uint64
-	ShedPoolExhausted uint64
+	ShedOverload        uint64
+	ShedParkFull        uint64
+	ShedParkTimeout     uint64
+	ShedPoolExhausted   uint64
+	ShedPayloadTooLarge uint64
 	// Parked is the current scale-from-zero park-queue depth;
 	// ParkedTotal counts every request that ever parked, and Resumed the
 	// parked requests that went on to dispatch successfully.
@@ -943,26 +1029,27 @@ func (g *Gateway) Stats() GatewayStats {
 	}
 	lat := g.lat.Snapshot()
 	return GatewayStats{
-		Admitted:          g.admitted.Load(),
-		Rejected:          g.rejected.Load(),
-		Completed:         g.completed.Load(),
-		Failed:            g.failed.Load(),
-		Crashes:           fs.Crashes,
-		Retries:           fs.Retries,
-		CircuitOpens:      fs.CircuitOpens,
-		Reclaimed:         fs.Reclaimed,
-		DeadlinesExceeded: fs.DeadlinesExceeded,
-		FaultsInjected:    fs.FaultsInjected,
-		ShedOverload:      g.shedOverload.Load(),
-		ShedParkFull:      g.shedParkFull.Load(),
-		ShedParkTimeout:   g.shedParkTimeout.Load(),
-		ShedPoolExhausted: g.shedPoolExhausted.Load(),
-		Parked:            g.parks.parked(),
-		ParkedTotal:       g.parkedTotal.Load(),
-		Resumed:           g.resumed.Load(),
-		ColdStartP99:      g.coldStart.Snapshot().Quantile(0.99),
-		P95:               lat.Quantile(0.95),
-		Mean:              lat.Mean(),
+		Admitted:            g.admitted.Load(),
+		Rejected:            g.rejected.Load(),
+		Completed:           g.completed.Load(),
+		Failed:              g.failed.Load(),
+		Crashes:             fs.Crashes,
+		Retries:             fs.Retries,
+		CircuitOpens:        fs.CircuitOpens,
+		Reclaimed:           fs.Reclaimed,
+		DeadlinesExceeded:   fs.DeadlinesExceeded,
+		FaultsInjected:      fs.FaultsInjected,
+		ShedOverload:        g.shedOverload.Load(),
+		ShedParkFull:        g.shedParkFull.Load(),
+		ShedParkTimeout:     g.shedParkTimeout.Load(),
+		ShedPoolExhausted:   g.shedPoolExhausted.Load(),
+		ShedPayloadTooLarge: g.shedPayloadTooLarge.Load(),
+		Parked:              g.parks.parked(),
+		ParkedTotal:         g.parkedTotal.Load(),
+		Resumed:             g.resumed.Load(),
+		ColdStartP99:        g.coldStart.Snapshot().Quantile(0.99),
+		P95:                 lat.Quantile(0.95),
+		Mean:                lat.Mean(),
 	}
 }
 

@@ -54,6 +54,9 @@ const (
 	// ShedPoolExhausted: the legacy backstop — the shared-memory pool had
 	// no free buffer (surfaced as ErrBackpressure).
 	ShedPoolExhausted = "pool_exhausted"
+	// ShedPayloadTooLarge: the payload exceeds what this chain stores — no
+	// object tier, or over its per-object cap (surfaced as HTTP 413).
+	ShedPayloadTooLarge = "payload_too_large"
 )
 
 // ErrOverload marks requests deliberately shed by admission control.

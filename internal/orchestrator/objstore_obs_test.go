@@ -1,0 +1,161 @@
+package orchestrator
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/spright-go/spright/internal/core"
+)
+
+// TestObjstoreMetricsExposed: a deployed chain's /metrics exposition
+// carries the spright_objstore_* families, and driving a large payload
+// through the chain — with a resident budget tight enough to force a
+// spill+reload cycle — moves them.
+func TestObjstoreMetricsExposed(t *testing.T) {
+	cl := NewCluster(1)
+	spec := core.ChainSpec{
+		Name:        "objmet",
+		PoolBuffers: 256,
+		BufSize:     4096,
+		// Budget of 2 slabs: any multi-slab object over 8 KiB must spill
+		// as soon as the next one commits.
+		Objects: core.ObjectPolicy{MaxResidentBytes: 8 * 1024, SpillDir: t.TempDir()},
+		Functions: []core.FunctionSpec{{
+			Name: "keep",
+			Handler: func(ctx *core.Ctx) error {
+				// Cache the request object under a key, unattached, so it
+				// outlives this request and becomes a spill victim when the
+				// next request's object commits.
+				r, err := ctx.OpenObject()
+				if err != nil {
+					return err
+				}
+				sz := r.Size()
+				if err := r.Close(); err != nil {
+					return err
+				}
+				if _, err := ctx.PutObject(fmt.Sprintf("cached-%d", sz), largeBody(int(sz))); err != nil {
+					return err
+				}
+				ctx.DetachObject()
+				ctx.Reply()
+				return ctx.SetPayload([]byte(fmt.Sprintf("%d", sz)))
+			},
+		}},
+		Routes: []core.RouteSpec{{From: "", To: []string{"keep"}}},
+	}
+	d, err := cl.Controller.DeployChain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// Two large requests: the second commit evicts the first cached object
+	// over the 8 KiB budget; opening the first afterwards reloads it.
+	for _, n := range []int{20_000, 20_001} {
+		out, err := d.Gateway.Invoke(context.Background(), "", largeBody(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(out) != fmt.Sprintf("%d", n) {
+			t.Fatalf("reply %q for %d-byte payload", out, n)
+		}
+	}
+	st := d.Chain.ObjectStore()
+	h, ok := st.Lookup("cached-20000")
+	if !ok {
+		t.Fatal("cached object vanished")
+	}
+	r, err := st.Open(h) // transparent reload of the spilled cache entry
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r.Slab(0), largeBody(20_000)[:len(r.Slab(0))]) {
+		t.Fatal("cached object corrupted across spill+reload")
+	}
+	_ = r.Close()
+
+	// Let asynchronous request teardown release the request objects so the
+	// gauges below are deterministic (only the two cache entries remain).
+	deadline := time.Now().Add(2 * time.Second)
+	for st.Stats().Objects > 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	rec := httptest.NewRecorder()
+	cl.Observability().Registry().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	series := func(name string) float64 {
+		prefix := name + `{chain="objmet"} `
+		for _, line := range strings.Split(body, "\n") {
+			if strings.HasPrefix(line, prefix) {
+				var v float64
+				if _, err := fmt.Sscanf(strings.TrimPrefix(line, prefix), "%g", &v); err != nil {
+					t.Fatalf("parse %q: %v", line, err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("exposition missing %s{chain=\"objmet\"}:\n%s", name, body)
+		return 0
+	}
+
+	if v := series("spright_objstore_puts_total"); v < 4 { // 2 admissions + 2 cache entries
+		t.Fatalf("puts_total = %v, want >= 4", v)
+	}
+	if v := series("spright_objstore_objects"); v != 2 {
+		t.Fatalf("objects = %v, want 2 (the cache entries)", v)
+	}
+	if v := series("spright_objstore_spills_total"); v < 1 {
+		t.Fatalf("spills_total = %v, want >= 1", v)
+	}
+	if v := series("spright_objstore_reloads_total"); v < 1 {
+		t.Fatalf("reloads_total = %v, want >= 1", v)
+	}
+	if v := series("spright_objstore_spill_bytes_total"); v < 20_000 {
+		t.Fatalf("spill_bytes_total = %v, want >= 20000", v)
+	}
+	if v := series("spright_objstore_opens_total"); v < 3 {
+		t.Fatalf("opens_total = %v, want >= 3", v)
+	}
+	// Presence of the remaining families (values are timing-dependent).
+	for _, name := range []string{
+		"spright_objstore_resident_objects", "spright_objstore_spilled_objects",
+		"spright_objstore_resident_bytes", "spright_objstore_spilled_bytes",
+		"spright_objstore_deletes_total", "spright_objstore_refs_total",
+		"spright_objstore_reload_bytes_total", "spright_objstore_spill_errors_total",
+	} {
+		series(name)
+	}
+	// The new shed reason is exported alongside the existing ones.
+	if !strings.Contains(body, `spright_gateway_shed_total{chain="objmet",reason="payload_too_large"}`) {
+		t.Fatalf("exposition missing payload_too_large shed series:\n%s", body)
+	}
+
+	// Teardown hygiene: release the deliberate cache entries and verify
+	// the store drains clean.
+	for _, key := range []string{"cached-20000", "cached-20001"} {
+		if h, ok := st.Lookup(key); ok {
+			if err := st.Release(h); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := st.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// largeBody builds a deterministic >BufSize payload.
+func largeBody(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*11 + 3)
+	}
+	return b
+}

@@ -94,6 +94,7 @@ func collectChain(d *Deployment) []obs.Family {
 		{core.ShedParkFull, gs.ShedParkFull},
 		{core.ShedParkTimeout, gs.ShedParkTimeout},
 		{core.ShedPoolExhausted, gs.ShedPoolExhausted},
+		{core.ShedPayloadTooLarge, gs.ShedPayloadTooLarge},
 	} {
 		shed.Samples = append(shed.Samples, obs.Sample{
 			Labels: obs.L("chain", c.Name(), "reason", kv.reason),
@@ -170,6 +171,44 @@ func collectChain(d *Deployment) []obs.Family {
 		obs.CounterFamily("spright_shm_steals_total",
 			"Allocations served from a non-home freelist shard.", chain, float64(ps.Steals)),
 	)
+
+	// Ephemeral object store: live objects split by tier, byte footprints,
+	// and activity/spill counters (absent when the chain disabled it).
+	if st := c.ObjectStore(); st != nil {
+		ss := st.Stats()
+		fams = append(fams,
+			obs.GaugeFamily("spright_objstore_objects",
+				"Live objects in the chain's ephemeral object store.", chain, float64(ss.Objects)),
+			obs.GaugeFamily("spright_objstore_resident_objects",
+				"Objects resident in shared-memory slabs.", chain, float64(ss.Resident)),
+			obs.GaugeFamily("spright_objstore_spilled_objects",
+				"Objects parked in the file-backed cold tier.", chain, float64(ss.Spilled)),
+			obs.GaugeFamily("spright_objstore_resident_bytes",
+				"Shared-memory footprint (slab capacity) of resident objects.",
+				chain, float64(ss.ResidentBytes)),
+			obs.GaugeFamily("spright_objstore_spilled_bytes",
+				"Payload bytes parked in spill files.", chain, float64(ss.SpilledBytes)),
+			obs.CounterFamily("spright_objstore_puts_total",
+				"Objects committed to the store.", chain, float64(ss.Puts)),
+			obs.CounterFamily("spright_objstore_deletes_total",
+				"Objects whose last reference was released.", chain, float64(ss.Deletes)),
+			obs.CounterFamily("spright_objstore_opens_total",
+				"Zero-copy reader opens.", chain, float64(ss.Opens)),
+			obs.CounterFamily("spright_objstore_refs_total",
+				"Explicit object reference grabs.", chain, float64(ss.Refs)),
+			obs.CounterFamily("spright_objstore_spills_total",
+				"Objects spilled to the file tier (LRU budget or pool pressure).",
+				chain, float64(ss.Spills)),
+			obs.CounterFamily("spright_objstore_reloads_total",
+				"Spilled objects transparently reloaded on access.", chain, float64(ss.Reloads)),
+			obs.CounterFamily("spright_objstore_spill_bytes_total",
+				"Payload bytes written to the file tier.", chain, float64(ss.SpillBytes)),
+			obs.CounterFamily("spright_objstore_reload_bytes_total",
+				"Payload bytes read back from the file tier.", chain, float64(ss.ReloadBytes)),
+			obs.CounterFamily("spright_objstore_spill_errors_total",
+				"Spill attempts that failed on file-tier I/O.", chain, float64(ss.SpillErrors)),
+		)
+	}
 
 	// Per-socket delivery counters: the gateway's response socket plus one
 	// sample per function instance; SPROXY invocation counts ride along in

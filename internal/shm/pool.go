@@ -14,6 +14,12 @@ var (
 	ErrBadHandle     = errors.New("shm: invalid buffer handle")
 	ErrNotOwned      = errors.New("shm: buffer not allocated")
 	ErrClosed        = errors.New("shm: pool closed")
+	// ErrPayloadTooLarge marks writes (and SetLen adjustments) that exceed
+	// the fixed buffer size. It is a sentinel so the gateway can map it onto
+	// a distinct refusal (HTTP 413 + its own shed counter) instead of a
+	// generic admission failure — and so callers can fall back to the
+	// multi-slab object tier (objstore) for payloads one slab cannot hold.
+	ErrPayloadTooLarge = errors.New("shm: payload exceeds buffer size")
 )
 
 // PoolStats reports allocation behaviour, used by tests and by the metrics
@@ -40,11 +46,18 @@ type PoolStats struct {
 // stamp are updated per hop and may race between fan-out branches, so they
 // are atomic; attribution under fan-out is approximate by design (the
 // branches share one buffer).
+//
+// obj is the buffer's attached object handle (objstore): like the trace
+// context it rides in this descriptor-adjacent headroom so descriptors stay
+// 16 bytes. The reference the handle represents is owned by the buffer and
+// released through the pool's object release hook when the buffer's own
+// reference count reaches zero.
 type traceHdr struct {
 	hi, lo uint64
 	span   atomic.Uint64
 	flags  atomic.Uint32
-	stamp  atomic.Int64 // UnixNano of the most recent enqueue of this buffer
+	stamp  atomic.Int64  // UnixNano of the most recent enqueue of this buffer
+	obj    atomic.Uint64 // attached objstore handle (0 = none)
 }
 
 // freelistShards is the number of independent freelist segments (power of
@@ -82,6 +95,11 @@ type Pool struct {
 	shards [freelistShards]freeShard
 	cursor atomic.Uint32
 	closed atomic.Bool
+
+	// objHook, when set, receives the attached object handle of every
+	// buffer whose last reference is released — the lifetime tie between
+	// a request's buffer and the objects it carried.
+	objHook atomic.Pointer[func(obj uint64)]
 
 	allocs    atomic.Uint64
 	frees     atomic.Uint64
@@ -144,11 +162,22 @@ func (p *Pool) Get() (uint32, error) {
 
 	p.refs[h].Store(1)
 	p.lens[h].Store(0)
-	// A recycled buffer must never look sampled to its next request. The
-	// load-then-store keeps the common case (previous user unsampled) a
-	// plain read: atomic stores are locked ops on amd64, loads are not.
-	if p.trace[h].flags.Load() != 0 {
-		p.trace[h].flags.Store(0)
+	// A recycled buffer must never leak its previous request's trace
+	// identity: flags (the sampling gate), the span word (a stale span ID
+	// would parent the new request's spans) and the enqueue stamp (a stale
+	// stamp fabricates queue-wait attribution) are all reset. The
+	// load-then-store keeps the common case (previous user unsampled,
+	// words already zero) plain reads: atomic stores are locked ops on
+	// amd64, loads are not.
+	t := &p.trace[h]
+	if t.flags.Load() != 0 {
+		t.flags.Store(0)
+	}
+	if t.span.Load() != 0 {
+		t.span.Store(0)
+	}
+	if t.stamp.Load() != 0 {
+		t.stamp.Store(0)
 	}
 	p.allocs.Add(1)
 	in := p.inUse.Add(1)
@@ -162,10 +191,15 @@ func (p *Pool) Get() (uint32, error) {
 }
 
 // Ref increments the reference count of a live buffer (multi-consumer
-// fan-out in DFR pub/sub routing).
+// fan-out in DFR pub/sub routing). Ref on a closed pool fails with
+// ErrClosed: after Close has stopped allocations, a racing fan-out branch
+// must not resurrect a handle and extend its lifetime past teardown.
 func (p *Pool) Ref(h uint32) error {
 	if int(h) >= len(p.refs) {
 		return ErrBadHandle
+	}
+	if p.closed.Load() {
+		return ErrClosed
 	}
 	for {
 		r := p.refs[h].Load()
@@ -195,11 +229,25 @@ func (p *Pool) Put(h uint32) error {
 		if r == 1 {
 			p.frees.Add(1)
 			p.inUse.Add(-1)
+			// The freeing caller is the exclusive owner here: detach the
+			// buffer's object handle before the handle can be recycled, so
+			// the attached reference is released exactly once and never
+			// against a successor request's object. The hook runs with no
+			// pool locks held (it may re-enter Put for the object's slabs).
+			var obj uint64
+			if p.trace[h].obj.Load() != 0 {
+				obj = p.trace[h].obj.Swap(0)
+			}
 			if !p.closed.Load() {
 				s := &p.shards[h&(freelistShards-1)]
 				s.mu.Lock()
 				s.list = append(s.list, h)
 				s.mu.Unlock()
+			}
+			if obj != 0 {
+				if hook := p.objHook.Load(); hook != nil {
+					(*hook)(obj)
+				}
 			}
 		}
 		return nil
@@ -251,7 +299,7 @@ func (p *Pool) Write(h uint32, payload []byte) (int, error) {
 		return 0, err
 	}
 	if len(payload) > len(b) {
-		return 0, fmt.Errorf("shm: payload %d exceeds buffer size %d", len(payload), len(b))
+		return 0, fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, len(payload), len(b))
 	}
 	n := copy(b, payload)
 	p.lens[h].Store(int32(n))
@@ -273,8 +321,11 @@ func (p *Pool) SetLen(h uint32, n int) error {
 	if err != nil {
 		return err
 	}
-	if n < 0 || n > len(b) {
-		return fmt.Errorf("shm: length %d out of range [0,%d]", n, len(b))
+	if n < 0 {
+		return fmt.Errorf("shm: negative length %d", n)
+	}
+	if n > len(b) {
+		return fmt.Errorf("%w: length %d > %d", ErrPayloadTooLarge, n, len(b))
 	}
 	p.lens[h].Store(int32(n))
 	return nil
@@ -351,6 +402,41 @@ func (p *Pool) TraceStamp(h uint32) int64 {
 		return 0
 	}
 	return p.trace[h].stamp.Load()
+}
+
+// SetObjHandle attaches an object handle to buffer h's headroom, returning
+// the previously attached handle (0 when none). The handle rides the buffer
+// across every hop and fan-out branch exactly like the trace context —
+// descriptors stay 16 bytes. The caller transfers one object reference to
+// the buffer; the pool's object release hook returns it when the buffer's
+// last reference is released. A displaced previous handle is returned so
+// the caller can release the reference it carried.
+func (p *Pool) SetObjHandle(h uint32, obj uint64) (prev uint64) {
+	if int(h) >= len(p.trace) {
+		return 0
+	}
+	return p.trace[h].obj.Swap(obj)
+}
+
+// ObjHandle returns the object handle attached to buffer h (0 when none).
+func (p *Pool) ObjHandle(h uint32) uint64 {
+	if int(h) >= len(p.trace) {
+		return 0
+	}
+	return p.trace[h].obj.Load()
+}
+
+// SetObjReleaseHook installs the callback that receives each dying buffer's
+// attached object handle — the object store registers itself here so object
+// lifetime follows request/buffer lifetime. The hook runs on the goroutine
+// performing the final Put, with no pool locks held; it may call back into
+// the pool (the store releases the object's slab buffers through Put).
+func (p *Pool) SetObjReleaseHook(hook func(obj uint64)) {
+	if hook == nil {
+		p.objHook.Store(nil)
+		return
+	}
+	p.objHook.Store(&hook)
 }
 
 // InUse returns the number of currently allocated buffers — the chain's

@@ -36,6 +36,7 @@ import (
 	"github.com/spright-go/spright/internal/obs"
 	"github.com/spright-go/spright/internal/orchestrator"
 	"github.com/spright-go/spright/internal/shm"
+	"github.com/spright-go/spright/internal/shm/objstore"
 	"github.com/spright-go/spright/internal/transport"
 )
 
@@ -134,6 +135,24 @@ type (
 	// shared-memory path (and across chains via WithTraceContext).
 	TraceContext = shm.TraceContext
 
+	// ObjectPolicy configures a chain's ephemeral shared-memory object
+	// store: the resident budget, the per-object cap and the spill
+	// directory (ChainSpec.Objects).
+	ObjectPolicy = core.ObjectPolicy
+	// ObjectStore is a chain's keyed, ref-counted large-payload tier
+	// layered on the shared-memory pool (Chain.ObjectStore).
+	ObjectStore = objstore.Store
+	// ObjectHandle is a compact (8-byte) generation-checked reference to
+	// a stored object; it rides descriptor trace headroom between hops.
+	ObjectHandle = objstore.Handle
+	// ObjectWriter streams a multi-slab object into the store
+	// (Ctx.CreateObject / ObjectStore.Create).
+	ObjectWriter = objstore.Writer
+	// Object is an open zero-copy reader over a stored object's slabs.
+	Object = objstore.Object
+	// ObjectStoreStats snapshots an object store's counters.
+	ObjectStoreStats = objstore.Stats
+
 	// PlacedDeployment is one chain spread across worker nodes by
 	// FunctionSpec.Node: intra-node hops stay on the zero-copy
 	// shared-memory path, cross-node hops ride the batched mesh
@@ -197,6 +216,13 @@ var (
 	// ErrOverload signals a request deliberately shed by admission
 	// control (overload, full park queue, or park timeout).
 	ErrOverload = core.ErrOverload
+	// ErrPayloadTooLarge signals a payload over the pool buffer size with
+	// no object tier available, or over the chain's per-object cap. The
+	// gateway maps it to HTTP 413.
+	ErrPayloadTooLarge = shm.ErrPayloadTooLarge
+	// ErrObjectsDisabled signals Ctx object APIs on a chain whose spec
+	// set Objects.Disable.
+	ErrObjectsDisabled = core.ErrObjectsDisabled
 )
 
 // NewFaultInjector builds a deterministic injector from a seed; add rules

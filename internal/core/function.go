@@ -121,19 +121,25 @@ func (c *Ctx) CreateObject(key string) (*objstore.Writer, error) {
 
 // AttachObject rides h on the message: the handle travels in the buffer's
 // descriptor-adjacent headroom across every hop and fan-out branch, and
-// the caller's reference transfers to the buffer — when the request's
-// buffer dies, the reference is released, so a forgotten object surfaces
-// in LeakCheck instead of lingering. A previously attached handle is
+// the caller's reference MOVES to the buffer — when the request's buffer
+// dies, the reference is released, so a forgotten object surfaces in
+// LeakCheck instead of lingering. A previously attached handle is
 // displaced and its reference released.
+//
+// Contrast with Store.Attach, which BORROWS: it takes a fresh reference
+// for the buffer and leaves the caller's reference untouched. AttachObject
+// is implemented as that borrow followed by releasing the caller's
+// reference, so the two APIs differ only in who keeps a reference — never
+// in how many exist.
 func (c *Ctx) AttachObject(h objstore.Handle) error {
 	st := c.inst.chain.store
 	if st == nil {
 		return ErrObjectsDisabled
 	}
-	if prev := c.inst.chain.pool.SetObjHandle(c.desc.Buf, uint64(h)); prev != 0 {
-		_ = st.Release(objstore.Handle(prev))
+	if err := st.Attach(c.desc.Buf, h); err != nil {
+		return err
 	}
-	return nil
+	return st.Release(h)
 }
 
 // ObjectHandle returns the handle riding the message (0 when none).
@@ -166,8 +172,11 @@ func (c *Ctx) DetachObject() {
 
 // ReplyObject terminates the flow replying with object h instead of the
 // in-buffer payload: the handle is attached (transferring the caller's
-// reference), the buffer payload is cleared, and the gateway assembles the
-// external response from the object — the >BufSize response path.
+// reference), the buffer payload is cleared, the buffer's carrier bit is
+// set so the gateway assembles the external response from the object —
+// the >BufSize response path. Without the carrier bit, a handler that
+// replies with an explicitly empty payload while an object is still
+// attached returns an empty body, not the object.
 func (c *Ctx) ReplyObject(h objstore.Handle) error {
 	if err := c.AttachObject(h); err != nil {
 		return err
@@ -175,8 +184,19 @@ func (c *Ctx) ReplyObject(h objstore.Handle) error {
 	if err := c.SetPayload(nil); err != nil {
 		return err
 	}
+	c.inst.chain.pool.SetObjCarrier(c.desc.Buf, true)
 	c.Reply()
 	return nil
+}
+
+// ObjectIsPayload reports whether the message's attached object IS the
+// message body (the carrier bit): set when admission spilled a >BufSize
+// request into the object tier or when a handler called ReplyObject, and
+// cleared by any in-buffer payload write. Cross-node forwarding uses it to
+// decide whether the object travels as the frame payload or as an
+// auxiliary attachment.
+func (c *Ctx) ObjectIsPayload() bool {
+	return c.inst.chain.pool.ObjCarrier(c.desc.Buf)
 }
 
 // ForwardTo overrides DFR's routing table for this invocation and sends

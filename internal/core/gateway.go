@@ -375,12 +375,16 @@ func (g *Gateway) complete(d shm.Descriptor) {
 	ch <- res
 }
 
-// assemble builds one response: from the reply's attached object when it
-// carries one and the in-buffer payload is empty (the >BufSize response
-// path — Ctx.ReplyObject, or a large request echoed back), otherwise the
-// usual copy out of the reply buffer.
+// assemble builds one response: from the reply's attached object when the
+// buffer's carrier bit marks that object as the message body (the >BufSize
+// response path — Ctx.ReplyObject, or a large request passed through
+// untouched and echoed back), otherwise the usual copy out of the reply
+// buffer. The explicit bit — set by admission and ReplyObject, cleared by
+// any payload write — means a handler that replies with a deliberately
+// empty body never has the request object echoed at it just because the
+// request was large.
 func (g *Gateway) assemble(d shm.Descriptor) gwResult {
-	if st := g.chain.store; st != nil && d.Len == 0 {
+	if st := g.chain.store; st != nil && g.chain.pool.ObjCarrier(d.Buf) {
 		if h := objstore.Handle(g.chain.pool.ObjHandle(d.Buf)); h.Valid() {
 			r, err := st.Open(h)
 			if err != nil {
@@ -483,6 +487,9 @@ func (g *Gateway) admitLarge(topic string, payload []byte, caller uint32) (shm.D
 	if prev := g.chain.pool.SetObjHandle(buf, uint64(h)); prev != 0 {
 		_ = st.Release(objstore.Handle(prev))
 	}
+	// The object IS the payload: downstream stages and the response path
+	// treat it as the message body until a handler writes its own.
+	g.chain.pool.SetObjCarrier(buf, true)
 	d := shm.Descriptor{Buf: buf, Len: 0, Caller: caller}
 	g.chain.setTopic(d, topic)
 	if g.eprox != nil {
@@ -750,19 +757,42 @@ func (g *Gateway) InvokeAsync(topic string, payload []byte) error {
 	return g.dispatch(context.Background(), topic, d)
 }
 
+// attachRemoteObject re-materializes an attached object that crossed the
+// wire alongside a frame's in-buffer payload (wire.FlagObject): the bytes
+// become a local store object whose reference transfers to the admitted
+// buffer, so the remote request observes the same Ctx.OpenObject view the
+// origin's did. The payload stays authoritative (no carrier bit) — exactly
+// the rider semantics the origin buffer had.
+func (g *Gateway) attachRemoteObject(buf uint32, obj []byte) error {
+	st := g.chain.store
+	if st == nil {
+		return fmt.Errorf("%w: remote frame carries an attached object", ErrObjectsDisabled)
+	}
+	h, err := st.Put("", obj)
+	if err != nil {
+		return err
+	}
+	if prev := g.chain.pool.SetObjHandle(buf, uint64(h)); prev != 0 {
+		_ = st.Release(objstore.Handle(prev))
+	}
+	return nil
+}
+
 // InvokeRemote admits a payload that arrived from a peer node's gateway and
 // dispatches it directly to fn (the sending node's DFR already resolved the
-// hop — no ingress route lookup here). The payload is copied into the local
-// shm pool before InvokeRemote returns, so the caller may recycle it
-// immediately. tc is the trace context carried on the wire frame: when
-// sampled, the local tracer adopts it, so both nodes' spans share one trace
-// ID and the remote spans parent under the forwarding stub's span.
+// hop — no ingress route lookup here). The payload — and obj, the origin
+// message's attached-object bytes (nil when none rode the frame) — are
+// copied into the local shm pool and object store before InvokeRemote
+// returns, so the caller may recycle them immediately. tc is the trace
+// context carried on the wire frame: when sampled, the local tracer adopts
+// it, so both nodes' spans share one trace ID and the remote spans parent
+// under the forwarding stub's span.
 //
 // For noReply requests done must be nil: the frame is fire-and-forget.
 // Otherwise done is called exactly once, from a gateway goroutine, with the
 // response payload or a terminal error; the payload is only valid for the
 // duration of the call (it is returned to a pool after).
-func (g *Gateway) InvokeRemote(fn, topic string, payload []byte, tc shm.TraceContext, noReply bool, done func([]byte, error)) error {
+func (g *Gateway) InvokeRemote(fn, topic string, payload, obj []byte, tc shm.TraceContext, noReply bool, done func([]byte, error)) error {
 	select {
 	case <-g.stop:
 		return ErrGatewayClosed
@@ -772,6 +802,12 @@ func (g *Gateway) InvokeRemote(fn, topic string, payload []byte, tc shm.TraceCon
 		d, err := g.admit(topic, payload, NoReply)
 		if err != nil {
 			return err
+		}
+		if obj != nil {
+			if aerr := g.attachRemoteObject(d.Buf, obj); aerr != nil {
+				g.chain.releaseBuffer(d.Buf)
+				return aerr
+			}
 		}
 		if tc.Sampled() {
 			g.chain.pool.SetTraceContext(d.Buf, tc)
@@ -801,6 +837,12 @@ func (g *Gateway) InvokeRemote(fn, topic string, payload []byte, tc shm.TraceCon
 	}
 	sampled := ltc.Sampled()
 	d, err := g.admit(topic, payload, caller)
+	if err == nil && obj != nil {
+		if aerr := g.attachRemoteObject(d.Buf, obj); aerr != nil {
+			g.chain.releaseBuffer(d.Buf)
+			err = aerr
+		}
+	}
 	if err != nil {
 		g.recycleWaiter(caller, ch)
 		if tr != nil {
@@ -929,12 +971,38 @@ func (g *Gateway) IngestRaw(ctx context.Context, protocol string, raw []byte) ([
 	return ad.EncodeResponse(msg, out)
 }
 
+// bodyLimit returns the largest request body admission could possibly
+// accept: the object-store per-object cap, or one pool buffer when the
+// object tier is disabled. 0 means unbounded (a store configured with no
+// cap).
+func (g *Gateway) bodyLimit() int64 {
+	if st := g.chain.store; st != nil {
+		return st.MaxObjectBytes()
+	}
+	return int64(g.chain.pool.BufSize())
+}
+
 // ServeHTTP exposes the chain over real HTTP (net/http): the external
 // interface of the SPRIGHT gateway. The message topic is taken from the
 // X-Topic header, defaulting to the URL path.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Enforce the admission size cap while the body streams in, so an
+	// oversized request is refused after at most limit+1 buffered bytes —
+	// never heap-buffered whole just to be rejected by admitLarge.
+	limit := g.bodyLimit()
+	if limit > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, limit)
+	}
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			g.rejected.Add(1)
+			g.shedPayloadTooLarge.Add(1)
+			http.Error(w, fmt.Sprintf("%v: body exceeds %d bytes", shm.ErrPayloadTooLarge, limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}

@@ -315,6 +315,87 @@ func TestPayloadOverObjectCap413(t *testing.T) {
 	}
 }
 
+// TestEmptyReplyToLargeRequestNotEchoed: a handler that explicitly replies
+// with an empty body to a >BufSize request — without detaching the request
+// object — must return an empty response, exactly as it would for a small
+// request. Assembly keys off the carrier bit (cleared by any payload
+// write), not off Len==0 plus an attached handle, so the multi-MB request
+// object is never echoed by accident.
+func TestEmptyReplyToLargeRequestNotEchoed(t *testing.T) {
+	var handlerErr error
+	spec := ChainSpec{
+		PoolBuffers: 128,
+		BufSize:     4096,
+		Functions: []FunctionSpec{{
+			Name: "ack",
+			Handler: func(ctx *Ctx) error {
+				if !ctx.ObjectIsPayload() {
+					handlerErr = errors.New("large request arrived without the carrier bit")
+				}
+				if err := ctx.SetPayload(nil); err != nil {
+					return err
+				}
+				if ctx.ObjectIsPayload() {
+					handlerErr = errors.New("SetPayload did not clear the carrier bit")
+				}
+				ctx.Reply()
+				return nil
+			},
+		}},
+		Routes: []RouteSpec{{From: "", To: []string{"ack"}}},
+	}
+	c, g := testChain(t, ModeEvent, spec)
+	out, err := g.Invoke(context.Background(), "", largePayload(50_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if handlerErr != nil {
+		t.Fatal(handlerErr)
+	}
+	if len(out) != 0 {
+		t.Fatalf("explicitly empty reply echoed %d bytes of the request object", len(out))
+	}
+	waitObjectsDrained(t, c)
+}
+
+// TestServeHTTPBodyOverObjectCap413 covers the streaming guard on the HTTP
+// front door: with the store enabled, a body over MaxObjectBytes is refused
+// with 413 after at most cap+1 buffered bytes (http.MaxBytesReader), and an
+// under-cap >BufSize body still flows through the object path untouched.
+func TestServeHTTPBodyOverObjectCap413(t *testing.T) {
+	spec := echoSpec()
+	spec.BufSize = 4096
+	spec.Objects = ObjectPolicy{MaxObjectBytes: 16 * 1024}
+	c, g := testChain(t, ModeEvent, spec)
+
+	req := httptest.NewRequest(http.MethodPost, "/", bytes.NewReader(largePayload(64*1024)))
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413 (body %q)", rec.Code, rec.Body.String())
+	}
+	st := g.Stats()
+	if st.ShedPayloadTooLarge != 1 {
+		t.Fatalf("ShedPayloadTooLarge = %d, want 1", st.ShedPayloadTooLarge)
+	}
+	if st.Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1", st.Rejected)
+	}
+
+	// Under the cap but over BufSize: still admitted via the object tier.
+	body := largePayload(12 * 1024)
+	req = httptest.NewRequest(http.MethodPost, "/", bytes.NewReader(body))
+	rec = httptest.NewRecorder()
+	g.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("under-cap large body: status = %d (%q)", rec.Code, rec.Body.String())
+	}
+	if !bytes.Equal(rec.Body.Bytes(), body) {
+		t.Fatalf("under-cap large body came back %d bytes, want %d", rec.Body.Len(), len(body))
+	}
+	waitObjectsDrained(t, c)
+}
+
 // TestCtxObjectAPIsDisabled pins the ErrObjectsDisabled surface.
 func TestCtxObjectAPIsDisabled(t *testing.T) {
 	var handlerErr error

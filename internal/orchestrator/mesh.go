@@ -89,7 +89,7 @@ func (n *WorkerNode) handleFrame(from string, f *wire.Frame) {
 		}
 		tc := shm.TraceContext{TraceHi: f.TraceHi, TraceLo: f.TraceLo, Span: f.TraceSpan, Flags: f.TraceFlags}
 		if noReply {
-			_ = d.Gateway.InvokeRemote(f.Fn, f.Topic, f.Payload, tc, true, nil)
+			_ = d.Gateway.InvokeRemote(f.Fn, f.Topic, f.Payload, f.Obj, tc, true, nil)
 			return
 		}
 		// Capture by value: f.Payload aliases a pooled receive buffer that
@@ -104,9 +104,18 @@ func (n *WorkerNode) handleFrame(from string, f *wire.Frame) {
 			} else {
 				rf.Payload = payload
 			}
-			_ = mesh.Send(from, &rf)
+			if serr := mesh.Send(from, &rf); serr != nil && rf.Flags&wire.FlagError == 0 {
+				// The response itself was unsendable (e.g. a reply object
+				// larger than MaxFrame). An error frame is small and always
+				// encodable — deliver that so the origin fails fast instead
+				// of timing out on a blackholed caller slot.
+				ef := wire.Frame{Type: wire.TypeResponse, Caller: caller, Chain: chain,
+					Flags: wire.FlagError,
+					Err:   fmt.Sprintf("node %s: response undeliverable: %v", n.Name, serr)}
+				_ = mesh.Send(from, &ef)
+			}
 		}
-		if err := d.Gateway.InvokeRemote(f.Fn, f.Topic, f.Payload, tc, false, respond); err != nil {
+		if err := d.Gateway.InvokeRemote(f.Fn, f.Topic, f.Payload, f.Obj, tc, false, respond); err != nil {
 			// Admission refused (overload shed, pool exhaustion): answer
 			// immediately so the origin fails fast instead of waiting out
 			// its deadline.
@@ -169,6 +178,35 @@ func makeStub(env *stubEnv, chainName, fn, peer string) core.Handler {
 		}
 		if caller == core.NoReply {
 			f.Flags = wire.FlagNoReply
+		}
+		// An attached object must cross with the message — the local buffer
+		// (and with it the object reference) is surrendered below, so a frame
+		// without the object's bytes would silently deliver an empty body. A
+		// carrier object IS the body (>BufSize admission, ReplyObject): it
+		// travels as the frame payload and the remote gateway re-admits it
+		// through its own large-payload path. An auxiliary object rides the
+		// frame's object section and is re-materialized into the remote
+		// store. Objects too big for one frame fail the caller explicitly
+		// via Send's ErrFrameTooBig — never a silent truncation.
+		if h := ctx.ObjectHandle(); h.Valid() {
+			r, err := ctx.OpenObject()
+			if err != nil {
+				return fmt.Errorf("orchestrator: forward %s to %s: open attached object: %w", fn, peer, err)
+			}
+			obj := make([]byte, r.Size())
+			if r.Size() > 0 {
+				if _, err := r.ReadAt(obj, 0); err != nil {
+					_ = r.Close()
+					return fmt.Errorf("orchestrator: forward %s to %s: read attached object: %w", fn, peer, err)
+				}
+			}
+			_ = r.Close()
+			if ctx.ObjectIsPayload() {
+				f.Payload = obj
+			} else {
+				f.Obj = obj
+				f.Flags |= wire.FlagObject
+			}
 		}
 		// The cross-node hop gets its own span; the remote node's request
 		// span parents under it (the frame carries its ID), so the hop is

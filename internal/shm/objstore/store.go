@@ -125,6 +125,13 @@ type object struct {
 	refs int // lifetime references (creator, buffers, explicit Refs)
 	pins int // open readers; pinned objects cannot spill
 
+	// busy marks a tier transition (spill or reload) whose file I/O is
+	// running with the store mutex RELEASED: the object is excluded from
+	// spill candidacy, Open/Spill wait it out on Store.cond, and the
+	// transition holds its own reference so the object cannot be deleted
+	// mid-I/O.
+	busy bool
+
 	slabs   []uint32 // pool handles (resident)
 	spilled bool
 	path    string // spill file (spilled)
@@ -144,6 +151,7 @@ type Store struct {
 	cfg  Config
 
 	mu       sync.Mutex
+	cond     *sync.Cond // broadcast when a busy tier transition finishes
 	objs     map[uint32]*object
 	byKey    map[string]uint32 // key → latest object ID (non-empty keys)
 	nextID   uint32
@@ -170,6 +178,7 @@ func New(pool *shm.Pool, cfg Config) *Store {
 		objs:  make(map[uint32]*object),
 		byKey: make(map[string]uint32),
 	}
+	s.cond = sync.NewCond(&s.mu)
 	s.readerPool.New = func() any { return new(Object) }
 	pool.SetObjReleaseHook(func(obj uint64) { _ = s.Release(Handle(obj)) })
 	return s
@@ -177,6 +186,11 @@ func New(pool *shm.Pool, cfg Config) *Store {
 
 // Pool returns the pool the store is layered on.
 func (s *Store) Pool() *shm.Pool { return s.pool }
+
+// MaxObjectBytes returns the per-object size cap (0 = unlimited) — the
+// gateway sizes its HTTP body limiter from it so an oversized request is
+// refused while streaming in, not after being buffered whole.
+func (s *Store) MaxObjectBytes() int64 { return s.cfg.MaxObjectBytes }
 
 // --- LRU maintenance (store.mu held) ---
 
@@ -368,14 +382,21 @@ func (s *Store) enforceBudgetLocked(keep *object) {
 }
 
 // spillColdestLocked spills the least-recently-used unpinned resident
-// object, reporting whether one was found.
+// object, reporting whether one was found. Called with s.mu held; the
+// victim's file I/O runs with the lock released (see spillObjectLocked),
+// so the lock may be dropped and re-acquired before this returns.
 func (s *Store) spillColdestLocked(keep *object) bool {
 	for o := s.lruTail; o != nil; o = o.prev {
-		if o.pins > 0 || o == keep || len(o.slabs) == 0 {
+		if o.pins > 0 || o.busy || o == keep || len(o.slabs) == 0 {
 			continue
 		}
-		if err := s.spillLocked(o); err != nil {
+		if err := s.spillObjectLocked(o); err != nil {
 			s.stats.SpillErrors++
+			if s.closed {
+				return false
+			}
+			// o survived the failed spill (still resident, still linked),
+			// so the walk can continue past it.
 			continue
 		}
 		return true
@@ -383,105 +404,195 @@ func (s *Store) spillColdestLocked(keep *object) bool {
 	return false
 }
 
-// spillLocked writes o's payload to the file tier and frees its slabs.
-func (s *Store) spillLocked(o *object) error {
+// unrefLocked drops one reference with s.mu held, removing the object when
+// the count reaches zero. The freed slab handles are returned so the caller
+// can release them to the pool (safe under s.mu — object slabs never carry
+// attached handles, so pool.Put cannot re-enter the store).
+func (s *Store) unrefLocked(o *object) []uint32 {
+	o.refs--
+	if o.refs > 0 {
+		return nil
+	}
+	// Last reference: remove the object. Open readers hold a reference, so
+	// pins are necessarily zero here.
+	delete(s.objs, o.id)
+	if o.key != "" && s.byKey[o.key] == o.id {
+		delete(s.byKey, o.key)
+	}
+	if o.spilled {
+		if o.path != "" {
+			_ = os.Remove(o.path)
+			o.path = ""
+		}
+	} else {
+		s.resident -= o.footprint(s.pool.BufSize())
+		s.lruRemove(o)
+	}
+	slabs := o.slabs
+	o.slabs = nil
+	s.stats.Deletes++
+	return slabs
+}
+
+// putSlabs returns freed slab handles to the pool.
+func (s *Store) putSlabs(slabs []uint32) {
+	for _, h := range slabs {
+		_ = s.pool.Put(h)
+	}
+}
+
+// spillObjectLocked writes o's payload to the file tier and frees its
+// slabs. Called with s.mu held and returns with it held, but the file
+// creation and writes run with the lock RELEASED: o is marked busy (no
+// other transition or reader touches it — Open and Spill wait on s.cond)
+// and holds a transition reference so a concurrent Release cannot delete
+// it mid-write. Hot-path Open/Release/Put on other objects therefore never
+// stall behind spill I/O.
+func (s *Store) spillObjectLocked(o *object) error {
+	o.busy = true
+	o.refs++ // transition reference
+	slabs := o.slabs
+	size := o.size
+	s.mu.Unlock()
+
+	var path string
 	f, err := os.CreateTemp(s.spillDir(), fmt.Sprintf("spright-obj-%d-%d-*", o.id, o.gen))
+	if err == nil {
+		path = f.Name()
+		left := size
+		for _, h := range slabs {
+			if left <= 0 {
+				break
+			}
+			b, berr := s.pool.Bytes(h)
+			if berr != nil {
+				err = berr
+				break
+			}
+			n := int64(len(b))
+			if n > left {
+				n = left
+			}
+			if _, werr := f.Write(b[:n]); werr != nil {
+				err = werr
+				break
+			}
+			left -= n
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+
+	s.mu.Lock()
+	o.busy = false
+	s.cond.Broadcast()
+	if err == nil && s.closed {
+		// Close ran mid-spill: keep the object resident (Close's contract
+		// leaves leaked residents attributable in the pool's LeakCheck)
+		// and discard the file.
+		err = ErrStoreClosed
+	}
 	if err != nil {
-		return err
-	}
-	left := o.size
-	for _, h := range o.slabs {
-		if left <= 0 {
-			break
+		if path != "" {
+			_ = os.Remove(path)
 		}
-		b, berr := s.pool.Bytes(h)
-		if berr != nil {
-			err = berr
-			break
-		}
-		n := int64(len(b))
-		if n > left {
-			n = left
-		}
-		if _, werr := f.Write(b[:n]); werr != nil {
-			err = werr
-			break
-		}
-		left -= n
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		_ = os.Remove(f.Name())
+		s.putSlabs(s.unrefLocked(o))
 		return err
 	}
 	s.resident -= o.footprint(s.pool.BufSize())
 	s.lruRemove(o)
-	for _, h := range o.slabs {
-		_ = s.pool.Put(h)
-	}
+	s.putSlabs(o.slabs)
 	o.slabs = nil
 	o.spilled = true
-	o.path = f.Name()
+	o.path = path
 	s.stats.Spills++
-	s.stats.SpillBytes += uint64(o.size)
+	s.stats.SpillBytes += uint64(size)
+	s.putSlabs(s.unrefLocked(o))
 	return nil
 }
 
-// reloadLocked brings a spilled object back into pool slabs.
-func (s *Store) reloadLocked(o *object) error {
-	f, err := os.Open(o.path)
+// reloadObjectLocked brings a spilled object back into pool slabs. Same
+// locking contract as spillObjectLocked: called and returns with s.mu
+// held, file reads and slab fills run with the lock released while o is
+// busy and holds a transition reference.
+func (s *Store) reloadObjectLocked(o *object) error {
+	o.busy = true
+	o.refs++ // transition reference
+	path := o.path
+	size := o.size
+	s.mu.Unlock()
+
+	bufSize := s.pool.BufSize()
+	nSlabs := int((size + int64(bufSize) - 1) / int64(bufSize))
+	slabs := make([]uint32, 0, nSlabs)
+	var exhaustSpills uint64
+	f, err := os.Open(path)
+	if err == nil {
+		left := size
+		for len(slabs) < nSlabs {
+			h, gerr := s.pool.Get()
+			if gerr != nil {
+				if !errors.Is(gerr, shm.ErrPoolExhausted) {
+					err = gerr
+					break
+				}
+				// Pool pressure during reload spills *other* cold objects;
+				// o itself is busy and therefore never its own victim.
+				s.mu.Lock()
+				ok := s.spillColdestLocked(o)
+				s.mu.Unlock()
+				if !ok {
+					err = gerr
+					break
+				}
+				exhaustSpills++
+				continue
+			}
+			slabs = append(slabs, h)
+			b, berr := s.pool.Bytes(h)
+			if berr != nil {
+				err = berr
+				break
+			}
+			n := int64(len(b))
+			if n > left {
+				n = left
+			}
+			if _, rerr := io.ReadFull(f, b[:n]); rerr != nil {
+				err = fmt.Errorf("objstore: reload %s: %w", path, rerr)
+				break
+			}
+			left -= n
+		}
+		_ = f.Close()
+	}
+
+	s.mu.Lock()
+	o.busy = false
+	s.cond.Broadcast()
+	s.stats.ExhaustSpills += exhaustSpills
 	if err != nil {
+		s.putSlabs(slabs)
+		s.putSlabs(s.unrefLocked(o))
+		// Close skipped this object's spill file while the reload owned
+		// it; with the reload abandoned, finish that cleanup here.
+		if s.closed && o.spilled && o.path != "" {
+			_ = os.Remove(o.path)
+			o.path = ""
+		}
 		return err
 	}
-	defer f.Close()
-	bufSize := s.pool.BufSize()
-	nSlabs := int((o.size + int64(bufSize) - 1) / int64(bufSize))
-	slabs := make([]uint32, 0, nSlabs)
-	release := func() {
-		for _, h := range slabs {
-			_ = s.pool.Put(h)
-		}
-	}
-	left := o.size
-	for len(slabs) < nSlabs {
-		// Pool pressure during reload spills *other* cold objects; o itself
-		// is mid-transition and exempt (not resident, so not a candidate).
-		h, gerr := s.pool.Get()
-		if gerr != nil {
-			if !errors.Is(gerr, shm.ErrPoolExhausted) || !s.spillColdestLocked(o) {
-				release()
-				return gerr
-			}
-			s.stats.ExhaustSpills++
-			continue
-		}
-		slabs = append(slabs, h)
-		b, berr := s.pool.Bytes(h)
-		if berr != nil {
-			release()
-			return berr
-		}
-		n := int64(len(b))
-		if n > left {
-			n = left
-		}
-		if _, rerr := io.ReadFull(f, b[:n]); rerr != nil {
-			release()
-			return fmt.Errorf("objstore: reload %s: %w", o.path, rerr)
-		}
-		left -= n
-	}
-	_ = os.Remove(o.path)
+	_ = os.Remove(path)
 	o.path = ""
 	o.spilled = false
 	o.slabs = slabs
 	s.resident += o.footprint(bufSize)
 	s.lruPushFront(o)
 	s.stats.Reloads++
-	s.stats.ReloadBytes += uint64(o.size)
+	s.stats.ReloadBytes += uint64(size)
 	s.enforceBudgetLocked(o)
+	s.putSlabs(s.unrefLocked(o))
 	return nil
 }
 
@@ -492,24 +603,32 @@ func (s *Store) reloadLocked(o *object) error {
 func (s *Store) Spill(h Handle) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return ErrStoreClosed
-	}
-	o, err := s.lookupLocked(h)
-	if err != nil {
-		return err
-	}
-	if o.spilled {
+	for {
+		if s.closed {
+			return ErrStoreClosed
+		}
+		o, err := s.lookupLocked(h)
+		if err != nil {
+			return err
+		}
+		if o.busy {
+			// Another transition owns the object; wait it out and
+			// re-evaluate (it may land in either tier).
+			s.cond.Wait()
+			continue
+		}
+		if o.spilled {
+			return nil
+		}
+		if o.pins > 0 {
+			return fmt.Errorf("%w: %s", ErrObjectPinned, h)
+		}
+		if err := s.spillObjectLocked(o); err != nil {
+			s.stats.SpillErrors++
+			return err
+		}
 		return nil
 	}
-	if o.pins > 0 {
-		return fmt.Errorf("%w: %s", ErrObjectPinned, h)
-	}
-	if err := s.spillLocked(o); err != nil {
-		s.stats.SpillErrors++
-		return err
-	}
-	return nil
 }
 
 func (s *Store) spillDir() string {
@@ -560,27 +679,9 @@ func (s *Store) Release(h Handle) error {
 		s.mu.Unlock()
 		return err
 	}
-	o.refs--
-	if o.refs > 0 {
-		s.mu.Unlock()
-		return nil
-	}
-	// Last reference: remove the object. Open readers hold a reference, so
-	// pins are necessarily zero here.
-	delete(s.objs, o.id)
-	if o.key != "" && s.byKey[o.key] == o.id {
-		delete(s.byKey, o.key)
-	}
-	if o.spilled {
-		_ = os.Remove(o.path)
-		o.path = ""
-	} else {
-		s.resident -= o.footprint(s.pool.BufSize())
-		s.lruRemove(o)
-	}
-	slabs := o.slabs
-	o.slabs = nil
-	s.stats.Deletes++
+	// A busy object cannot die here: its tier transition holds a reference
+	// of its own, so refs stays positive until the transition commits.
+	slabs := s.unrefLocked(o)
 	s.mu.Unlock()
 	for _, sh := range slabs {
 		_ = s.pool.Put(sh)
@@ -642,29 +743,39 @@ type Object struct {
 // Close; while open the object cannot spill, so slab views stay valid.
 func (s *Store) Open(h Handle) (*Object, error) {
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil, ErrStoreClosed
-	}
-	o, err := s.lookupLocked(h)
-	if err != nil {
-		s.mu.Unlock()
-		return nil, err
-	}
-	if o.spilled {
-		if err := s.reloadLocked(o); err != nil {
+	for {
+		if s.closed {
+			s.mu.Unlock()
+			return nil, ErrStoreClosed
+		}
+		o, err := s.lookupLocked(h)
+		if err != nil {
 			s.mu.Unlock()
 			return nil, err
 		}
+		if o.busy {
+			// A spill or reload owns the object with the lock dropped for
+			// its file I/O; wait for the transition to commit rather than
+			// pinning slabs out from under it.
+			s.cond.Wait()
+			continue
+		}
+		if o.spilled {
+			if err := s.reloadObjectLocked(o); err != nil {
+				s.mu.Unlock()
+				return nil, err
+			}
+			continue // revalidate: the lock was dropped during the reload
+		}
+		o.refs++ // the reader's reference: Close releases it
+		o.pins++
+		s.lruTouch(o)
+		s.stats.Opens++
+		s.mu.Unlock()
+		r := s.readerPool.Get().(*Object)
+		r.s, r.o = s, o
+		return r, nil
 	}
-	o.refs++ // the reader's reference: Close releases it
-	o.pins++
-	s.lruTouch(o)
-	s.stats.Opens++
-	s.mu.Unlock()
-	r := s.readerPool.Get().(*Object)
-	r.s, r.o = s, o
-	return r, nil
 }
 
 // OpenKey opens the latest object stored under key.
@@ -808,7 +919,9 @@ func (s *Store) Close() {
 	}
 	s.closed = true
 	for _, o := range s.objs {
-		if o.spilled && o.path != "" {
+		// A busy object's file belongs to its in-flight transition, which
+		// observes closed at commit time and cleans up itself.
+		if o.spilled && o.path != "" && !o.busy {
 			_ = os.Remove(o.path)
 			o.path = ""
 		}

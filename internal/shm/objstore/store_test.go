@@ -346,6 +346,89 @@ func TestObjStoreSpillAndReload(t *testing.T) {
 	}
 }
 
+// TestObjStoreSpillReloadChurnConcurrent hammers the busy-transition
+// machinery: a tight resident budget forces every Open to reload its target
+// and evict a sibling, while explicit Spill calls race the reloads. Tier
+// transitions drop s.mu around their file I/O, so this is the test that
+// makes a mid-transition object visible to concurrent Open/Spill/Release —
+// run under -race it pins the lock-free I/O rework.
+func TestObjStoreSpillReloadChurnConcurrent(t *testing.T) {
+	pool := testPool(t, 256, 1024)
+	// Budget of 8 slabs with 4-slab objects: at most two resident, so
+	// every reload evicts and every commit spills.
+	s := New(pool, Config{MaxResidentBytes: 8 * 1024, SpillDir: t.TempDir()})
+
+	const objects = 6
+	handles := make([]Handle, objects)
+	wants := make([][]byte, objects)
+	for i := range handles {
+		wants[i] = pattern(4000, byte(i*3+1))
+		h, err := s.Put(fmt.Sprintf("churn-%d", i), wants[i])
+		if err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+		handles[i] = h
+	}
+
+	const goroutines = 8
+	const iters = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				i := (seed + it) % objects
+				if (seed+it)%3 == 0 {
+					// Racing explicit spill: ErrObjectPinned just means a
+					// reader beat us to it.
+					if err := s.Spill(handles[i]); err != nil && !errors.Is(err, ErrObjectPinned) {
+						errs <- fmt.Errorf("Spill %d: %w", i, err)
+						return
+					}
+					continue
+				}
+				r, err := s.Open(handles[i])
+				if err != nil {
+					errs <- fmt.Errorf("Open %d: %w", i, err)
+					return
+				}
+				if !bytes.Equal(readAll(t, r), wants[i]) {
+					_ = r.Close()
+					errs <- fmt.Errorf("object %d corrupted across churn", i)
+					return
+				}
+				if err := r.Close(); err != nil {
+					errs <- fmt.Errorf("Close %d: %w", i, err)
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i, h := range handles {
+		if err := s.Release(h); err != nil {
+			t.Fatalf("Release %d: %v", i, err)
+		}
+	}
+	if err := s.LeakCheck(); err != nil {
+		t.Fatalf("LeakCheck: %v", err)
+	}
+	if err := pool.LeakCheck(); err != nil {
+		t.Fatalf("pool LeakCheck: %v", err)
+	}
+	s.Close()
+}
+
 func TestObjStorePinBlocksSpill(t *testing.T) {
 	pool := testPool(t, 64, 1024)
 	s := New(pool, Config{MaxResidentBytes: 4 * 1024, SpillDir: t.TempDir()})

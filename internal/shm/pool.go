@@ -58,6 +58,12 @@ type traceHdr struct {
 	flags  atomic.Uint32
 	stamp  atomic.Int64  // UnixNano of the most recent enqueue of this buffer
 	obj    atomic.Uint64 // attached objstore handle (0 = none)
+	// objCarrier marks the attached object as BEING the message payload
+	// (gateway large-payload admission, Ctx.ReplyObject) rather than an
+	// auxiliary intermediate riding alongside it. Any in-buffer payload
+	// write clears it: whoever wrote last owns the message body, so the
+	// gateway never has to guess from Len==0 whether to echo the object.
+	objCarrier atomic.Uint32
 }
 
 // freelistShards is the number of independent freelist segments (power of
@@ -179,6 +185,9 @@ func (p *Pool) Get() (uint32, error) {
 	if t.stamp.Load() != 0 {
 		t.stamp.Store(0)
 	}
+	if t.objCarrier.Load() != 0 {
+		t.objCarrier.Store(0)
+	}
 	p.allocs.Add(1)
 	in := p.inUse.Add(1)
 	for {
@@ -237,6 +246,9 @@ func (p *Pool) Put(h uint32) error {
 			var obj uint64
 			if p.trace[h].obj.Load() != 0 {
 				obj = p.trace[h].obj.Swap(0)
+			}
+			if p.trace[h].objCarrier.Load() != 0 {
+				p.trace[h].objCarrier.Store(0)
 			}
 			if !p.closed.Load() {
 				s := &p.shards[h&(freelistShards-1)]
@@ -303,6 +315,11 @@ func (p *Pool) Write(h uint32, payload []byte) (int, error) {
 	}
 	n := copy(b, payload)
 	p.lens[h].Store(int32(n))
+	// The in-buffer payload is now authoritative: an attached object is a
+	// rider again, not the message body.
+	if p.trace[h].objCarrier.Load() != 0 {
+		p.trace[h].objCarrier.Store(0)
+	}
 	return n, nil
 }
 
@@ -328,6 +345,9 @@ func (p *Pool) SetLen(h uint32, n int) error {
 		return fmt.Errorf("%w: length %d > %d", ErrPayloadTooLarge, n, len(b))
 	}
 	p.lens[h].Store(int32(n))
+	if p.trace[h].objCarrier.Load() != 0 {
+		p.trace[h].objCarrier.Store(0)
+	}
 	return nil
 }
 
@@ -415,7 +435,36 @@ func (p *Pool) SetObjHandle(h uint32, obj uint64) (prev uint64) {
 	if int(h) >= len(p.trace) {
 		return 0
 	}
+	// A freshly attached (or detached) object starts as a rider; callers
+	// for whom the object IS the payload (gateway large-payload admission,
+	// Ctx.ReplyObject) assert that explicitly via SetObjCarrier afterwards.
+	if p.trace[h].objCarrier.Load() != 0 {
+		p.trace[h].objCarrier.Store(0)
+	}
 	return p.trace[h].obj.Swap(obj)
+}
+
+// SetObjCarrier marks (or unmarks) buffer h's attached object as being the
+// message payload itself — the >BufSize carrier convention. The mark is
+// cleared by any in-buffer payload write (Write, SetLen), by SetObjHandle,
+// and when the buffer is recycled, so it can never outlive the attachment
+// that set it.
+func (p *Pool) SetObjCarrier(h uint32, on bool) {
+	if int(h) >= len(p.trace) {
+		return
+	}
+	v := uint32(0)
+	if on {
+		v = 1
+	}
+	p.trace[h].objCarrier.Store(v)
+}
+
+// ObjCarrier reports whether buffer h's attached object is the message
+// payload (the gateway assembles the external response from it) rather
+// than an auxiliary rider.
+func (p *Pool) ObjCarrier(h uint32) bool {
+	return int(h) < len(p.trace) && p.trace[h].objCarrier.Load() != 0
 }
 
 // ObjHandle returns the object handle attached to buffer h (0 when none).

@@ -19,6 +19,7 @@
 //	u16-prefixed topic
 //	u16-prefixed error message (error responses)
 //	u32-prefixed payload
+//	u32-prefixed object bytes (only when flags carry FlagObject)
 //
 // Decoding never panics: truncated or corrupt input returns an error, which
 // the receive loop converts into a counted connection teardown.
@@ -48,6 +49,12 @@ const (
 	FlagNoReply = 1 << 0
 	// FlagError marks a response that carries Err instead of Payload.
 	FlagError = 1 << 1
+	// FlagObject marks a request whose origin message carried an attached
+	// shared-memory object alongside its in-buffer payload: the object's
+	// bytes travel in the frame's object section and are re-materialized
+	// into the receiving node's object store, so cross-node forwarding
+	// never silently sheds an attachment.
+	FlagObject = 1 << 2
 )
 
 // Version is the only wire version this package speaks.
@@ -85,6 +92,17 @@ type Frame struct {
 
 	Err     string // error message of an error response
 	Payload []byte
+
+	// Obj carries an attached object's bytes (FlagObject requests): the
+	// origin's auxiliary shared-memory object riding alongside Payload.
+	// Like Payload it aliases the decode input.
+	Obj []byte
+}
+
+// hasObj reports whether f encodes an object section: either the flag is
+// already set or object bytes are present (encoding then sets the flag).
+func (f *Frame) hasObj() bool {
+	return f.Flags&FlagObject != 0 || len(f.Obj) > 0
 }
 
 // Framing errors.
@@ -102,9 +120,13 @@ const fixedLen = 1 + 1 + 1 + 1 + 4 + 8 + 8 + 8 + 4
 
 // EncodedSize returns the full encoded size of f, length prefix included.
 func EncodedSize(f *Frame) int {
-	return PrefixLen + fixedLen +
+	n := PrefixLen + fixedLen +
 		2 + len(f.Chain) + 2 + len(f.Fn) + 2 + len(f.Topic) + 2 + len(f.Err) +
 		4 + len(f.Payload)
+	if f.hasObj() {
+		n += 4 + len(f.Obj)
+	}
+	return n
 }
 
 // AppendFrame appends f's encoding — length prefix plus body — to dst and
@@ -118,8 +140,12 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 	if body > MaxFrame {
 		return dst, ErrFrameTooBig
 	}
+	flags := f.Flags
+	if f.hasObj() {
+		flags |= FlagObject
+	}
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(body))
-	dst = append(dst, Version, f.Type, f.Flags, 0)
+	dst = append(dst, Version, f.Type, flags, 0)
 	dst = binary.LittleEndian.AppendUint32(dst, f.Caller)
 	dst = binary.LittleEndian.AppendUint64(dst, f.TraceHi)
 	dst = binary.LittleEndian.AppendUint64(dst, f.TraceLo)
@@ -131,6 +157,10 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 	}
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.Payload)))
 	dst = append(dst, f.Payload...)
+	if f.hasObj() {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.Obj)))
+		dst = append(dst, f.Obj...)
+	}
 	return dst, nil
 }
 
@@ -174,19 +204,32 @@ func DecodeFrame(b []byte) (Frame, error) {
 	if f.Err, rest, err = takeString(rest); err != nil {
 		return f, err
 	}
-	if len(rest) < 4 {
-		return f, fmt.Errorf("%w: payload length", ErrTruncated)
+	if f.Payload, rest, err = takeBytes(rest, "payload"); err != nil {
+		return f, err
 	}
-	n := binary.LittleEndian.Uint32(rest)
-	rest = rest[4:]
-	if uint32(len(rest)) < n {
-		return f, fmt.Errorf("%w: payload %d of %d bytes", ErrTruncated, len(rest), n)
+	if f.Flags&FlagObject != 0 {
+		if f.Obj, rest, err = takeBytes(rest, "object"); err != nil {
+			return f, err
+		}
 	}
-	f.Payload = rest[:n:n]
-	if len(rest) != int(n) {
-		return f, fmt.Errorf("%w: %d", ErrTrailing, len(rest)-int(n))
+	if len(rest) != 0 {
+		return f, fmt.Errorf("%w: %d", ErrTrailing, len(rest))
 	}
 	return f, nil
+}
+
+// takeBytes consumes one u32-prefixed byte section, returning it (aliasing
+// b) and the remaining bytes.
+func takeBytes(b []byte, what string) ([]byte, []byte, error) {
+	if len(b) < 4 {
+		return nil, b, fmt.Errorf("%w: %s length", ErrTruncated, what)
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if uint32(len(b)) < n {
+		return nil, b, fmt.Errorf("%w: %s %d of %d bytes", ErrTruncated, what, len(b), n)
+	}
+	return b[:n:n], b[n:], nil
 }
 
 // takeString consumes one u16-prefixed string, returning it (as a copy) and

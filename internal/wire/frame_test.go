@@ -56,6 +56,56 @@ func TestFrameRoundTripEmptyFields(t *testing.T) {
 	assertFrameEqual(t, f, &dec)
 }
 
+func TestFrameObjectSection(t *testing.T) {
+	f := sampleFrame()
+	f.Obj = []byte("auxiliary attached-object bytes")
+	enc, err := AppendFrame(nil, f)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if got, want := len(enc), EncodedSize(f); got != want {
+		t.Fatalf("EncodedSize %d, encoded %d", want, got)
+	}
+	dec, err := DecodeFrame(enc[PrefixLen:])
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	// The encoder sets FlagObject on the wire whenever object bytes ride.
+	if dec.Flags&FlagObject == 0 {
+		t.Fatalf("decoded flags %#x missing FlagObject", dec.Flags)
+	}
+	if !bytes.Equal(dec.Obj, f.Obj) {
+		t.Fatalf("object section %q, want %q", dec.Obj, f.Obj)
+	}
+	if !bytes.Equal(dec.Payload, f.Payload) {
+		t.Fatalf("payload %q, want %q", dec.Payload, f.Payload)
+	}
+
+	// A frame without object bytes must decode to a nil Obj — the section
+	// only exists when the flag says so, keeping old encodings valid.
+	plain := sampleFrame()
+	enc, err = AppendFrame(nil, plain)
+	if err != nil {
+		t.Fatalf("encode plain: %v", err)
+	}
+	dec, err = DecodeFrame(enc[PrefixLen:])
+	if err != nil {
+		t.Fatalf("decode plain: %v", err)
+	}
+	if dec.Obj != nil {
+		t.Fatalf("plain frame decoded a %d-byte object section", len(dec.Obj))
+	}
+
+	// Truncating anywhere inside the object section must error, not panic.
+	full, _ := AppendFrame(nil, f)
+	body := full[PrefixLen:]
+	for n := len(body) - len(f.Obj) - 4; n < len(body); n++ {
+		if _, err := DecodeFrame(body[:n]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded", n, len(body))
+		}
+	}
+}
+
 func TestFrameEncodeReusesCapacity(t *testing.T) {
 	f := sampleFrame()
 	buf := make([]byte, 0, 4096)
@@ -132,6 +182,9 @@ func assertFrameEqual(t *testing.T, want, got *Frame) {
 	}
 	if !bytes.Equal(got.Payload, want.Payload) {
 		t.Fatalf("payload mismatch: got %q want %q", got.Payload, want.Payload)
+	}
+	if !bytes.Equal(got.Obj, want.Obj) {
+		t.Fatalf("object section mismatch: got %q want %q", got.Obj, want.Obj)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"github.com/spright-go/spright/internal/ebpf"
 	"github.com/spright-go/spright/internal/experiment"
 	"github.com/spright-go/spright/internal/grpcbase"
+	"github.com/spright-go/spright/internal/obs"
 	"github.com/spright-go/spright/internal/proto"
 	"github.com/spright-go/spright/internal/shm"
 	"github.com/spright-go/spright/internal/shm/objstore"
@@ -180,6 +181,11 @@ func benchChain(b *testing.B, mode spright.Mode, fns int) *spright.Deployment {
 		Functions: specs,
 		Routes:    routes,
 		BufSize:   128 << 10, // room for the large-payload variants
+		// The E2E benchmarks measure the dataplane: disable the per-chain
+		// metrics-agent goroutine so its 500ms control cadence cannot share
+		// the CPU with the hot loop at GOMAXPROCS=1 (polling-mode dispatch
+		// spins; a second runnable goroutine skews the tail).
+		ScrapeInterval: -1,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -270,6 +276,7 @@ func benchE2EParallel(b *testing.B, mode spright.Mode, size int) {
 	lat := dep.Gateway.Latency()
 	b.ReportMetric(lat.Quantile(0.50)*1e9, "p50-ns")
 	b.ReportMetric(lat.Quantile(0.99)*1e9, "p99-ns")
+	b.ReportMetric(lat.Quantile(0.999)*1e9, "p999-ns")
 }
 
 // BenchmarkE2E_Parallel_SSpright is the multicore RPS harness for the
@@ -882,6 +889,46 @@ func BenchmarkTraceSampled(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFlightEmit is the flight-recorder hot-path contract: a disabled
+// recorder (and a nil one, as core sees before any sink is wired) must cost
+// one atomic load and zero allocations, and even the enabled journal path
+// must stay allocation-free — events overwrite preallocated ring slots.
+func BenchmarkFlightEmit(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		r := obs.NewFlightRecorder(0)
+		r.RegisterChain("bench")
+		r.SetEnabled(false)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Emit("bench", obs.EventShed, "fn", "overload", int64(i))
+		}
+		b.StopTimer()
+		if testing.AllocsPerRun(100, func() {
+			r.Emit("bench", obs.EventShed, "fn", "overload", 1)
+		}) != 0 {
+			b.Fatal("disabled Emit allocates")
+		}
+	})
+	b.Run("nil", func(b *testing.B) {
+		var r *obs.FlightRecorder
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Emit("bench", obs.EventShed, "fn", "overload", int64(i))
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		r := obs.NewFlightRecorder(0)
+		r.RegisterChain("bench")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Emit("bench", obs.EventShed, "fn", "overload", int64(i))
+		}
+	})
 }
 
 // BenchmarkBoutiqueCh6 drives the heaviest Table 3 sequence (24 hops) on

@@ -33,7 +33,8 @@ type Result struct {
 	// RPS is derived throughput: closed-loop benchmarks report wall time
 	// per operation, so requests/sec = 1e9 / ns_per_op.
 	RPS float64 `json:"rps,omitempty"`
-	// Metrics holds custom b.ReportMetric units (e.g. p50-ns, p99-ns).
+	// Metrics holds custom b.ReportMetric units (e.g. p50-ns, p99-ns,
+	// p999-ns — the parallel harness's tail percentiles).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 

@@ -46,6 +46,10 @@ func main() {
 	maxPending := flag.Int("max-pending", 0, "admission ceiling on in-flight requests; beyond it requests shed with Retry-After (0 = unlimited)")
 	nodes := flag.Int("nodes", 1, "simulated worker nodes; >1 starts the loopback mesh transport between them")
 	place := flag.String("place", "", "comma-separated fn=node placements, e.g. upper=worker-1,exclaim=worker-2")
+	sloP99 := flag.Duration("slo-p99", 0, "SLO watchdog: window p99 latency target; a breach captures a diagnostic bundle (0 disables the watchdog)")
+	sloWindow := flag.Duration("slo-window", 10*time.Second, "SLO watchdog: sliding evaluation window")
+	sloMaxErrRate := flag.Float64("slo-max-error-rate", 0, "SLO watchdog: window error-rate ceiling, e.g. 0.01 (0 disables the error objective)")
+	bundleDir := flag.String("bundle-dir", "", "directory for breach diagnostic bundles, served at /debug/bundle/ (empty disables capture)")
 	flag.Parse()
 
 	if *nodes < 1 {
@@ -168,6 +172,23 @@ func main() {
 			*asTarget, *minReplicas, *maxReplicas, *scaleToZeroAfter, *prewarm, *parkCapacity, *parkTimeout, *maxPending)
 	}
 
+	if *bundleDir != "" {
+		cluster.Observability().SetBundleDir(*bundleDir)
+	}
+	if *sloP99 > 0 || *sloMaxErrRate > 0 {
+		wd, err := cluster.Controller.EnableSLOWatchdog(spec.Name, orchestrator.SLOPolicy{
+			TargetP99:    *sloP99,
+			MaxErrorRate: *sloMaxErrRate,
+			Window:       *sloWindow,
+			BundleDir:    *bundleDir,
+		})
+		if err != nil {
+			log.Fatalf("slo watchdog: %v", err)
+		}
+		log.Printf("SLO watchdog enabled: p99<=%s error-rate<=%.4f window=%s bundles=%q (cooldown %s)",
+			*sloP99, *sloMaxErrRate, *sloWindow, *bundleDir, wd.Policy().BundleCooldown)
+	}
+
 	mux := http.NewServeMux()
 	mux.Handle("/", boutiqueAware(cluster.Ingress, *app, spec.Name))
 	// Admin surface: /metrics (Prometheus exposition), /healthz
@@ -206,7 +227,7 @@ func main() {
 		}
 	})
 
-	log.Printf("serving on %s (POST /%s/<path>, GET /metrics /healthz /traces /stats /debug/pprof/)",
+	log.Printf("serving on %s (POST /%s/<path>, GET /metrics /healthz /traces /events /slo /stats /debug/bundle/ /debug/pprof/)",
 		*listen, spec.Name)
 	log.Fatal(http.ListenAndServe(*listen, mux))
 }

@@ -184,6 +184,10 @@ type Chain struct {
 
 	admission AdmissionPolicy
 
+	// flight is the flight-recorder sink (nil when unobserved). Kept at
+	// the struct tail so the hot fields above keep their layout.
+	flight flightHook
+
 	closed sync.Once
 }
 
@@ -560,6 +564,10 @@ func (c *Chain) Name() string { return c.name }
 
 // Mode returns the transport mode.
 func (c *Chain) Mode() Mode { return c.mode }
+
+// ScrapeInterval returns the resolved metrics-agent period — the cadence
+// of the gateway's agent tick (<= 0: agent disabled).
+func (c *Chain) ScrapeInterval() time.Duration { return c.scrapeEvery }
 
 // Pool exposes the chain's shared-memory pool (metrics, tests).
 func (c *Chain) Pool() *shm.Pool { return c.pool }

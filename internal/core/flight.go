@@ -1,0 +1,57 @@
+package core
+
+import "sync/atomic"
+
+// Flight-event plumbing. core cannot import internal/obs (the dependency
+// points the other way), so — exactly like the tracer — the chain carries
+// a neutral hook the orchestrator points at the node's flight recorder.
+// Event sites pay one atomic pointer load when no sink is installed: the
+// descriptor hot path stays allocation-free and clock-free with the
+// recorder off.
+
+// FlightSink receives one reason-attributed chain event. kind is one of
+// the Flight* constants (mirrored by internal/obs event kinds), subject
+// the function involved ("" when chain-scoped), reason a kind-specific
+// attribution (e.g. an OverloadError reason), and value a kind-specific
+// integer (latency nanos, deadlines, counts).
+type FlightSink func(kind, subject, reason string, value int64)
+
+// Flight event kinds emitted by core. Keep in sync with the obs.Event*
+// constants — the orchestrator forwards these strings verbatim.
+const (
+	// FlightShed is one admission-control refusal; reason is the shed
+	// reason (ShedOverload, ShedParkFull, ...).
+	FlightShed = "shed"
+	// FlightCircuitOpen is a circuit breaker flipping open; subject is the
+	// function, value the reopen deadline in unix nanos.
+	FlightCircuitOpen = "circuit_open"
+	// FlightColdStartResume is a parked request dispatched after capacity
+	// resumed; subject is the function, value the park-to-dispatch
+	// latency in nanos.
+	FlightColdStartResume = "coldstart_resume"
+)
+
+// flightHook stores the chain's sink behind an atomic pointer (the tracer
+// pattern): emit sites load once, and a nil hook costs nothing further.
+type flightHook struct {
+	sink atomic.Pointer[FlightSink]
+}
+
+// SetFlightSink installs (or, with nil, removes) the chain's flight-event
+// sink. The sink must be fast and non-blocking: it runs inline on
+// admission and failure paths.
+func (c *Chain) SetFlightSink(fn FlightSink) {
+	if fn == nil {
+		c.flight.sink.Store(nil)
+		return
+	}
+	c.flight.sink.Store(&fn)
+}
+
+// emitFlight journals one event when a sink is installed. The disabled
+// path is a single atomic load — no clock read, no allocation.
+func (c *Chain) emitFlight(kind, subject, reason string, value int64) {
+	if fn := c.flight.sink.Load(); fn != nil {
+		(*fn)(kind, subject, reason, value)
+	}
+}

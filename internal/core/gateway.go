@@ -72,6 +72,12 @@ type Gateway struct {
 	wg   sync.WaitGroup
 	stop chan struct{}
 	once sync.Once
+
+	// agentTick rides the metrics-agent cadence: the SLO watchdog hangs its
+	// evaluation off the same per-chain goroutine instead of adding one.
+	// (Kept at the struct tail so the hot fields above keep their layout.)
+	agentTickMu sync.RWMutex
+	agentTick   func()
 }
 
 // gwBuf is a pooled response-payload staging buffer. Pooling pointers (not
@@ -231,9 +237,11 @@ func NewGateway(c *Chain) (*Gateway, error) {
 		go g.run()
 	}
 	// The metrics agent (§3.3): a per-chain goroutine that periodically
-	// publishes failure counters into the EPROXY map and refreshes the
-	// packet-rate sample the metrics server scrapes for autoscaling.
-	if g.eprox != nil && c.scrapeEvery > 0 {
+	// publishes failure counters into the EPROXY map, refreshes the
+	// packet-rate sample the metrics server scrapes for autoscaling, and
+	// fires the agent-tick hook (SLO watchdog). Polling-mode chains have no
+	// EPROXY but still run the agent for the hook.
+	if c.scrapeEvery > 0 {
 		g.wg.Add(1)
 		go g.metricsAgent(c.scrapeEvery)
 	}
@@ -241,7 +249,7 @@ func NewGateway(c *Chain) (*Gateway, error) {
 }
 
 // metricsAgent drives EProxy.PublishFailures and ScrapeRate on a ticker
-// until the gateway closes.
+// until the gateway closes, then fires the agent-tick hook.
 func (g *Gateway) metricsAgent(every time.Duration) {
 	defer g.wg.Done()
 	tick := time.NewTicker(every)
@@ -251,9 +259,40 @@ func (g *Gateway) metricsAgent(every time.Duration) {
 		case <-g.stop:
 			return
 		case <-tick.C:
-			g.eprox.PublishFailures(g.chain.Failures())
-			g.lastRate.Store(math.Float64bits(g.eprox.ScrapeRate()))
+			if g.eprox != nil {
+				g.eprox.PublishFailures(g.chain.Failures())
+				g.lastRate.Store(math.Float64bits(g.eprox.ScrapeRate()))
+			}
+			g.agentTickMu.RLock()
+			fn := g.agentTick
+			g.agentTickMu.RUnlock()
+			if fn != nil {
+				fn()
+			}
 		}
+	}
+}
+
+// SetAgentTick registers a callback invoked on every metrics-agent tick
+// (the chain's scrape interval) — the SLO watchdog's evaluation cadence.
+// The callback must not block; long work belongs on its own goroutine.
+func (g *Gateway) SetAgentTick(fn func()) {
+	g.agentTickMu.Lock()
+	g.agentTick = fn
+	g.agentTickMu.Unlock()
+}
+
+// shed counts one deliberate admission refusal — the reason counter plus
+// the aggregate rejected counter — and journals it on the chain's flight
+// sink. Emission is sampled: the first shed per reason and then every
+// 64th, with the cumulative per-reason count riding in the event value —
+// a shed storm must neither slow the refusal fast path (the suppressed
+// case costs one branch beyond the counters it already pays) nor scroll
+// rarer events (circuit flips, scale decisions) out of the bounded ring.
+func (g *Gateway) shed(counter *atomic.Uint64, reason, fn string) {
+	g.rejected.Add(1)
+	if n := counter.Add(1); n == 1 || n%64 == 0 {
+		g.chain.emitFlight(FlightShed, fn, reason, int64(n))
 	}
 }
 
@@ -270,6 +309,14 @@ func (g *Gateway) Pending() int { return int(g.pending.count.Load()) }
 // Admitted returns the all-time count of admitted requests (a cheap
 // atomic read for control loops that poll it every tick).
 func (g *Gateway) Admitted() uint64 { return g.admitted.Load() }
+
+// Completed returns the all-time count of requests completed with a
+// response descriptor (cheap atomic read, unlike the full Stats snapshot).
+func (g *Gateway) Completed() uint64 { return g.completed.Load() }
+
+// Failed returns the all-time count of requests terminated by a dataplane
+// error.
+func (g *Gateway) Failed() uint64 { return g.failed.Load() }
 
 // Parked returns the number of requests currently parked awaiting
 // scale-from-zero capacity.
@@ -428,8 +475,7 @@ func (g *Gateway) admit(topic string, payload []byte, caller uint32) (shm.Descri
 	}
 	h, err := g.chain.pool.Get()
 	if err != nil {
-		g.rejected.Add(1)
-		g.shedPoolExhausted.Add(1)
+		g.shed(&g.shedPoolExhausted, ShedPoolExhausted, "")
 		return shm.Descriptor{}, fmt.Errorf("%w: %v", ErrBackpressure, err)
 	}
 	n, err := g.chain.pool.Write(h, payload)
@@ -456,29 +502,27 @@ func (g *Gateway) admit(topic string, payload []byte, caller uint32) (shm.Descri
 func (g *Gateway) admitLarge(topic string, payload []byte, caller uint32) (shm.Descriptor, error) {
 	st := g.chain.store
 	if st == nil {
-		g.rejected.Add(1)
-		g.shedPayloadTooLarge.Add(1)
+		g.shed(&g.shedPayloadTooLarge, ShedPayloadTooLarge, "")
 		return shm.Descriptor{}, fmt.Errorf("%w: %d bytes > %d-byte buffer (object store disabled)",
 			shm.ErrPayloadTooLarge, len(payload), g.chain.pool.BufSize())
 	}
 	h, err := st.Put("", payload)
 	if err != nil {
-		g.rejected.Add(1)
 		if errors.Is(err, shm.ErrPayloadTooLarge) {
-			g.shedPayloadTooLarge.Add(1)
+			g.shed(&g.shedPayloadTooLarge, ShedPayloadTooLarge, "")
 			return shm.Descriptor{}, err
 		}
 		if errors.Is(err, shm.ErrPoolExhausted) {
-			g.shedPoolExhausted.Add(1)
+			g.shed(&g.shedPoolExhausted, ShedPoolExhausted, "")
 			return shm.Descriptor{}, fmt.Errorf("%w: %v", ErrBackpressure, err)
 		}
+		g.rejected.Add(1)
 		return shm.Descriptor{}, err
 	}
 	buf, err := g.chain.pool.Get()
 	if err != nil {
 		_ = st.Release(h)
-		g.rejected.Add(1)
-		g.shedPoolExhausted.Add(1)
+		g.shed(&g.shedPoolExhausted, ShedPoolExhausted, "")
 		return shm.Descriptor{}, fmt.Errorf("%w: %v", ErrBackpressure, err)
 	}
 	// The creator's object reference transfers to the buffer: when the
@@ -548,8 +592,7 @@ func (g *Gateway) dispatchTo(fn string, d shm.Descriptor) error {
 // request is an explicit ShedParkTimeout — not a deadline blackhole.
 func (g *Gateway) parkAndDispatch(ctx context.Context, fn string, d shm.Descriptor) error {
 	if !g.parks.tryAdd(fn) {
-		g.rejected.Add(1)
-		g.shedParkFull.Add(1)
+		g.shed(&g.shedParkFull, ShedParkFull, fn)
 		return &OverloadError{Reason: ShedParkFull, RetryAfter: g.admission.RetryAfter}
 	}
 	defer g.parks.remove(fn)
@@ -564,8 +607,7 @@ func (g *Gateway) parkAndDispatch(ctx context.Context, fn string, d shm.Descript
 		}
 	}
 	if wait <= 0 {
-		g.rejected.Add(1)
-		g.shedParkTimeout.Add(1)
+		g.shed(&g.shedParkTimeout, ShedParkTimeout, fn)
 		return &OverloadError{Reason: ShedParkTimeout, RetryAfter: g.admission.RetryAfter}
 	}
 	timer := time.NewTimer(wait)
@@ -576,8 +618,10 @@ func (g *Gateway) parkAndDispatch(ctx context.Context, fn string, d shm.Descript
 		wake := g.parks.waitCh()
 		err := g.dispatchTo(fn, d)
 		if err == nil {
+			waited := time.Since(start)
 			g.resumed.Add(1)
-			g.coldStart.Observe(uint64(d.Caller), time.Since(start).Seconds())
+			g.coldStart.Observe(uint64(d.Caller), waited.Seconds())
+			g.chain.emitFlight(FlightColdStartResume, fn, "", waited.Nanoseconds())
 			return nil
 		}
 		if !errors.Is(err, ErrNoInstance) {
@@ -586,8 +630,7 @@ func (g *Gateway) parkAndDispatch(ctx context.Context, fn string, d shm.Descript
 		select {
 		case <-wake:
 		case <-timer.C:
-			g.rejected.Add(1)
-			g.shedParkTimeout.Add(1)
+			g.shed(&g.shedParkTimeout, ShedParkTimeout, fn)
 			return &OverloadError{Reason: ShedParkTimeout, RetryAfter: g.admission.RetryAfter}
 		case <-ctx.Done():
 			return ctx.Err()
@@ -605,8 +648,7 @@ func (g *Gateway) invoke(ctx context.Context, topic string, payload []byte) (gwR
 	// deliberately (explicit reason + retry-after) instead of letting the
 	// burst blackhole into pool exhaustion mid-scale-up.
 	if mp := g.admission.MaxPending; mp > 0 && int(g.pending.count.Load()) >= mp {
-		g.rejected.Add(1)
-		g.shedOverload.Add(1)
+		g.shed(&g.shedOverload, ShedOverload, "")
 		return gwResult{}, &OverloadError{Reason: ShedOverload, RetryAfter: g.admission.RetryAfter}
 	}
 	if dl := g.chain.deadline; dl > 0 {
@@ -817,8 +859,7 @@ func (g *Gateway) InvokeRemote(fn, topic string, payload, obj []byte, tc shm.Tra
 	// Same overload shed point as local ingress: a remote hop must not
 	// bypass admission control.
 	if mp := g.admission.MaxPending; mp > 0 && int(g.pending.count.Load()) >= mp {
-		g.rejected.Add(1)
-		g.shedOverload.Add(1)
+		g.shed(&g.shedOverload, ShedOverload, "")
 		return &OverloadError{Reason: ShedOverload, RetryAfter: g.admission.RetryAfter}
 	}
 	start := time.Now()
@@ -997,8 +1038,7 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			g.rejected.Add(1)
-			g.shedPayloadTooLarge.Add(1)
+			g.shed(&g.shedPayloadTooLarge, ShedPayloadTooLarge, "")
 			http.Error(w, fmt.Sprintf("%v: body exceeds %d bytes", shm.ErrPayloadTooLarge, limit),
 				http.StatusRequestEntityTooLarge)
 			return

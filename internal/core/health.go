@@ -77,6 +77,7 @@ func (in *Instance) recordFailure(crash bool) {
 	if in.health.openUntil.Swap(until) == 0 {
 		in.health.opens.Add(1)
 		in.chain.failures.circuitOpens.Add(1)
+		in.chain.emitFlight(FlightCircuitOpen, in.fnName, "", until)
 	}
 }
 

@@ -162,10 +162,47 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 }
 
-// Summary formats mean/p95/p99 in milliseconds for report rows.
+// Summary formats mean/p95/p99/p999 in milliseconds for report rows.
 func (h *Histogram) Summary() string {
-	return fmt.Sprintf("mean=%.2fms p95=%.2fms p99=%.2fms n=%d",
-		h.Mean()*1e3, h.Quantile(0.95)*1e3, h.Quantile(0.99)*1e3, h.count)
+	return fmt.Sprintf("mean=%.2fms p95=%.2fms p99=%.2fms p999=%.2fms n=%d",
+		h.Mean()*1e3, h.Quantile(0.95)*1e3, h.Quantile(0.99)*1e3,
+		h.Quantile(0.999)*1e3, h.count)
+}
+
+// Sub returns the observations present in h but not in older: the sliding
+// window between two cumulative snapshots of the same stream (same
+// geometry). Bucket counts and the sum are clamped at zero, so a stream
+// reset degrades to the newer snapshot instead of underflowing. The
+// window's min/max are bucket-edge approximations — the exact extremes are
+// not recoverable from two cumulative snapshots.
+func (h *Histogram) Sub(older *Histogram) *Histogram {
+	d := NewHistogram()
+	if older == nil {
+		d.Merge(h)
+		return d
+	}
+	for i, c := range h.buckets {
+		oc := older.buckets[i]
+		if c <= oc {
+			continue
+		}
+		n := c - oc
+		d.buckets[i] = n
+		d.count += n
+		if lo := d.base * math.Pow(d.ratio, float64(i)); lo < d.min {
+			d.min = lo
+		}
+		if hi := d.bucketValue(i); hi > d.max {
+			d.max = hi
+		}
+	}
+	if d.count == 0 {
+		return d
+	}
+	if d.sum = h.sum - older.sum; d.sum < 0 {
+		d.sum = 0
+	}
+	return d
 }
 
 // ConfidenceInterval99 returns the half-width of the 99% CI of the mean of

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -85,6 +86,47 @@ func TestHistogramMerge(t *testing.T) {
 	a.Merge(b)
 	if a.Count() != 2 || a.Max() != 0.1 || a.Min() != 0.001 {
 		t.Fatalf("merge wrong: %s", a.Summary())
+	}
+}
+
+func TestHistogramSub(t *testing.T) {
+	older := NewHistogram()
+	for i := 0; i < 100; i++ {
+		older.Observe(0.050) // old slow era
+	}
+	cur := NewHistogram()
+	cur.Merge(older)
+	for i := 0; i < 1000; i++ {
+		cur.Observe(0.001) // new fast era
+	}
+
+	win := cur.Sub(older)
+	if win.Count() != 1000 {
+		t.Fatalf("window count %d, want 1000", win.Count())
+	}
+	if p99 := win.Quantile(0.99); p99 > 0.010 {
+		t.Fatalf("window p99 %.4fs polluted by the subtracted era, want ~1ms", p99)
+	}
+	if mean := win.Mean(); mean > 0.010 {
+		t.Fatalf("window mean %.4fs, want ~1ms", mean)
+	}
+
+	// Nil baseline: Sub degrades to a copy of the cumulative histogram.
+	if all := cur.Sub(nil); all.Count() != cur.Count() {
+		t.Fatalf("Sub(nil) count %d, want %d", all.Count(), cur.Count())
+	}
+
+	// A stale (larger) baseline clamps to empty rather than underflowing.
+	if neg := older.Sub(cur); neg.Count() != 0 {
+		t.Fatalf("underflowing Sub count %d, want clamp to 0", neg.Count())
+	}
+}
+
+func TestHistogramSummaryIncludesP999(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0.001)
+	if s := h.Summary(); !strings.Contains(s, "p999=") {
+		t.Fatalf("Summary missing p999: %s", s)
 	}
 }
 

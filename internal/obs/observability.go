@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"runtime"
 	"sort"
 	"strconv"
@@ -14,26 +15,32 @@ import (
 )
 
 // Observability bundles the admin surface of one SPRIGHT node: the metrics
-// registry, the health checks /healthz aggregates, and the trace sources
-// /traces drains. Chains register on deploy and unregister on teardown.
+// registry, the health checks /healthz aggregates, the trace sources
+// /traces drains, the flight recorder behind /events, and the SLO monitors
+// behind /slo. Chains register on deploy and unregister on teardown.
 type Observability struct {
-	reg *Registry
+	reg    *Registry
+	flight *FlightRecorder
 
-	mu     sync.Mutex
-	checks map[string]func() error
-	traces map[string]func(limit int) any
-	spans  map[string]func(limit int) []TraceData
+	mu        sync.Mutex
+	checks    map[string]func() error
+	traces    map[string]func(limit int) any
+	spans     map[string]func(limit int) []TraceData
+	slos      map[string]*SLOMonitor
+	bundleDir string
 }
 
 // New creates an Observability with an empty registry plus the built-in
 // process collector (goroutines, heap, GC) — the node-level counterpart of
-// the per-chain collectors.
+// the per-chain collectors — and an enabled flight recorder.
 func New() *Observability {
 	o := &Observability{
 		reg:    NewRegistry(),
+		flight: NewFlightRecorder(0),
 		checks: make(map[string]func() error),
 		traces: make(map[string]func(limit int) any),
 		spans:  make(map[string]func(limit int) []TraceData),
+		slos:   make(map[string]*SLOMonitor),
 	}
 	o.reg.Register("process", processCollector)
 	return o
@@ -41,6 +48,55 @@ func New() *Observability {
 
 // Registry returns the metrics registry (also the /metrics http.Handler).
 func (o *Observability) Registry() *Registry { return o.reg }
+
+// Flight returns the node's flight recorder (never nil).
+func (o *Observability) Flight() *FlightRecorder { return o.flight }
+
+// RegisterSLOMonitor installs the chain's sliding-window SLO monitor
+// behind /slo.
+func (o *Observability) RegisterSLOMonitor(chain string, m *SLOMonitor) {
+	o.mu.Lock()
+	o.slos[chain] = m
+	o.mu.Unlock()
+}
+
+// UnregisterSLOMonitor removes a chain's SLO monitor.
+func (o *Observability) UnregisterSLOMonitor(chain string) {
+	o.mu.Lock()
+	delete(o.slos, chain)
+	o.mu.Unlock()
+}
+
+// SLOReports computes the current sliding-window report of every
+// registered monitor, keyed by chain.
+func (o *Observability) SLOReports(now time.Time) map[string]SLOReport {
+	o.mu.Lock()
+	ms := make(map[string]*SLOMonitor, len(o.slos))
+	for k, v := range o.slos {
+		ms[k] = v
+	}
+	o.mu.Unlock()
+	out := make(map[string]SLOReport, len(ms))
+	for chain, m := range ms {
+		out[chain] = m.Report(chain, now)
+	}
+	return out
+}
+
+// SetBundleDir configures where diagnostic bundles live; /debug/bundle/
+// serves the directory read-only. "" disables serving.
+func (o *Observability) SetBundleDir(dir string) {
+	o.mu.Lock()
+	o.bundleDir = dir
+	o.mu.Unlock()
+}
+
+// BundleDir returns the configured diagnostic-bundle directory.
+func (o *Observability) BundleDir() string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.bundleDir
+}
 
 // RegisterHealthCheck installs a named health check; /healthz fails when
 // any registered check returns an error.
@@ -159,32 +215,141 @@ func (o *Observability) HealthzHandler(w http.ResponseWriter, _ *http.Request) {
 	http.Error(w, strings.TrimRight(b.String(), "\n"), http.StatusServiceUnavailable)
 }
 
+// MaxTraceRenderLimit caps ?limit= on /traces at the largest trace ring
+// any chain retains, so a huge requested limit degrades to "everything
+// retained" instead of sizing allocations from client input.
+const MaxTraceRenderLimit = 1024
+
+// jsonError writes a JSON error body ({"error": ...}) with the status.
+func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{
+		"error": fmt.Sprintf(format, args...),
+	})
+}
+
+// parseLimit validates an optional ?limit= query parameter: absent is 0
+// (source default), non-numeric or negative is a 400, anything above
+// MaxTraceRenderLimit clamps to it.
+func parseLimit(w http.ResponseWriter, r *http.Request) (int, bool) {
+	raw := r.URL.Query().Get("limit")
+	if raw == "" {
+		return 0, true
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "invalid limit %q: not an integer", raw)
+		return 0, false
+	}
+	if n < 0 {
+		jsonError(w, http.StatusBadRequest, "invalid limit %d: must be >= 0", n)
+		return 0, false
+	}
+	if n > MaxTraceRenderLimit {
+		n = MaxTraceRenderLimit
+	}
+	return n, true
+}
+
 // TracesHandler serves /traces: by default the recent sampled traces of
 // every source as one JSON object keyed by source (chain) name;
 // ?format=otlp switches to one OTLP/HTTP JSON document of all completed
-// spans. ?limit=N bounds the traces rendered per source.
+// spans. ?limit=N bounds the traces rendered per source (clamped to
+// MaxTraceRenderLimit). Malformed limit or an unknown format is a 400
+// with a JSON error, not a silent coercion.
 func (o *Observability) TracesHandler(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	limit := 0
-	if r != nil {
-		if n, err := strconv.Atoi(r.URL.Query().Get("limit")); err == nil && n > 0 {
-			limit = n
+	if r == nil {
+		r = &http.Request{URL: &url.URL{}}
+	}
+	limit, ok := parseLimit(w, r)
+	if !ok {
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(o.Traces(limit)); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
-		if r.URL.Query().Get("format") == "otlp" {
-			b, err := OTLPJSON(o.CompletedTraces(limit))
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-				return
-			}
-			_, _ = w.Write(b)
+	case "otlp":
+		b, err := OTLPJSON(o.CompletedTraces(limit))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(b)
+	default:
+		jsonError(w, http.StatusBadRequest,
+			"unknown format %q: want \"json\" or \"otlp\"", format)
 	}
+}
+
+// EventsHandler serves /events: the flight recorder's journal as JSON,
+// seq-cursor paginated. ?chain=<name> reads one chain's ring (default:
+// the cluster ring), ?after=<seq> returns only events newer than the
+// cursor, ?limit=N bounds the page. The response carries next_after — the
+// last returned seq — so consumers resume where they left off even across
+// ring wrap.
+func (o *Observability) EventsHandler(w http.ResponseWriter, r *http.Request) {
+	limit, ok := parseLimit(w, r)
+	if !ok {
+		return
+	}
+	var after uint64
+	if raw := r.URL.Query().Get("after"); raw != "" {
+		n, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			jsonError(w, http.StatusBadRequest, "invalid after %q: not a sequence number", raw)
+			return
+		}
+		after = n
+	}
+	chain := r.URL.Query().Get("chain")
+	events := o.flight.Events(chain, after, limit)
+	if events == nil && chain != "" {
+		jsonError(w, http.StatusNotFound, "chain %q has no flight ring", chain)
+		return
+	}
+	nextAfter := after
+	if len(events) > 0 {
+		nextAfter = events[len(events)-1].Seq
+	}
+	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(o.Traces(limit)); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	_ = enc.Encode(map[string]any{
+		"enabled":    o.flight.Enabled(),
+		"total":      o.flight.Total(),
+		"chains":     o.flight.Chains(),
+		"chain":      chain,
+		"after":      after,
+		"next_after": nextAfter,
+		"events":     events,
+	})
+}
+
+// SLOHandler serves /slo: every registered chain's sliding-window
+// latency attribution and error rate as one JSON object keyed by chain.
+func (o *Observability) SLOHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(o.SLOReports(time.Now()))
+}
+
+// BundleHandler serves /debug/bundle/: a read-only listing of captured
+// diagnostic bundles. 404 until a bundle dir is configured.
+func (o *Observability) BundleHandler(w http.ResponseWriter, r *http.Request) {
+	dir := o.BundleDir()
+	if dir == "" {
+		jsonError(w, http.StatusNotFound, "no bundle dir configured (-bundle-dir)")
+		return
 	}
+	http.StripPrefix("/debug/bundle/", http.FileServer(http.Dir(dir))).ServeHTTP(w, r)
 }
 
 // StartFileExporter launches a background loop appending newly completed
@@ -240,6 +405,9 @@ func (o *Observability) Attach(mux *http.ServeMux) {
 	mux.Handle("/metrics", o.reg)
 	mux.HandleFunc("/healthz", o.HealthzHandler)
 	mux.HandleFunc("/traces", o.TracesHandler)
+	mux.HandleFunc("/events", o.EventsHandler)
+	mux.HandleFunc("/slo", o.SLOHandler)
+	mux.HandleFunc("/debug/bundle/", o.BundleHandler)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

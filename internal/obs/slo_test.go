@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"github.com/spright-go/spright/internal/metrics"
+)
+
+// fakeSLOSource simulates a chain whose cumulative histograms drift over
+// time, so the monitor's window differencing can be checked exactly.
+type fakeSLOSource struct {
+	latency   *metrics.Histogram
+	stages    map[string]*metrics.Histogram
+	completed uint64
+	failed    uint64
+}
+
+func (f *fakeSLOSource) source() SLOSource {
+	return SLOSource{
+		Latency: func() *metrics.Histogram {
+			snap := metrics.NewHistogram()
+			snap.Merge(f.latency)
+			return snap
+		},
+		Stages: func() map[string]*metrics.Histogram {
+			out := make(map[string]*metrics.Histogram, len(f.stages))
+			for k, v := range f.stages {
+				snap := metrics.NewHistogram()
+				snap.Merge(v)
+				out[k] = snap
+			}
+			return out
+		},
+		Counts: func() (uint64, uint64) { return f.completed, f.failed },
+	}
+}
+
+func (f *fakeSLOSource) observe(latency float64, stage string, stageLat float64, fail bool) {
+	f.latency.Observe(latency)
+	f.stages[stage].Observe(stageLat)
+	if fail {
+		f.failed++
+	} else {
+		f.completed++
+	}
+}
+
+func newFakeSLOSource(stages ...string) *fakeSLOSource {
+	f := &fakeSLOSource{
+		latency: metrics.NewHistogram(),
+		stages:  make(map[string]*metrics.Histogram, len(stages)),
+	}
+	for _, s := range stages {
+		f.stages[s] = metrics.NewHistogram()
+	}
+	return f
+}
+
+// TestSLOMonitorWindowForgetsOldTail: a slow burst followed by a fast
+// window must report the fast window's percentiles, not the lifetime tail —
+// the whole point of differencing cumulative histograms.
+func TestSLOMonitorWindowForgetsOldTail(t *testing.T) {
+	f := newFakeSLOSource("handler", "ring.wait")
+	m := NewSLOMonitor(f.source(), time.Second, 100*time.Millisecond)
+	t0 := time.Now()
+
+	// Baseline tick first, then a slow era: 100 requests at 50ms.
+	m.Tick(t0)
+	for i := 0; i < 100; i++ {
+		f.observe(0.050, "handler", 0.045, false)
+	}
+	rep := m.Report("c", t0.Add(time.Millisecond))
+	if rep.P99Ms < 40 {
+		t.Fatalf("slow-era window p99 %.1fms, want >= 40ms", rep.P99Ms)
+	}
+
+	// Fast era: ticks walk the slow snapshot out of the window, then 1000
+	// requests at 1ms dominate the fresh window.
+	for i := 0; i < 15; i++ {
+		m.Tick(t0.Add(time.Duration(i+1) * 100 * time.Millisecond))
+	}
+	for i := 0; i < 1000; i++ {
+		f.observe(0.001, "handler", 0.0009, false)
+	}
+	rep = m.Report("c", t0.Add(1600*time.Millisecond))
+	if rep.P99Ms > 10 {
+		t.Fatalf("fast-era window p99 %.1fms still polluted by the slow era, want <= 10ms", rep.P99Ms)
+	}
+	if rep.Requests != 1000 {
+		t.Fatalf("window requests %d, want 1000", rep.Requests)
+	}
+}
+
+func TestSLOMonitorDominantStage(t *testing.T) {
+	f := newFakeSLOSource("handler", "ring.wait", "sproxy.redirect")
+	m := NewSLOMonitor(f.source(), time.Second, 100*time.Millisecond)
+	now := time.Now()
+	for i := 0; i < 200; i++ {
+		f.latency.Observe(0.020)
+		f.completed++
+		f.stages["handler"].Observe(0.002)
+		f.stages["ring.wait"].Observe(0.017) // the tail lives here
+		f.stages["sproxy.redirect"].Observe(0.0005)
+	}
+	rep := m.Report("c", now)
+	if rep.Dominant != "ring.wait" {
+		t.Fatalf("dominant stage %q, want ring.wait (stages: %+v)", rep.Dominant, rep.Stages)
+	}
+	if len(rep.Stages) != 3 {
+		t.Fatalf("%d stages, want 3", len(rep.Stages))
+	}
+	if rep.Stages[0].Stage != "ring.wait" {
+		t.Fatalf("stages not sorted by p99: %+v", rep.Stages)
+	}
+	var share float64
+	for _, s := range rep.Stages {
+		share += s.P99Share
+	}
+	if share < 0.99 || share > 1.01 {
+		t.Fatalf("p99 shares sum to %.3f, want ~1", share)
+	}
+	if rep.Stages[0].P99Share < 0.5 {
+		t.Fatalf("dominant stage share %.3f, want majority", rep.Stages[0].P99Share)
+	}
+}
+
+func TestSLOMonitorErrorRateAndTrend(t *testing.T) {
+	f := newFakeSLOSource("handler")
+	m := NewSLOMonitor(f.source(), time.Second, 100*time.Millisecond)
+	t0 := time.Now()
+	m.Tick(t0) // baseline before the traffic it will be diffed against
+	for i := 0; i < 90; i++ {
+		f.observe(0.002, "handler", 0.002, false)
+	}
+	for i := 0; i < 10; i++ {
+		f.observe(0.002, "handler", 0.002, true)
+	}
+	m.Tick(t0.Add(100 * time.Millisecond))
+	rep := m.Report("c", t0.Add(150*time.Millisecond))
+	if rep.ErrorRate < 0.09 || rep.ErrorRate > 0.11 {
+		t.Fatalf("error rate %.3f, want ~0.10", rep.ErrorRate)
+	}
+	if rep.Failed != 10 {
+		t.Fatalf("window failed %d, want 10", rep.Failed)
+	}
+	if len(rep.TrendP99Ms) == 0 {
+		t.Fatal("p99 trend empty after ticks with traffic")
+	}
+}
+
+// TestSLOReportBeforeFirstTick: with no retained snapshot the report
+// degrades to lifetime percentiles instead of zeros.
+func TestSLOReportBeforeFirstTick(t *testing.T) {
+	f := newFakeSLOSource("handler")
+	m := NewSLOMonitor(f.source(), 0, 0)
+	for i := 0; i < 50; i++ {
+		f.observe(0.010, "handler", 0.009, false)
+	}
+	rep := m.Report("c", time.Now())
+	if rep.Requests != 50 {
+		t.Fatalf("lifetime requests %d, want 50", rep.Requests)
+	}
+	if rep.P99Ms < 8 {
+		t.Fatalf("lifetime p99 %.2fms, want ~10ms", rep.P99Ms)
+	}
+}
+
+func TestObservabilitySLOReports(t *testing.T) {
+	o := New()
+	f := newFakeSLOSource("handler")
+	f.observe(0.005, "handler", 0.004, false)
+	o.RegisterSLOMonitor("alpha", NewSLOMonitor(f.source(), 0, 0))
+	reps := o.SLOReports(time.Now())
+	if _, ok := reps["alpha"]; !ok {
+		t.Fatalf("SLOReports missing alpha: %v", reps)
+	}
+	o.UnregisterSLOMonitor("alpha")
+	if len(o.SLOReports(time.Now())) != 0 {
+		t.Fatal("unregistered monitor still reported")
+	}
+}

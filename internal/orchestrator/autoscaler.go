@@ -43,6 +43,12 @@ type Autoscaler struct {
 	total   uint64
 	reasons map[string]uint64
 
+	// decisionSink, when set, mirrors every recorded decision onto the
+	// node's flight recorder so scale actions interleave with sheds and
+	// breaker flips in one timeline. Called with a.mu held: the sink must
+	// not call back into the autoscaler.
+	decisionSink func(ScaleDecision)
+
 	// idleSince marks when the whole chain last went quiet (scale-to-zero
 	// clock); zero while any demand exists.
 	idleSince time.Time
@@ -239,11 +245,24 @@ func (a *Autoscaler) fnState(fn string) *fnState {
 	return st
 }
 
-// record appends d to the bounded ring and bumps its reason counter.
+// SetDecisionSink installs the flight-recorder bridge (nil clears). The
+// bounded ring and reason counters keep working regardless — the sink is a
+// mirror, not a replacement.
+func (a *Autoscaler) SetDecisionSink(fn func(ScaleDecision)) {
+	a.mu.Lock()
+	a.decisionSink = fn
+	a.mu.Unlock()
+}
+
+// record appends d to the bounded ring, bumps its reason counter, and
+// mirrors it to the decision sink when one is attached.
 func (a *Autoscaler) record(d ScaleDecision) ScaleDecision {
 	a.ring[a.total%uint64(len(a.ring))] = d
 	a.total++
 	a.reasons[d.Reason]++
+	if a.decisionSink != nil {
+		a.decisionSink(d)
+	}
 	return d
 }
 

@@ -72,6 +72,30 @@ type Deployment struct {
 	asMu        sync.Mutex
 	autoscaler  *Autoscaler
 	unobserveAS func()
+
+	// sloMon is the chain's sliding-window SLO monitor (set by
+	// observeDeployment); watchdog is the breach detector layered on top of
+	// it (nil until EnableSLOWatchdog). Both are ticked by the gateway's
+	// metrics agent, so neither owns a goroutine.
+	sloMu    sync.Mutex
+	sloMon   *obs.SLOMonitor
+	watchdog *SLOWatchdog
+}
+
+// SLOMonitor returns the deployment's sliding-window SLO monitor (nil when
+// the cluster runs without observability).
+func (d *Deployment) SLOMonitor() *obs.SLOMonitor {
+	d.sloMu.Lock()
+	defer d.sloMu.Unlock()
+	return d.sloMon
+}
+
+// Watchdog returns the deployment's SLO watchdog (nil until
+// EnableSLOWatchdog).
+func (d *Deployment) Watchdog() *SLOWatchdog {
+	d.sloMu.Lock()
+	defer d.sloMu.Unlock()
+	return d.watchdog
 }
 
 // Autoscaler returns the deployment's autoscaling control plane (nil
@@ -84,6 +108,15 @@ func (d *Deployment) Autoscaler() *Autoscaler {
 
 // Close tears the deployment down.
 func (d *Deployment) Close() {
+	// The watchdog goes before the monitor it reads; both go before the
+	// gateway whose agent ticks them.
+	d.sloMu.Lock()
+	wd := d.watchdog
+	d.watchdog = nil
+	d.sloMu.Unlock()
+	if wd != nil {
+		wd.close()
+	}
 	// The control plane goes first: no scale actions may race teardown.
 	d.asMu.Lock()
 	as, unobsAS := d.autoscaler, d.unobserveAS
@@ -322,6 +355,14 @@ func (ctl *Controller) EnableAutoscaling(name string, cfg AutoscalerConfig) (*Au
 		o := ctl.obsv
 		o.Registry().Register(key, func() []obs.Family { return collectAutoscaler(d, as) })
 		d.unobserveAS = func() { o.Registry().Unregister(key) }
+		// Bridge the decision ring onto the flight recorder: every scale
+		// action also lands in the chain's event journal (Value packs
+		// from<<32|to replicas).
+		fr := o.Flight()
+		as.SetDecisionSink(func(sd ScaleDecision) {
+			fr.Emit(name, obs.EventScale, sd.Function, sd.Reason,
+				int64(sd.From)<<32|int64(sd.To))
+		})
 	}
 	as.Start(as.cfg.Interval)
 	d.autoscaler = as

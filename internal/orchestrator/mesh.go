@@ -36,6 +36,20 @@ func (c *Cluster) StartMesh(cfg transport.Config) error {
 		node := n
 		m.SetHandler(node.handleFrame)
 		m.SetDropHandler(node.handleDrop)
+		if c.obsv != nil {
+			// Journal link events on the flight recorder: drops carry the
+			// victim chain (the frame metadata names it), reconnects are
+			// cluster-scope link facts.
+			fr := c.obsv.Flight()
+			nodeName := n.Name
+			m.SetDropHandler(func(meta transport.FrameMeta, reason string, err error) {
+				fr.Emit(meta.Chain, obs.EventMeshDrop, nodeName, reason, 1)
+				node.handleDrop(meta, reason, err)
+			})
+			m.SetReconnectHandler(func(peer string, attempts int) {
+				fr.Emit("", obs.EventMeshReconnect, nodeName+"->"+peer, "", int64(attempts))
+			})
+		}
 		if err := m.Listen("127.0.0.1:0"); err != nil {
 			return fmt.Errorf("orchestrator: mesh listen on %s: %w", n.Name, err)
 		}

@@ -11,9 +11,11 @@ package orchestrator
 import (
 	"fmt"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/spright-go/spright/internal/core"
+	"github.com/spright-go/spright/internal/metrics"
 	"github.com/spright-go/spright/internal/obs"
 )
 
@@ -26,7 +28,9 @@ func transportLabel(m core.Mode) string {
 }
 
 // observeDeployment registers the deployment's collector, health check and
-// trace source under its chain name, returning the matching unregister.
+// trace source under its chain name, wires the chain's dataplane event
+// hooks into the node's flight recorder, and installs the sliding-window
+// SLO monitor behind /slo. Returns the matching unregister.
 func observeDeployment(o *obs.Observability, d *Deployment) func() {
 	if o == nil {
 		return func() {}
@@ -34,17 +38,95 @@ func observeDeployment(o *obs.Observability, d *Deployment) func() {
 	name := d.Chain.Name()
 	key := "chain:" + name
 	o.Registry().Register(key, func() []obs.Family { return collectChain(d) })
-	o.RegisterHealthCheck(key, func() error { return checkDeployment(d) })
+	o.RegisterHealthCheck(key, func() error { return checkFlightDeployment(o, d) })
 	o.RegisterTraceSource(name, func(limit int) any { return traceSnapshot(d.Chain, limit) })
 	o.RegisterSpanSource(name, func(limit int) []obs.TraceData {
 		return completedTraceData(d.Chain, limit)
 	})
+
+	// Flight recorder: the chain gets its own ring, and the dataplane's
+	// hook-emitted events (sheds, breaker flips, cold-start resumes) are
+	// adapted into it with the chain name attached. The core kinds are the
+	// same strings as the obs kinds, so the sink forwards them verbatim.
+	fr := o.Flight()
+	fr.RegisterChain(name)
+	d.Chain.SetFlightSink(func(kind, subject, reason string, value int64) {
+		fr.Emit(name, kind, subject, reason, value)
+	})
+	if st := d.Chain.ObjectStore(); st != nil {
+		st.SetEventHook(func(event string, bytes int64) {
+			kind := obs.EventObjSpill
+			if event == "reload" {
+				kind = obs.EventObjReload
+			}
+			fr.Emit(name, kind, "", "", bytes)
+		})
+	}
+
+	// SLO monitor: cumulative latency/stage/count signals snapshotted on
+	// the gateway's metrics-agent tick, differenced into window percentiles
+	// for /slo. The watchdog (EnableSLOWatchdog) evaluates on the same tick.
+	mon := obs.NewSLOMonitor(sloSource(d), 0, d.Chain.ScrapeInterval())
+	o.RegisterSLOMonitor(name, mon)
+	d.sloMu.Lock()
+	d.sloMon = mon
+	d.sloMu.Unlock()
+	d.Gateway.SetAgentTick(func() {
+		now := time.Now()
+		mon.Tick(now)
+		d.sloMu.Lock()
+		wd := d.watchdog
+		d.sloMu.Unlock()
+		if wd != nil {
+			wd.Evaluate(now)
+		}
+	})
+
 	return func() {
+		d.Gateway.SetAgentTick(nil)
+		d.Chain.SetFlightSink(nil)
+		if st := d.Chain.ObjectStore(); st != nil {
+			st.SetEventHook(nil)
+		}
+		fr.UnregisterChain(name)
+		o.UnregisterSLOMonitor(name)
+		d.sloMu.Lock()
+		d.sloMon = nil
+		d.sloMu.Unlock()
 		o.Registry().Unregister(key)
 		o.UnregisterHealthCheck(key)
 		o.UnregisterTraceSource(name)
 		o.UnregisterSpanSource(name)
 	}
+}
+
+// sloSource adapts one deployment's cumulative counters into the monitor's
+// source funcs. Stage histograms come from the tracer when one is attached.
+func sloSource(d *Deployment) obs.SLOSource {
+	return obs.SLOSource{
+		Latency: d.Gateway.Latency,
+		Stages: func() map[string]*metrics.Histogram {
+			if tr := d.Chain.Tracer(); tr != nil {
+				return tr.StageDurations()
+			}
+			return nil
+		},
+		Counts: func() (uint64, uint64) {
+			return d.Gateway.Completed(), d.Gateway.Failed()
+		},
+	}
+}
+
+// checkFlightDeployment runs the health check and journals a failed leak
+// heuristic on the flight recorder, so the suspicion is addressable later
+// even after /healthz recovers.
+func checkFlightDeployment(o *obs.Observability, d *Deployment) error {
+	err := checkDeployment(d)
+	if err != nil && strings.Contains(err.Error(), "suspected leak") {
+		ps := d.Chain.Pool().Stats()
+		o.Flight().Emit(d.Chain.Name(), obs.EventLeakCheck, "", err.Error(), int64(ps.InUse))
+	}
+	return err
 }
 
 // collectChain snapshots every subsystem of one chain into metric families.

@@ -165,6 +165,11 @@ type Store struct {
 
 	stats Stats
 
+	// eventHook observes tier transitions ("spill"/"reload" with payload
+	// bytes) for the flight recorder. Guarded by mu; invoked with mu held,
+	// so it must be fast and must not call back into the store.
+	eventHook func(event string, bytes int64)
+
 	readerPool sync.Pool // *Object
 }
 
@@ -186,6 +191,23 @@ func New(pool *shm.Pool, cfg Config) *Store {
 
 // Pool returns the pool the store is layered on.
 func (s *Store) Pool() *shm.Pool { return s.pool }
+
+// SetEventHook installs an observer for tier transitions: fn is called
+// with "spill" or "reload" and the object's payload byte count whenever an
+// object changes tier. The hook runs with the store lock held — it must be
+// fast, non-blocking, and must never call back into the store.
+func (s *Store) SetEventHook(fn func(event string, bytes int64)) {
+	s.mu.Lock()
+	s.eventHook = fn
+	s.mu.Unlock()
+}
+
+// notifyLocked fires the event hook. Callers hold s.mu.
+func (s *Store) notifyLocked(event string, bytes int64) {
+	if s.eventHook != nil {
+		s.eventHook(event, bytes)
+	}
+}
 
 // MaxObjectBytes returns the per-object size cap (0 = unlimited) — the
 // gateway sizes its HTTP body limiter from it so an oversized request is
@@ -508,6 +530,7 @@ func (s *Store) spillObjectLocked(o *object) error {
 	o.path = path
 	s.stats.Spills++
 	s.stats.SpillBytes += uint64(size)
+	s.notifyLocked("spill", size)
 	s.putSlabs(s.unrefLocked(o))
 	return nil
 }
@@ -591,6 +614,7 @@ func (s *Store) reloadObjectLocked(o *object) error {
 	s.lruPushFront(o)
 	s.stats.Reloads++
 	s.stats.ReloadBytes += uint64(size)
+	s.notifyLocked("reload", size)
 	s.enforceBudgetLocked(o)
 	s.putSlabs(s.unrefLocked(o))
 	return nil

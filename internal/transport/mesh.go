@@ -112,6 +112,9 @@ type Mesh struct {
 	dropMu sync.RWMutex
 	dropCb DropFunc
 
+	reconnMu sync.RWMutex
+	reconnCb ReconnectFunc
+
 	peerMu sync.RWMutex
 	peers  map[string]*Peer
 
@@ -172,6 +175,29 @@ func (m *Mesh) notifyDrop(meta FrameMeta, reason string, err error) {
 	m.dropMu.RUnlock()
 	if cb != nil {
 		cb(meta, reason, err)
+	}
+}
+
+// ReconnectFunc is notified when a peer link is re-established after a
+// failure (the writer redialed a previously connected peer). attempts is
+// how many dial attempts the writer made for this flush.
+type ReconnectFunc func(peer string, attempts int)
+
+// SetReconnectHandler installs the link-recovery callback — the flight
+// recorder's mesh_reconnect feed. The callback runs on the peer's writer
+// goroutine and must not block.
+func (m *Mesh) SetReconnectHandler(f ReconnectFunc) {
+	m.reconnMu.Lock()
+	m.reconnCb = f
+	m.reconnMu.Unlock()
+}
+
+func (m *Mesh) notifyReconnect(peer string, attempts int) {
+	m.reconnMu.RLock()
+	cb := m.reconnCb
+	m.reconnMu.RUnlock()
+	if cb != nil {
+		cb(peer, attempts)
 	}
 }
 

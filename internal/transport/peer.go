@@ -216,6 +216,7 @@ func (p *Peer) flush(idxs []uint64, bufs *net.Buffers) {
 			}
 			if p.connected {
 				p.reconnects.Add(1)
+				p.mesh.notifyReconnect(p.name, attempts)
 			}
 			p.connected = true
 			p.conn = conn

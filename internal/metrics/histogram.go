@@ -171,18 +171,24 @@ func (h *Histogram) Summary() string {
 
 // Sub returns the observations present in h but not in older: the sliding
 // window between two cumulative snapshots of the same stream (same
-// geometry). Bucket counts and the sum are clamped at zero, so a stream
-// reset degrades to the newer snapshot instead of underflowing. The
-// window's min/max are bucket-edge approximations — the exact extremes are
-// not recoverable from two cumulative snapshots.
+// geometry). Bucket counts are clamped at zero, so a stream reset degrades
+// to the newer snapshot instead of underflowing; when any bucket clamps,
+// the sum is rebuilt from bucket midpoints (the raw difference would not
+// match the clamped counts, skewing Mean). The window's min/max are
+// bucket-edge approximations — the exact extremes are not recoverable from
+// two cumulative snapshots.
 func (h *Histogram) Sub(older *Histogram) *Histogram {
 	d := NewHistogram()
 	if older == nil {
 		d.Merge(h)
 		return d
 	}
+	clamped := false
 	for i, c := range h.buckets {
 		oc := older.buckets[i]
+		if c < oc {
+			clamped = true // this bucket's counter went backwards (reset)
+		}
 		if c <= oc {
 			continue
 		}
@@ -199,7 +205,18 @@ func (h *Histogram) Sub(older *Histogram) *Histogram {
 	if d.count == 0 {
 		return d
 	}
-	if d.sum = h.sum - older.sum; d.sum < 0 {
+	if clamped {
+		// After a partial reset the raw sum difference no longer matches
+		// the clamped buckets; rebuild it from bucket midpoints so Mean()
+		// stays consistent with the window's counts (bucket-resolution
+		// approximation, like Quantile).
+		d.sum = 0
+		for i, n := range d.buckets {
+			if n > 0 {
+				d.sum += float64(n) * d.base * math.Pow(d.ratio, float64(i)+0.5)
+			}
+		}
+	} else if d.sum = h.sum - older.sum; d.sum < 0 {
 		d.sum = 0
 	}
 	return d

@@ -122,6 +122,31 @@ func TestHistogramSub(t *testing.T) {
 	}
 }
 
+// TestHistogramSubPartialReset: when some bucket's counter goes backwards
+// (the stream restarted below the baseline), the window sum is rebuilt from
+// bucket midpoints so Mean() matches the clamped counts instead of the
+// meaningless raw sum difference.
+func TestHistogramSubPartialReset(t *testing.T) {
+	older := NewHistogram()
+	for i := 0; i < 100; i++ {
+		older.Observe(0.050)
+	}
+	reset := NewHistogram() // restarted stream: fewer slow, many fast
+	for i := 0; i < 10; i++ {
+		reset.Observe(0.050)
+	}
+	for i := 0; i < 1000; i++ {
+		reset.Observe(0.001)
+	}
+	win := reset.Sub(older)
+	if win.Count() != 1000 {
+		t.Fatalf("window count %d, want the 1000 un-clamped observations", win.Count())
+	}
+	if mean := win.Mean(); mean < 0.0005 || mean > 0.002 {
+		t.Fatalf("window mean %.5fs after a partial reset, want ~1ms (midpoint approximation)", mean)
+	}
+}
+
 func TestHistogramSummaryIncludesP999(t *testing.T) {
 	h := NewHistogram()
 	h.Observe(0.001)

@@ -66,6 +66,9 @@ const (
 	// EventBundleCaptured marks a diagnostic bundle write; Reason is the
 	// bundle ID.
 	EventBundleCaptured = "bundle_captured"
+	// EventBundleFailed marks a diagnostic bundle write that failed;
+	// Reason carries the error text.
+	EventBundleFailed = "bundle_failed"
 )
 
 // Event is one flight-recorder entry. Events are small and self-contained:

@@ -48,8 +48,8 @@ type SLOMonitor struct {
 	window time.Duration
 	start  time.Time
 
-	mu    sync.Mutex
-	snaps []sloSnap // ring, oldest overwritten
+	mu    sync.Mutex // guards the snapshot ring and trend (TimeSeries has no internal locking)
+	snaps []sloSnap  // ring, oldest overwritten
 	next  int
 	n     int
 	trend *metrics.TimeSeries // window p99 (ms) over time, ModeMean
@@ -106,7 +106,10 @@ func (m *SLOMonitor) snapshot(now time.Time) sloSnap {
 }
 
 // Tick records one snapshot (called from the chain's metrics-agent cadence
-// or a test) and feeds the p99 trend series.
+// or a test) and feeds the p99 trend series. The trend observation stays
+// inside the critical section: Report reads trend concurrently from the
+// /slo handler, and the snapshot histograms are immutable copies, so the
+// Sub under the lock is cheap and race-free.
 func (m *SLOMonitor) Tick(now time.Time) {
 	s := m.snapshot(now)
 	m.mu.Lock()
@@ -116,13 +119,13 @@ func (m *SLOMonitor) Tick(now time.Time) {
 		m.n++
 	}
 	base := m.baselineLocked(now)
-	m.mu.Unlock()
 	if s.latency != nil {
 		win := s.latency.Sub(baseLatency(base))
 		if win.Count() > 0 {
 			m.trend.Observe(now.Sub(m.start).Seconds(), win.Quantile(0.99)*1e3)
 		}
 	}
+	m.mu.Unlock()
 }
 
 func baseLatency(base *sloSnap) *metrics.Histogram {
@@ -187,7 +190,14 @@ type SLOReport struct {
 func (m *SLOMonitor) Report(chain string, now time.Time) SLOReport {
 	cur := m.snapshot(now)
 	m.mu.Lock()
-	base := m.baselineLocked(now)
+	var base *sloSnap
+	if b := m.baselineLocked(now); b != nil {
+		// Copy out of the ring: a concurrent Tick may overwrite the slot.
+		// The snap's histograms are immutable snapshots, so a shallow copy
+		// is enough.
+		cp := *b
+		base = &cp
+	}
 	m.mu.Unlock()
 
 	rep := SLOReport{Chain: chain, WindowSeconds: m.window.Seconds()}
@@ -240,7 +250,10 @@ func (m *SLOMonitor) Report(chain string, now time.Time) SLOReport {
 		rep.Dominant = rep.Stages[0].Stage
 	}
 
-	if pts := m.trend.Points(); len(pts) > 0 {
+	m.mu.Lock()
+	pts := m.trend.Points()
+	m.mu.Unlock()
+	if len(pts) > 0 {
 		const keep = 32
 		if len(pts) > keep {
 			pts = pts[len(pts)-keep:]

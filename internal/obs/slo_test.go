@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -147,6 +148,38 @@ func TestSLOMonitorErrorRateAndTrend(t *testing.T) {
 	if len(rep.TrendP99Ms) == 0 {
 		t.Fatal("p99 trend empty after ticks with traffic")
 	}
+}
+
+// TestSLOMonitorConcurrentTickReport: Tick runs on the metrics-agent
+// goroutine while Report serves /slo; the monitor must be race-free — in
+// particular the shared p99 trend series, whose grow() is not atomic —
+// and never hand Report a baseline that a concurrent Tick is overwriting.
+func TestSLOMonitorConcurrentTickReport(t *testing.T) {
+	f := newFakeSLOSource("handler")
+	for i := 0; i < 100; i++ {
+		f.observe(0.002, "handler", 0.002, false)
+	}
+	m := NewSLOMonitor(f.source(), 50*time.Millisecond, time.Millisecond)
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			m.Tick(t0.Add(time.Duration(i) * time.Millisecond))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			rep := m.Report("c", t0.Add(time.Duration(i)*time.Millisecond))
+			if rep.Requests > 100 {
+				t.Errorf("window requests %d, want <= 100", rep.Requests)
+				return
+			}
+		}
+	}()
+	wg.Wait()
 }
 
 // TestSLOReportBeforeFirstTick: with no retained snapshot the report

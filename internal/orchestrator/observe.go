@@ -73,10 +73,16 @@ func observeDeployment(o *obs.Observability, d *Deployment) func() {
 	d.sloMu.Unlock()
 	d.Gateway.SetAgentTick(func() {
 		now := time.Now()
-		mon.Tick(now)
+		// Read the live monitor on every tick: EnableSLOWatchdog swaps in a
+		// policy-window replacement after deployment, and a captured local
+		// would leave that replacement un-ticked (its window never slides).
 		d.sloMu.Lock()
+		mon := d.sloMon
 		wd := d.watchdog
 		d.sloMu.Unlock()
+		if mon != nil {
+			mon.Tick(now)
+		}
 		if wd != nil {
 			wd.Evaluate(now)
 		}

@@ -67,6 +67,7 @@ type SLOWatchdog struct {
 	breachErrRate atomic.Uint64
 	captured      atomic.Uint64
 	suppressed    atomic.Uint64
+	failed        atomic.Uint64
 
 	// capturing serializes bundle writes per chain; lastBundle is the
 	// unix-nano stamp of the newest capture (the cooldown clock).
@@ -97,19 +98,24 @@ func (ctl *Controller) EnableSLOWatchdog(name string, policy SLOPolicy) (*SLOWat
 	if policy.TraceLimit <= 0 {
 		policy.TraceLimit = 64
 	}
+	// Check-and-install is one critical section so two concurrent calls
+	// cannot both pass the "already" check, double-register the slo:
+	// collector, and leak a watchdog. The registry and /slo registrations
+	// ride inside it: both only take their own short-lived locks, and no
+	// collector or report path locks sloMu, so the order is deadlock-free.
 	d.sloMu.Lock()
-	mon := d.sloMon
-	already := d.watchdog != nil
-	d.sloMu.Unlock()
-	if already {
+	defer d.sloMu.Unlock()
+	if d.watchdog != nil {
 		return nil, fmt.Errorf("orchestrator: chain %q already has an SLO watchdog", name)
 	}
+	mon := d.sloMon
 	if mon == nil {
 		return nil, fmt.Errorf("orchestrator: chain %q has no SLO monitor (observability off)", name)
 	}
 	if policy.Window > 0 {
 		// A policy window replaces the default monitor so the breach math
-		// and /slo agree on what "the window" means.
+		// and /slo agree on what "the window" means. The agent tick reads
+		// d.sloMon on every tick, so the replacement starts ticking here.
 		mon = obs.NewSLOMonitor(sloSource(d), policy.Window, d.Chain.ScrapeInterval())
 		ctl.obsv.RegisterSLOMonitor(name, mon)
 	}
@@ -120,10 +126,8 @@ func (ctl *Controller) EnableSLOWatchdog(name string, policy SLOPolicy) (*SLOWat
 		o.Registry().Register(key, func() []obs.Family { return collectWatchdog(name, w) })
 		w.unobserve = func() { o.Registry().Unregister(key) }
 	}
-	d.sloMu.Lock()
 	d.sloMon = mon
 	d.watchdog = w
-	d.sloMu.Unlock()
 	return w, nil
 }
 
@@ -147,6 +151,10 @@ func (w *SLOWatchdog) Breaches() (latency, errorRate uint64) {
 func (w *SLOWatchdog) Bundles() (captured, suppressed uint64) {
 	return w.captured.Load(), w.suppressed.Load()
 }
+
+// BundleFailures returns how many bundle captures failed on disk I/O
+// (journaled as bundle_failed flight events carrying the error).
+func (w *SLOWatchdog) BundleFailures() uint64 { return w.failed.Load() }
 
 // Evaluate runs one breach check against the monitor's current window and
 // returns the breach kinds found (empty: within SLO). Called on every
@@ -243,7 +251,10 @@ func (w *SLOWatchdog) maybeCapture(now time.Time, rep obs.SLOReport, kinds []str
 	go func() {
 		defer w.capturing.Store(false)
 		if _, err := obs.WriteBundle(spec); err != nil {
-			w.suppressed.Add(1)
+			// A failed write is not a suppression: count it under its own
+			// outcome and journal the error so disk trouble is diagnosable.
+			w.failed.Add(1)
+			fr.Emit(chain, obs.EventBundleFailed, "", err.Error(), 0)
 			return
 		}
 		w.captured.Add(1)
@@ -266,13 +277,15 @@ func collectWatchdog(chain string, w *SLOWatchdog) []obs.Family {
 	}
 	bundles := obs.Family{
 		Name: "spright_slo_bundles_total",
-		Help: "Diagnostic bundle captures, by outcome (captured, suppressed).",
+		Help: "Diagnostic bundle captures, by outcome (captured, suppressed, failed).",
 		Type: obs.Counter,
 		Samples: []obs.Sample{
 			{Labels: obs.L("chain", chain, "outcome", "captured"),
 				Value: float64(w.captured.Load())},
 			{Labels: obs.L("chain", chain, "outcome", "suppressed"),
 				Value: float64(w.suppressed.Load())},
+			{Labels: obs.L("chain", chain, "outcome", "failed"),
+				Value: float64(w.failed.Load())},
 		},
 	}
 	return []obs.Family{breaches, bundles}

@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -184,6 +185,104 @@ func TestSLOWatchdogE2E(t *testing.T) {
 		if !strings.Contains(exp, want) {
 			t.Fatalf("/metrics missing %q", want)
 		}
+	}
+}
+
+// TestSLOWatchdogPolicyWindowMonitorTicked: a policy window swaps a
+// replacement monitor into the deployment; the gateway's agent tick must
+// pick up the replacement (not a captured original), or its snapshot ring
+// stays empty, the window never slides, and the p99 trend never populates.
+func TestSLOWatchdogPolicyWindowMonitorTicked(t *testing.T) {
+	cl := NewCluster(1)
+	dep, err := cl.Controller.DeployChain(core.ChainSpec{
+		Name:           "wdwin",
+		ScrapeInterval: 2 * time.Millisecond,
+		Functions: []core.FunctionSpec{{
+			Name:    "work",
+			Handler: func(ctx *core.Ctx) error { return nil },
+		}},
+		Routes: []core.RouteSpec{{From: "", To: []string{"work"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	orig := dep.SLOMonitor()
+	if _, err := cl.Controller.EnableSLOWatchdog("wdwin", SLOPolicy{
+		TargetP99: time.Second,
+		Window:    250 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mon := dep.SLOMonitor()
+	if mon == orig {
+		t.Fatal("policy window did not replace the deployment's monitor")
+	}
+	if got := mon.Window(); got != 250*time.Millisecond {
+		t.Fatalf("replacement monitor window %v, want 250ms", got)
+	}
+	// Keep traffic flowing while the agent ticks every 2ms: the trend only
+	// fills if those ticks reach the replacement monitor (an un-ticked
+	// monitor has an empty ring, so its window never sees a delta).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for i := 0; i < 5; i++ {
+			if _, err := dep.Gateway.Invoke(context.Background(), "", []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if rep := mon.Report("wdwin", time.Now()); len(rep.TrendP99Ms) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replacement monitor never ticked: p99 trend still empty")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestEnableSLOWatchdogConcurrent: racing enables on one chain must elect
+// exactly one watchdog (the check-and-install is a single critical
+// section) instead of double-registering the slo: collector.
+func TestEnableSLOWatchdogConcurrent(t *testing.T) {
+	cl := NewCluster(1)
+	dep, err := cl.Controller.DeployChain(core.ChainSpec{
+		Name:           "wdrace",
+		ScrapeInterval: -1,
+		Functions: []core.FunctionSpec{{
+			Name:    "work",
+			Handler: func(ctx *core.Ctx) error { return nil },
+		}},
+		Routes: []core.RouteSpec{{From: "", To: []string{"work"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	var won, lost atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := cl.Controller.EnableSLOWatchdog("wdrace", SLOPolicy{
+				Window: 100 * time.Millisecond,
+			})
+			if err != nil {
+				lost.Add(1)
+			} else {
+				won.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if won.Load() != 1 || lost.Load() != 7 {
+		t.Fatalf("concurrent enables: %d won / %d lost, want exactly 1 winner", won.Load(), lost.Load())
+	}
+	if dep.Watchdog() == nil {
+		t.Fatal("no watchdog installed after the race")
 	}
 }
 
